@@ -1,0 +1,175 @@
+//===- bench/bench_table_11_2.cpp - Table 11.2 / Figure 11.1 --------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 11.2 times the Figure 11.1 radix conversion ("the number
+// converted was a full 32 bit number") with and without division
+// elimination on eight CPU implementations, reporting 1.2x-12x speedups.
+//
+// This binary reproduces it two ways:
+//   1. MEASURED on the host: the same routine with (a) a true divide
+//      instruction (volatile divisor), (b) the run-time invariant
+//      divider of Figure 4.1, and (c) the compiler's own constant
+//      strength reduction (plain /10, which modern compilers lower with
+//      exactly the paper's algorithm — itself a legacy of this work).
+//   2. SIMULATED per 1994 CPU: the Table 1.1 cycle numbers applied to
+//      the generated sequence vs the divide instruction, printed next to
+//      the paper's published microsecond timings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/CostModel.h"
+#include "codegen/DivCodeGen.h"
+#include "core/Divider.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace gmdiv;
+
+namespace {
+
+constexpr int BufSize = 16;
+
+/// Figure 11.1 with a real divide instruction per digit.
+int decimalHardware(unsigned X, char *Buf, volatile unsigned *Divisor) {
+  char *Bp = Buf + BufSize - 1;
+  *Bp = '\0';
+  const unsigned D = *Divisor;
+  do {
+    *--Bp = static_cast<char>('0' + X % D);
+    X /= D;
+  } while (X != 0);
+  return static_cast<int>(Buf + BufSize - 1 - Bp);
+}
+
+/// Figure 11.1 with the Figure 4.1 invariant divider.
+int decimalDivider(unsigned X, char *Buf,
+                   const UnsignedDivider<uint32_t> &By10) {
+  char *Bp = Buf + BufSize - 1;
+  *Bp = '\0';
+  do {
+    auto [Quotient, Remainder] = By10.divRem(X);
+    *--Bp = static_cast<char>('0' + Remainder);
+    X = Quotient;
+  } while (X != 0);
+  return static_cast<int>(Buf + BufSize - 1 - Bp);
+}
+
+/// Figure 11.1 with a literal constant 10: the compiler applies the
+/// paper's own algorithm (every modern compiler ships it).
+int decimalCompilerConstant(unsigned X, char *Buf) {
+  char *Bp = Buf + BufSize - 1;
+  *Bp = '\0';
+  do {
+    *--Bp = static_cast<char>('0' + X % 10u);
+    X /= 10u;
+  } while (X != 0);
+  return static_cast<int>(Buf + BufSize - 1 - Bp);
+}
+
+void BM_RadixConversion_WithDivision(benchmark::State &State) {
+  volatile unsigned Ten = 10;
+  char Buf[BufSize];
+  unsigned Value = 4294967295u; // "a full 32 bit number"
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(decimalHardware(Value, Buf, &Ten));
+    Value -= 3;
+  }
+}
+BENCHMARK(BM_RadixConversion_WithDivision);
+
+void BM_RadixConversion_DivisionEliminated(benchmark::State &State) {
+  const UnsignedDivider<uint32_t> By10(10);
+  char Buf[BufSize];
+  unsigned Value = 4294967295u;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(decimalDivider(Value, Buf, By10));
+    Value -= 3;
+  }
+}
+BENCHMARK(BM_RadixConversion_DivisionEliminated);
+
+void BM_RadixConversion_CompilerConstant(benchmark::State &State) {
+  char Buf[BufSize];
+  unsigned Value = 4294967295u;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(decimalCompilerConstant(Value, Buf));
+    Value -= 3;
+  }
+}
+BENCHMARK(BM_RadixConversion_CompilerConstant);
+
+/// Paper's Table 11.2 rows: {name, MHz, us with div, us without, ratio}.
+struct PaperRow {
+  const char *Name;
+  double MHz;
+  double WithDivisionUs;
+  double EliminatedUs;
+  double Ratio;
+};
+
+const PaperRow PaperRows[] = {
+    {"Motorola MC68020", 25, 39, 33, 1.2},
+    {"Motorola MC68040", 25, 19, 14, 1.4},
+    {"SPARC Viking", 40, 6.4, 3.2, 2.0},
+    {"HP PA 7000", 99, 9.7, 2.1, 4.6},
+    {"MIPS R3000", 40, 12, 7.3, 1.7},
+    {"MIPS R4000 (32-bit ops)", 100, 8.3, 2.4, 3.4},
+    {"POWER/RIOS I", 50, 5.0, 3.5, 1.4},
+    {"DEC Alpha 21064", 133, 22, 1.8, 12.0},
+};
+
+void printSimulatedTable() {
+  std::printf("\n=== Table 11.2: radix conversion with/without division "
+              "elimination ===\n");
+  std::printf("Per-digit loop body: q = x/10 and r = x%%10 (two divides "
+              "when not eliminated).\n\n");
+  std::printf("%-24s %5s | %8s %8s %6s | %10s %10s %6s\n", "", "", "paper",
+              "paper", "paper", "model", "model", "model");
+  std::printf("%-24s %5s | %8s %8s %6s | %10s %10s %6s\n",
+              "Architecture", "MHz", "div us", "elim us", "ratio",
+              "div cyc", "elim cyc", "ratio");
+  for (const PaperRow &Row : PaperRows) {
+    const arch::ArchProfile &Profile = arch::profileByName(Row.Name);
+    // Loop body cost: two divides vs the generated div+rem sequence,
+    // plus ~4 cycles of loop overhead (store, compare, branch, update)
+    // on both sides.
+    const double Overhead = 4;
+    const ir::Program P =
+        Profile.WordBits == 64
+            ? codegen::genUnsignedDivRemWide(
+                  32, 64, 10,
+                  [&] {
+                    codegen::GenOptions Options;
+                    Options.ExpandMulBelowCycles =
+                        Profile.HasMulHigh ? Profile.mulCycles() : 1e9;
+                    return Options;
+                  }())
+            : codegen::genUnsignedDivRem(32, 10);
+    const double DivCycles = 2 * Profile.divCycles() + Overhead;
+    const double ElimCycles = arch::estimateCost(P, Profile).Cycles +
+                              Overhead;
+    std::printf("%-24s %5.0f | %8.1f %8.1f %5.1fx | %10.1f %10.1f %5.1fx\n",
+                Row.Name, Row.MHz, Row.WithDivisionUs, Row.EliminatedUs,
+                Row.Ratio, DivCycles, ElimCycles, DivCycles / ElimCycles);
+  }
+  std::printf("\n(model = per-loop-iteration cycle estimate from the "
+              "Table 1.1 latencies;\n the paper's us are whole-conversion "
+              "wall clock on real 1985-93 hardware.\n Shape to compare: "
+              "which machines gain most — Alpha/PA/R4000 — and least —\n "
+              "68020/68040/POWER.)\n\n=== host measurements below ===\n\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printSimulatedTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- examples/codegen_explorer.cpp - Inspect generated sequences --------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: codegen_explorer [divisor] [width] [signed|unsigned|floor]
+//
+// Shows what a compiler armed with the paper's algorithms would emit for
+// division by the given constant: the CHOOSE_MULTIPLIER outputs, the
+// optimized sequence, and its estimated cost and speedup on each CPU of
+// Table 1.1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/CostModel.h"
+#include "codegen/DivCodeGen.h"
+#include "core/ChooseMultiplier.h"
+#include "ir/AsmPrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace gmdiv;
+
+int main(int Argc, char **Argv) {
+  const int64_t Divisor = Argc > 1 ? std::strtoll(Argv[1], nullptr, 0) : 10;
+  const int Width = Argc > 2 ? std::atoi(Argv[2]) : 32;
+  const char *Mode = Argc > 3 ? Argv[3] : "unsigned";
+  if (Divisor == 0 || (Width != 8 && Width != 16 && Width != 32 &&
+                       Width != 64)) {
+    std::fprintf(stderr,
+                 "usage: %s [divisor!=0] [8|16|32|64] "
+                 "[signed|unsigned|floor]\n",
+                 Argv[0]);
+    return 1;
+  }
+
+  // CHOOSE_MULTIPLIER(d, prec) outputs (for the unsigned case).
+  if (Divisor > 0) {
+    const int Prec = std::strcmp(Mode, "unsigned") == 0 ? Width : Width - 1;
+    if (Width == 32) {
+      const MultiplierInfo<uint32_t> Info = chooseMultiplier<uint32_t>(
+          static_cast<uint32_t>(Divisor), Prec);
+      std::printf("CHOOSE_MULTIPLIER(%lld, %d): m = %llu%s, sh_post = %d, "
+                  "l = %d\n\n",
+                  static_cast<long long>(Divisor), Prec,
+                  static_cast<unsigned long long>(Info.Multiplier),
+                  Info.fitsInWord() ? "" : " (>= 2^N: long sequence)",
+                  Info.ShiftPost, Info.Log2Ceil);
+    } else if (Width == 64) {
+      const MultiplierInfo<uint64_t> Info = chooseMultiplier<uint64_t>(
+          static_cast<uint64_t>(Divisor), Prec);
+      std::printf("CHOOSE_MULTIPLIER(%lld, %d): m = %s%s, sh_post = %d, "
+                  "l = %d\n\n",
+                  static_cast<long long>(Divisor), Prec,
+                  Info.Multiplier.toString().c_str(),
+                  Info.fitsInWord() ? "" : " (>= 2^N: long sequence)",
+                  Info.ShiftPost, Info.Log2Ceil);
+    }
+  }
+
+  ir::Program P = [&] {
+    if (std::strcmp(Mode, "signed") == 0)
+      return codegen::genSignedDivRem(Width, Divisor);
+    if (std::strcmp(Mode, "floor") == 0)
+      return codegen::genFloorDivMod(Width, Divisor);
+    return codegen::genUnsignedDivRem(Width,
+                                      static_cast<uint64_t>(Divisor));
+  }();
+
+  std::printf("generated %d-bit %s division by %lld:\n%s\n", Width, Mode,
+              static_cast<long long>(Divisor),
+              ir::formatProgram(P).c_str());
+
+  std::printf("%-24s %10s %12s %9s\n", "architecture", "seq cycles",
+              "divide", "speedup");
+  for (const arch::ArchProfile &Profile : arch::table11Profiles()) {
+    const arch::SequenceCost Cost = arch::estimateCost(P, Profile);
+    std::printf("%-24s %10.1f %11.1f%s %8.1fx\n", Profile.Name.c_str(),
+                Cost.Cycles, Profile.divCycles(),
+                Profile.Divide.Kind == arch::CostKind::Software ? "s" : " ",
+                arch::estimateSpeedup(P, Profile));
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- examples/compiler_pass.cpp - The §10 lowering pass in action -------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// §10 describes integrating the algorithms into GCC's machine-
+// independent code generation. This example plays the compiler: a
+// "frontend" builds IR for an Adler-32-style checksum step — two
+// remainders by the prime 65521 plus a byte extraction by 256 — using
+// generic rem opcodes; the lowering pass then rewrites them into
+// multiply sequences. We print before/after listings, verify the two
+// programs agree over a sweep, and price both on the 1994 machines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/CostModel.h"
+#include "codegen/DivisionLowering.h"
+#include "ir/AsmPrinter.h"
+#include "ir/Builder.h"
+#include "ir/Interp.h"
+
+#include <cstdio>
+#include <random>
+
+using namespace gmdiv;
+
+int main() {
+  // Frontend output: one checksum step
+  //   a' = (a + byte) % 65521,  b' = (b + a') % 65521
+  // with byte = n % 256 extracted from the third input.
+  ir::Builder B(32, 3);
+  const int A = B.arg(0, "running sum a");
+  const int Bb = B.arg(1, "running sum b");
+  const int N = B.arg(2, "input word");
+  const int Prime = B.constant(65521, "largest prime below 2^16");
+  const int Byte = B.remU(N, B.constant(256), "low byte of the input");
+  const int A2 = B.remU(B.add(A, Byte), Prime, "a' = (a + byte) mod p");
+  const int B2 = B.remU(B.add(Bb, A2), Prime, "b' = (b + a') mod p");
+  B.markResult(A2, "a'");
+  B.markResult(B2, "b'");
+  const ir::Program Frontend = B.take();
+
+  std::printf("=== frontend IR (generic remainders) ===\n%s\n",
+              ir::formatProgram(Frontend).c_str());
+
+  codegen::LoweringStats Stats;
+  const ir::Program Lowered =
+      codegen::lowerDivisions(Frontend, codegen::GenOptions(), &Stats);
+  std::printf("=== after the §10 lowering pass (%d divisions "
+              "eliminated) ===\n%s\n",
+              Stats.total(), ir::formatProgram(Lowered).c_str());
+
+  // Equivalence sweep.
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I < 1000000; ++I) {
+    const std::vector<uint64_t> Args = {Rng() & 0xffffffff,
+                                        Rng() & 0xffffffff,
+                                        Rng() & 0xffffffff};
+    if (ir::run(Frontend, Args) != ir::run(Lowered, Args)) {
+      std::printf("MISMATCH!\n");
+      return 1;
+    }
+  }
+  std::printf("1,000,000 random checksum steps agree\n\n");
+
+  std::printf("%-24s %12s %12s %9s\n", "architecture", "before cyc",
+              "after cyc", "speedup");
+  for (const arch::ArchProfile &Profile : arch::table11Profiles()) {
+    if (Profile.WordBits != 32)
+      continue;
+    const double Before = arch::estimateCost(Frontend, Profile).Cycles;
+    const double After = arch::estimateCost(Lowered, Profile).Cycles;
+    std::printf("%-24s %12.1f %12.1f %8.1fx\n", Profile.Name.c_str(),
+                Before, After, Before / After);
+  }
+  return 0;
+}

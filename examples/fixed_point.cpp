@@ -1,0 +1,189 @@
+//===- examples/fixed_point.cpp - §1's "graphics codes" -------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// §1: "Integer division is used heavily in base conversions, number
+// theoretic codes, and graphics codes." The graphics pattern: rasterize
+// a span by interpolating attributes, dividing accumulated deltas by
+// the span length — a value fixed per span but unknown at compile time.
+// A 1994 rasterizer precomputed the reciprocal per span exactly the way
+// FloorDivider does here (floor semantics keep gradients monotone for
+// negative deltas, where C's truncating division would kink at zero).
+//
+// This example draws gradients with (a) hardware division and (b) the
+// invariant divider, verifies pixel-exact agreement, and times a frame.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Divider.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace gmdiv;
+
+namespace {
+
+struct Span {
+  int Width;       // Pixels in the span (the invariant divisor).
+  int64_t DeltaR;  // Total color change across the span (16.16 fixed).
+  int64_t DeltaG;
+  int64_t DeltaB;
+};
+
+/// Reference: floor division via hardware divide.
+int64_t floorDivHw(int64_t N, int64_t D) {
+  int64_t Q = N / D;
+  if (N % D != 0 && ((N % D < 0) != (D < 0)))
+    --Q;
+  return Q;
+}
+
+uint64_t rasterizeHardware(const std::vector<Span> &Spans,
+                           std::vector<uint32_t> &Frame) {
+  size_t Pixel = 0;
+  uint64_t Checksum = 0;
+  for (const Span &S : Spans) {
+    const int64_t StepR = floorDivHw(S.DeltaR, S.Width);
+    const int64_t StepG = floorDivHw(S.DeltaG, S.Width);
+    const int64_t StepB = floorDivHw(S.DeltaB, S.Width);
+    int64_t R = 0, G = 0, B = 0;
+    for (int X = 0; X < S.Width; ++X) {
+      const uint32_t Color =
+          (static_cast<uint32_t>((R >> 16) & 0xff) << 16) |
+          (static_cast<uint32_t>((G >> 16) & 0xff) << 8) |
+          static_cast<uint32_t>((B >> 16) & 0xff);
+      Frame[Pixel % Frame.size()] = Color;
+      Checksum += Color;
+      ++Pixel;
+      R += StepR;
+      G += StepG;
+      B += StepB;
+    }
+  }
+  return Checksum;
+}
+
+uint64_t rasterizeDivider(const std::vector<Span> &Spans,
+                          std::vector<uint32_t> &Frame) {
+  size_t Pixel = 0;
+  uint64_t Checksum = 0;
+  for (const Span &S : Spans) {
+    // One divider per span; three gradient divisions share it.
+    const FloorDivider<int64_t> ByWidth(S.Width);
+    const int64_t StepR = ByWidth.divide(S.DeltaR);
+    const int64_t StepG = ByWidth.divide(S.DeltaG);
+    const int64_t StepB = ByWidth.divide(S.DeltaB);
+    int64_t R = 0, G = 0, B = 0;
+    for (int X = 0; X < S.Width; ++X) {
+      const uint32_t Color =
+          (static_cast<uint32_t>((R >> 16) & 0xff) << 16) |
+          (static_cast<uint32_t>((G >> 16) & 0xff) << 8) |
+          static_cast<uint32_t>((B >> 16) & 0xff);
+      Frame[Pixel % Frame.size()] = Color;
+      Checksum += Color;
+      ++Pixel;
+      R += StepR;
+      G += StepG;
+      B += StepB;
+    }
+  }
+  return Checksum;
+}
+
+} // namespace
+
+int main() {
+  // Build a frame's worth of spans: varied widths, signed deltas.
+  std::vector<Span> Spans;
+  uint64_t State = 0x243f6a8885a308d3ull;
+  auto Next = [&State] {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 33;
+  };
+  int64_t TotalPixels = 0;
+  while (TotalPixels < 1 << 20) {
+    Span S;
+    S.Width = 1 + static_cast<int>(Next() % 509);
+    S.DeltaR = static_cast<int64_t>(Next() % (255ull << 16)) -
+               (127ll << 16);
+    S.DeltaG = static_cast<int64_t>(Next() % (255ull << 16)) -
+               (127ll << 16);
+    S.DeltaB = static_cast<int64_t>(Next() % (255ull << 16)) -
+               (127ll << 16);
+    TotalPixels += S.Width;
+    Spans.push_back(S);
+  }
+
+  std::vector<uint32_t> FrameA(1 << 16), FrameB(1 << 16);
+  const auto T0 = std::chrono::steady_clock::now();
+  const uint64_t SumHw = rasterizeHardware(Spans, FrameA);
+  const auto T1 = std::chrono::steady_clock::now();
+  const uint64_t SumDiv = rasterizeDivider(Spans, FrameB);
+  const auto T2 = std::chrono::steady_clock::now();
+
+  if (SumHw != SumDiv || FrameA != FrameB) {
+    std::printf("PIXEL MISMATCH\n");
+    return 1;
+  }
+  const double HwMs =
+      std::chrono::duration<double, std::milli>(T1 - T0).count();
+  const double DivMs =
+      std::chrono::duration<double, std::milli>(T2 - T1).count();
+  std::printf("rasterized %lld pixels over %zu spans: frames identical\n",
+              static_cast<long long>(TotalPixels), Spans.size());
+  std::printf("hardware floor-division gradients: %.2f ms/frame\n", HwMs);
+  std::printf("per-span invariant dividers:       %.2f ms/frame\n", DivMs);
+  std::printf("\nOnly three divisions amortize each divider setup here — "
+              "the §10 warning\n(\"a loop might need to be executed many "
+              "times before the faster loop body\noutweighs the cost of "
+              "the multiplier computation\") in action on a modern\n"
+              "fast-divider host. Reuse fixes it: one divider per "
+              "distinct width,\ncached across the frame:\n");
+
+  // Width-keyed divider cache: spans repeat widths, so setup amortizes
+  // across the whole frame (the realistic renderer structure).
+  std::vector<const FloorDivider<int64_t> *> Cache(512, nullptr);
+  std::vector<FloorDivider<int64_t>> Storage;
+  Storage.reserve(512);
+  const auto T3 = std::chrono::steady_clock::now();
+  uint64_t SumCached = 0;
+  {
+    size_t Pixel = 0;
+    for (const Span &S : Spans) {
+      if (!Cache[S.Width]) {
+        Storage.emplace_back(S.Width);
+        Cache[S.Width] = &Storage.back();
+      }
+      const FloorDivider<int64_t> &ByWidth = *Cache[S.Width];
+      const int64_t StepR = ByWidth.divide(S.DeltaR);
+      const int64_t StepG = ByWidth.divide(S.DeltaG);
+      const int64_t StepB = ByWidth.divide(S.DeltaB);
+      int64_t R = 0, G = 0, B = 0;
+      for (int X = 0; X < S.Width; ++X) {
+        const uint32_t Color =
+            (static_cast<uint32_t>((R >> 16) & 0xff) << 16) |
+            (static_cast<uint32_t>((G >> 16) & 0xff) << 8) |
+            static_cast<uint32_t>((B >> 16) & 0xff);
+        FrameB[Pixel % FrameB.size()] = Color;
+        SumCached += Color;
+        ++Pixel;
+        R += StepR;
+        G += StepG;
+        B += StepB;
+      }
+    }
+  }
+  const auto T4 = std::chrono::steady_clock::now();
+  if (SumCached != SumHw || FrameA != FrameB) {
+    std::printf("PIXEL MISMATCH (cached)\n");
+    return 1;
+  }
+  std::printf("cached width-keyed dividers:       %.2f ms/frame\n",
+              std::chrono::duration<double, std::milli>(T4 - T3).count());
+  return 0;
+}

@@ -1,0 +1,206 @@
+//===- examples/gmdiv_tool.cpp - Multi-command driver ---------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// A compiler-driver-style utility exposing the whole pipeline:
+//
+//   gmdiv_tool magic <d> [width]         CHOOSE_MULTIPLIER outputs plus
+//                                        the §9 inverse, libdivide-style.
+//   gmdiv_tool codegen <d> [width] [u|s|floor|exact|alverson]
+//                                        print the generated IR.
+//   gmdiv_tool asm <d> [width] [mips|sparc|alpha|power]
+//                                        select + allocate + emit
+//                                        target assembly.
+//   gmdiv_tool lower                     read IR with divu/divs/remu/rems
+//                                        from stdin, run the §10 pass,
+//                                        print the result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Target.h"
+#include "codegen/DivCodeGen.h"
+#include "codegen/DivisionLowering.h"
+#include "core/ChooseMultiplier.h"
+#include "numtheory/ModArith.h"
+#include "ir/AsmPrinter.h"
+#include "ir/Parser.h"
+#include "ops/Bits.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace gmdiv;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s magic <d> [8|16|32|64]\n"
+               "  %s codegen <d> [8|16|32|64] [u|s|floor|exact|alverson]\n"
+               "  %s asm <d> [32|64] [mips|sparc|alpha|power]\n"
+               "  %s lower [width] [numargs]   (IR on stdin)\n",
+               Argv0, Argv0, Argv0, Argv0);
+  return 1;
+}
+
+template <typename UWord> void printMagic(UWord D) {
+  constexpr int Bits = WordTraits<UWord>::Bits;
+  const MultiplierInfo<UWord> Unsigned = chooseMultiplier<UWord>(D, Bits);
+  std::printf("CHOOSE_MULTIPLIER(%llu, %d)   [unsigned]:\n",
+              static_cast<unsigned long long>(D), Bits);
+  if constexpr (Bits == 64)
+    std::printf("  m = %s%s\n", Unsigned.Multiplier.toString().c_str(),
+                Unsigned.fitsInWord() ? "" : "  (>= 2^N: long sequence)");
+  else
+    std::printf("  m = %llu%s\n",
+                static_cast<unsigned long long>(Unsigned.Multiplier),
+                Unsigned.fitsInWord() ? "" : "  (>= 2^N: long sequence)");
+  std::printf("  sh_post = %d, l = %d\n", Unsigned.ShiftPost,
+              Unsigned.Log2Ceil);
+
+  const MultiplierInfo<UWord> Signed = chooseMultiplier<UWord>(D, Bits - 1);
+  std::printf("CHOOSE_MULTIPLIER(%llu, %d)   [signed]:\n",
+              static_cast<unsigned long long>(D), Bits - 1);
+  if constexpr (Bits == 64)
+    std::printf("  m = %s, sh_post = %d\n",
+                Signed.Multiplier.toString().c_str(), Signed.ShiftPost);
+  else
+    std::printf("  m = %llu, sh_post = %d\n",
+                static_cast<unsigned long long>(Signed.Multiplier),
+                Signed.ShiftPost);
+
+  const int E = countTrailingZeros(D);
+  const UWord DOdd = static_cast<UWord>(D >> E);
+  if (DOdd > 1) {
+    std::printf("exact-division inverse (§9): d = 2^%d * %llu, "
+                "d_inv = 0x%llx\n",
+                E, static_cast<unsigned long long>(DOdd),
+                static_cast<unsigned long long>(modInverseNewton(DOdd)));
+  } else {
+    std::printf("d is a power of two: divisibility is a mask test\n");
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  const std::string Command = Argv[1];
+
+  if (Command == "magic") {
+    if (Argc < 3)
+      return usage(Argv[0]);
+    const uint64_t D = std::strtoull(Argv[2], nullptr, 0);
+    const int Width = Argc > 3 ? std::atoi(Argv[3]) : 32;
+    if (D == 0)
+      return usage(Argv[0]);
+    switch (Width) {
+    case 8:
+      printMagic<uint8_t>(static_cast<uint8_t>(D));
+      break;
+    case 16:
+      printMagic<uint16_t>(static_cast<uint16_t>(D));
+      break;
+    case 32:
+      printMagic<uint32_t>(static_cast<uint32_t>(D));
+      break;
+    case 64:
+      printMagic<uint64_t>(D);
+      break;
+    default:
+      return usage(Argv[0]);
+    }
+    return 0;
+  }
+
+  if (Command == "codegen") {
+    if (Argc < 3)
+      return usage(Argv[0]);
+    const int64_t D = std::strtoll(Argv[2], nullptr, 0);
+    const int Width = Argc > 3 ? std::atoi(Argv[3]) : 32;
+    const std::string Kind = Argc > 4 ? Argv[4] : "u";
+    if (D == 0)
+      return usage(Argv[0]);
+    ir::Program P = [&] {
+      if (Kind == "s")
+        return codegen::genSignedDivRem(Width, D);
+      if (Kind == "floor")
+        return codegen::genFloorDivMod(Width, D);
+      if (Kind == "exact")
+        return codegen::genExactSignedDiv(Width, D);
+      if (Kind == "alverson")
+        return codegen::genUnsignedDivAlverson(
+            Width, static_cast<uint64_t>(D));
+      return codegen::genUnsignedDivRem(Width,
+                                        static_cast<uint64_t>(D));
+    }();
+    std::printf("%s", ir::formatProgram(P).c_str());
+    return 0;
+  }
+
+  if (Command == "asm") {
+    if (Argc < 3)
+      return usage(Argv[0]);
+    const uint64_t D = std::strtoull(Argv[2], nullptr, 0);
+    const int Width = Argc > 3 ? std::atoi(Argv[3]) : 32;
+    const std::string TargetName = Argc > 4 ? Argv[4] : "mips";
+    target::TargetKind Kind;
+    if (TargetName == "mips")
+      Kind = target::TargetKind::Mips;
+    else if (TargetName == "sparc")
+      Kind = target::TargetKind::Sparc;
+    else if (TargetName == "alpha")
+      Kind = target::TargetKind::Alpha;
+    else if (TargetName == "power")
+      Kind = target::TargetKind::Power;
+    else
+      return usage(Argv[0]);
+    const int TargetBits = target::targetDesc(Kind).WordBits;
+    codegen::GenOptions Options;
+    if (Kind == target::TargetKind::Power)
+      Options.MulHigh = codegen::MulHighCapability::SignedOnly;
+    ir::Program P =
+        Width < TargetBits
+            ? codegen::genUnsignedDivRemWide(Width, TargetBits, D, Options)
+            : codegen::genUnsignedDivRem(TargetBits, D, Options);
+    target::MachineFunction MF = target::selectInstructions(P, Kind);
+    target::allocateRegisters(MF);
+    std::printf("%s", target::emitAssembly(MF).c_str());
+    return 0;
+  }
+
+  if (Command == "lower") {
+    const int Width = Argc > 2 ? std::atoi(Argv[2]) : 32;
+    const int NumArgs = Argc > 3 ? std::atoi(Argv[3]) : 1;
+    std::ostringstream Input;
+    Input << std::cin.rdbuf();
+    const ir::ParseResult Result =
+        ir::parseProgram(Input.str(), Width, NumArgs);
+    if (!Result.ok()) {
+      std::fprintf(stderr, "parse error on line %d: %s\n",
+                   Result.ErrorLine, Result.Error.c_str());
+      return 1;
+    }
+    codegen::LoweringStats Stats;
+    const ir::Program Lowered =
+        codegen::lowerDivisions(*Result.Parsed, codegen::GenOptions(),
+                                &Stats);
+    std::fprintf(stderr, "; lowered %d division(s), kept %d runtime "
+                         "divisor(s)\n",
+                 Stats.total(), Stats.RuntimeDivisorsKept);
+    std::printf("%s", ir::formatProgram(Lowered).c_str());
+    return 0;
+  }
+
+  return usage(Argv[0]);
+}

@@ -1,0 +1,121 @@
+//===- examples/hash_table.cpp - §11 hashing workload ---------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// §11: "Some benchmarks that involve hashing show improvements up to
+// about 30%." Hash tables with prime modulus reduce every probe with a
+// division by an invariant (but not compile-time-constant) table size —
+// exactly the run-time invariant case of Figure 4.1. This example builds
+// an open-addressing hash table whose probe sequence uses the divider,
+// verifies it against the hardware-% implementation, and times both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Divider.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace gmdiv;
+
+namespace {
+
+/// Open-addressing table; the modulus strategy is the only difference
+/// between the two instantiations.
+class HashTable {
+public:
+  explicit HashTable(uint64_t Size)
+      : Slots(Size, Empty), BySize(Size), Size(Size) {}
+
+  void insertWithDivider(uint64_t Key) {
+    uint64_t Slot = BySize.remainder(splitmix(Key));
+    while (Slots[Slot] != Empty)
+      Slot = Slot + 1 == Size ? 0 : Slot + 1;
+    Slots[Slot] = Key;
+  }
+
+  void insertWithHardware(uint64_t Key, volatile uint64_t *RuntimeSize) {
+    uint64_t Slot = splitmix(Key) % *RuntimeSize;
+    while (Slots[Slot] != Empty)
+      Slot = Slot + 1 == Size ? 0 : Slot + 1;
+    Slots[Slot] = Key;
+  }
+
+  bool lookupWithDivider(uint64_t Key) const {
+    uint64_t Slot = BySize.remainder(splitmix(Key));
+    while (Slots[Slot] != Empty) {
+      if (Slots[Slot] == Key)
+        return true;
+      Slot = Slot + 1 == Size ? 0 : Slot + 1;
+    }
+    return false;
+  }
+
+  const std::vector<uint64_t> &slots() const { return Slots; }
+
+private:
+  static uint64_t splitmix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  static constexpr uint64_t Empty = ~uint64_t{0};
+  std::vector<uint64_t> Slots;
+  UnsignedDivider<uint64_t> BySize;
+  uint64_t Size;
+};
+
+} // namespace
+
+int main() {
+  const uint64_t Prime = 1000003; // Table size chosen at run time.
+  volatile uint64_t RuntimePrime = Prime;
+  const int Keys = 600000;
+
+  // Correctness: both modulus strategies must build identical tables.
+  HashTable Divider(Prime), Hardware(Prime);
+  for (int I = 0; I < Keys; ++I) {
+    Divider.insertWithDivider(static_cast<uint64_t>(I) * 2654435761u);
+    Hardware.insertWithHardware(static_cast<uint64_t>(I) * 2654435761u,
+                                &RuntimePrime);
+  }
+  if (Divider.slots() != Hardware.slots()) {
+    std::printf("MISMATCH: divider and hardware tables differ\n");
+    return 1;
+  }
+  std::printf("tables identical over %d insertions into %llu slots\n",
+              Keys, static_cast<unsigned long long>(Prime));
+
+  // Timing: lookup-heavy phase (each probe is one modulus reduction).
+  int Found = 0;
+  auto Start = std::chrono::steady_clock::now();
+  for (int Round = 0; Round < 4; ++Round)
+    for (int I = 0; I < Keys; ++I)
+      Found += Divider.lookupWithDivider(static_cast<uint64_t>(I) *
+                                         2654435761u);
+  auto Mid = std::chrono::steady_clock::now();
+  uint64_t Sink = 0;
+  for (int Round = 0; Round < 4; ++Round)
+    for (int I = 0; I < Keys; ++I)
+      Sink += (static_cast<uint64_t>(I) * 2654435761u) % RuntimePrime;
+  auto End = std::chrono::steady_clock::now();
+
+  const double DividerMs =
+      std::chrono::duration<double, std::milli>(Mid - Start).count();
+  const double HardwareMs =
+      std::chrono::duration<double, std::milli>(End - Mid).count();
+  std::printf("lookups via divider: %.1f ms (%d hits)\n", DividerMs,
+              Found);
+  std::printf("bare hardware %% reductions over same keys: %.1f ms "
+              "(sink %llu)\n",
+              HardwareMs, static_cast<unsigned long long>(Sink & 1));
+  std::printf("(the paper reports up to ~30%% whole-benchmark gains on "
+              "hashing codes)\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- arch/Arch.cpp - Table 1.1 architecture cost profiles ---------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Arch.h"
+
+#include <cassert>
+
+using namespace gmdiv;
+using namespace gmdiv::arch;
+
+std::string CycleRange::toString() const {
+  auto Render = [](double Value) {
+    if (Value == static_cast<int>(Value))
+      return std::to_string(static_cast<int>(Value));
+    std::string Text = std::to_string(Value);
+    Text.erase(Text.find_last_not_of('0') + 1);
+    if (!Text.empty() && Text.back() == '.')
+      Text.pop_back();
+    return Text;
+  };
+  std::string Text = Render(Low);
+  if (High != Low)
+    Text += "-" + Render(High);
+  switch (Kind) {
+  case CostKind::Hardware:
+    break;
+  case CostKind::Software:
+    Text += "s";
+    break;
+  case CostKind::ViaFp:
+    Text += "F";
+    break;
+  case CostKind::Pipelined:
+    Text += "P";
+    break;
+  }
+  return Text;
+}
+
+const std::vector<ArchProfile> &arch::table11Profiles() {
+  // One entry per Table 1.1 row. Annotations follow the paper's footnotes:
+  // s = no direct hardware support, F = excludes FP register moves,
+  // P = pipelined. The MC68020's divide is 76-78 unsigned / 88-90 signed;
+  // we keep the full span.
+  static const std::vector<ArchProfile> Profiles = {
+      {"Motorola MC68020", 32, 1985, {41, 44, CostKind::Hardware},
+       {76, 90, CostKind::Hardware}, true, true, 1},
+      {"Motorola MC68040", 32, 1991, {20, 20, CostKind::Hardware},
+       {44, 44, CostKind::Hardware}, true, true, 1},
+      {"Intel 386", 32, 1985, {9, 38, CostKind::Hardware},
+       {38, 38, CostKind::Hardware}, true, true, 1},
+      {"Intel 486", 32, 1989, {13, 42, CostKind::Hardware},
+       {40, 40, CostKind::Hardware}, true, true, 1},
+      {"Intel Pentium", 32, 1993, {10, 10, CostKind::Hardware},
+       {46, 46, CostKind::Hardware}, true, true, 1},
+      {"SPARC Cypress CY7C601", 32, 1989, {40, 40, CostKind::Hardware},
+       {100, 100, CostKind::Software}, true, false, 1},
+      {"SPARC Viking", 32, 1992, {5, 5, CostKind::Hardware},
+       {19, 19, CostKind::Hardware}, true, true, 1},
+      {"HP PA 83", 32, 1985, {45, 45, CostKind::Software},
+       {70, 70, CostKind::Software}, false, false, 1},
+      {"HP PA 7000", 32, 1990, {3, 3, CostKind::ViaFp},
+       {70, 70, CostKind::Software}, true, false, 1},
+      {"MIPS R3000", 32, 1988, {12, 12, CostKind::Pipelined},
+       {35, 35, CostKind::Pipelined}, true, true, 1},
+      // The paper lists the R4000 twice: 32-bit operations (12P / 75)
+      // and 64-bit operations (20P / 139).
+      {"MIPS R4000 (32-bit ops)", 32, 1991, {12, 12, CostKind::Pipelined},
+       {75, 75, CostKind::Hardware}, true, true, 1},
+      {"MIPS R4000", 64, 1991, {20, 20, CostKind::Pipelined},
+       {139, 139, CostKind::Hardware}, true, true, 1},
+      {"POWER/RIOS I", 32, 1989, {5, 5, CostKind::Hardware},
+       {19, 19, CostKind::Hardware}, true, true, 1}, // Signed forms only.
+      {"PowerPC/MPC601", 32, 1993, {5, 10, CostKind::Hardware},
+       {36, 36, CostKind::Hardware}, true, true, 1},
+      {"DEC Alpha 21064", 64, 1992, {23, 23, CostKind::Pipelined},
+       {200, 200, CostKind::Software}, true, false, 1},
+      {"Motorola MC88100", 32, 1989, {17, 17, CostKind::Software},
+       {38, 38, CostKind::Hardware}, true, true, 1},
+      {"Motorola MC88110", 32, 1992, {3, 3, CostKind::Pipelined},
+       {18, 18, CostKind::Hardware}, true, true, 1},
+  };
+  return Profiles;
+}
+
+const ArchProfile &arch::profileByName(const std::string &Name) {
+  for (const ArchProfile &Profile : table11Profiles())
+    if (Profile.Name == Name)
+      return Profile;
+  assert(false && "unknown architecture profile");
+  return table11Profiles().front();
+}

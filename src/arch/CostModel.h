@@ -1,0 +1,77 @@
+//===- arch/CostModel.h - Sequence cost estimation --------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prices an IR sequence on a Table 1.1 architecture profile the way the
+/// paper counts cost: one multiply (MULL/MULUH/MULSH) at the machine's
+/// multiply latency, everything else one cycle, constants free ("loading
+/// constants and operands [is] implicit ... not included in the operation
+/// counts", §3). estimateSpeedup compares a generated division sequence
+/// against the machine's divide instruction — the quantity behind the
+/// Table 11.2 speedup column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_ARCH_COSTMODEL_H
+#define GMDIV_ARCH_COSTMODEL_H
+
+#include "arch/Arch.h"
+#include "ir/IR.h"
+
+namespace gmdiv {
+namespace arch {
+
+/// Summary of a sequence's cost on one architecture.
+struct SequenceCost {
+  double Cycles = 0;   ///< Total latency, paper-style sequential count.
+  int Multiplies = 0;  ///< Number of multiply operations.
+  int Divides = 0;     ///< Remaining divide operations (pre-lowering IR).
+  int SimpleOps = 0;   ///< Adds, subtracts, shifts, bit ops, relationals.
+};
+
+/// Sequential-latency estimate of \p P on \p Profile.
+SequenceCost estimateCost(const ir::Program &P, const ArchProfile &Profile);
+
+/// divide-instruction-cycles / sequence-cycles: > 1 means the multiply
+/// sequence wins. Uses the profile's midpoint divide latency.
+double estimateSpeedup(const ir::Program &P, const ArchProfile &Profile);
+
+/// Critical-path latency: the longest dependence chain through the
+/// program, i.e. the completion time on a machine that can overlap all
+/// independent operations. Table 1.1 marks such machines with 'P'
+/// ("pipelined implementation — independent instructions can execute
+/// simultaneously"); for them this is the better per-division estimate.
+double estimateCriticalPathCycles(const ir::Program &P,
+                                  const ArchProfile &Profile);
+
+/// Critical-path cycles for 'P' machines, sequential sum otherwise.
+double estimateEffectiveCycles(const ir::Program &P,
+                               const ArchProfile &Profile);
+
+/// Maximum number of simultaneously live values (arguments and
+/// constants included) — the register-count accounting §8 does by hand
+/// ("Five registers hold d, d_norm, l, m' and N-1").
+int registerPressure(const ir::Program &P);
+
+/// List-schedules \p P for \p Profile's latencies (multiplies at
+/// mulCycles, divides at divCycles, simple ops at 1, leaves free).
+ir::Program scheduleForProfile(const ir::Program &P,
+                               const ArchProfile &Profile);
+
+/// Completion time on an in-order single-issue machine with overlapped
+/// latencies (scoreboarding): instruction i issues one cycle after
+/// instruction i-1 but no earlier than its operands complete. This is
+/// the realized cost on the Table 1.1 'P' machines, between the serial
+/// sum (no overlap) and the critical path (infinite issue width), and
+/// the quantity the scheduler actually improves.
+double estimateInOrderCycles(const ir::Program &P,
+                             const ArchProfile &Profile);
+
+} // namespace arch
+} // namespace gmdiv
+
+#endif // GMDIV_ARCH_COSTMODEL_H

@@ -1,0 +1,114 @@
+//===- arch/Target.h - Toy target backends for Table 11.1 -------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 11.1 prints *assembler*, not IR: MIPS `multu/mfhi`, SPARC
+/// `umul/rd %y`, Alpha `s4addq`-style scaled adds, POWER `mul`. This
+/// module provides just enough backend to render our generated
+/// sequences the same way: per-target instruction selection (including
+/// the Alpha scaled-add/sub fusion and the HI-register multiply pairs),
+/// linear-scan register allocation over the straight-line code, and
+/// textual emission.
+///
+/// Every machine instruction carries its semantics, so a machine-level
+/// interpreter can execute the selected, register-allocated code and
+/// tests can prove the backend output equal to the IR it came from —
+/// the same closed-loop verification used everywhere else in the repo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_ARCH_TARGET_H
+#define GMDIV_ARCH_TARGET_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace target {
+
+/// The flavors Table 11.1 shows.
+enum class TargetKind {
+  Mips,  ///< multu/mfhi pair, $-registers.
+  Sparc, ///< umul + rd %y, %-registers.
+  Alpha, ///< umulh direct; scaled add/sub fusion (s4addq, s8subq...).
+  Power, ///< signed-only multiply (mul gives the high word).
+};
+
+/// Static description of a toy target.
+struct TargetDesc {
+  TargetKind Kind;
+  std::string Name;
+  int WordBits;
+  int NumRegs;              ///< Allocatable general registers.
+  bool MulHighViaSpecial;   ///< Multiply writes HI/%y; needs a read op.
+  bool HasScaledAdd;        ///< Fuse SLL(x, 2|3) feeding ADD/SUB.
+  std::string RegPrefix;    ///< "$", "%r", ...
+};
+
+const TargetDesc &targetDesc(TargetKind Kind);
+
+/// What a machine instruction *does* — used by the machine interpreter.
+enum class MachineSem {
+  IrOp,      ///< Semantics of IrSem applied to the operands.
+  MulHiPair, ///< Writes the implicit HI register with the high product.
+  ReadHi,    ///< Copies the implicit HI register to the destination.
+  ScaledAdd, ///< dst = (a << Scale) + b.
+  ScaledSub, ///< dst = (a << Scale) - b.
+  LoadImm,   ///< dst = Imm.
+};
+
+/// One selected instruction over virtual (later physical) registers.
+struct MachineInstr {
+  std::string Mnemonic;
+  MachineSem Sem = MachineSem::IrOp;
+  ir::Opcode IrSem = ir::Opcode::Add; ///< For Sem == IrOp / MulHiPair.
+  int Def = -1;       ///< Destination register (-1: none, e.g. mult).
+  int UseA = -1;      ///< First register operand (-1: absent).
+  int UseB = -1;      ///< Second register operand (-1: absent).
+  uint64_t Imm = 0;   ///< Immediate (shift count / constant).
+  bool HasImm = false;
+  int Scale = 0;      ///< For scaled add/sub.
+  std::string Comment;
+};
+
+/// A straight-line machine function.
+struct MachineFunction {
+  const TargetDesc *Target = nullptr;
+  int NumArgs = 0;
+  int NumVRegs = 0; ///< Before allocation: registers are virtual ids.
+  bool Allocated = false;
+  std::vector<MachineInstr> Instrs;
+  std::vector<int> ResultRegs;
+  std::vector<std::string> ResultNames;
+  int PeakRegisters = 0; ///< Filled by the allocator.
+};
+
+/// Selects machine instructions for \p P. Arguments land in vregs
+/// 0..numArgs-1.
+MachineFunction selectInstructions(const ir::Program &P, TargetKind Kind);
+
+/// Rewrites virtual registers to physical ones with a linear scan over
+/// the straight-line code. Asserts the target has enough registers
+/// (true for every sequence in this repo; PeakRegisters reports usage).
+void allocateRegisters(MachineFunction &MF);
+
+/// Renders assembler text, one instruction per line.
+std::string emitAssembly(const MachineFunction &MF);
+
+/// Executes the machine code (virtual or physical registers) on the
+/// target's word size; returns the marked results. The ground truth for
+/// backend verification.
+std::vector<uint64_t> runMachine(const MachineFunction &MF,
+                                 const std::vector<uint64_t> &Args);
+
+} // namespace target
+} // namespace gmdiv
+
+#endif // GMDIV_ARCH_TARGET_H

@@ -1,0 +1,201 @@
+//===- codegen/DivCodeGen.h - Constant-divisor code generation --*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-facing entry points: given a constant divisor, emit the
+/// optimized IR sequence a compiler would generate in place of a divide
+/// instruction.
+///
+///   genUnsignedDiv      — Figure 4.2 (power-of-2 / pre-shift / long form)
+///   genSignedDiv        — Figure 5.2 (trunc; d may be negative)
+///   genFloorDiv         — Figure 6.1 (floor; constant d > 0)
+///   gen*DivRem          — quotient plus remainder via MULL and subtract
+///                         (§1: "The remainder, if desired, can be
+///                         computed by an additional multiplication and
+///                         subtraction"); CSE shares the quotient.
+///   genExactDiv*        — §9 exact division (MULL by the inverse).
+///   genDivisibilityTest — §9 branch-free "d divides n" producing 0/1.
+///
+/// All generators can optionally expand the magic-number multiply into a
+/// Bernstein shift/add sequence when that is cheaper on a given
+/// architecture profile — the Alpha column of Table 11.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CODEGEN_DIVCODEGEN_H
+#define GMDIV_CODEGEN_DIVCODEGEN_H
+
+#include "arch/Arch.h"
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+
+namespace gmdiv {
+namespace codegen {
+
+/// Which multiply-high instructions the target provides. §3: "If an
+/// architecture has only one of MULSH and MULUH, then the other can be
+/// computed" via the XSIGN/AND identity — POWER/RIOS I, for example,
+/// only has the signed forms (Table 1.1: "signed only").
+enum class MulHighCapability {
+  Both,         ///< MULUH and MULSH available (most machines).
+  SignedOnly,   ///< Only MULSH; MULUH expands via the §3 identity.
+  UnsignedOnly, ///< Only MULUH; MULSH expands via the §3 identity.
+};
+
+/// Options shared by the generators.
+struct GenOptions {
+  /// When nonnegative, a MULL/MULUH whose constant operand has a
+  /// synthesized shift/add cost strictly below this many cycles is
+  /// expanded instead of emitted as a multiply (only where the full
+  /// product fits the word, i.e. MULL and the widened MULUH form).
+  /// Negative disables expansion. Typically set to a profile's
+  /// mulCycles().
+  double ExpandMulBelowCycles = -1;
+
+  /// Multiply-high availability; missing forms are synthesized with the
+  /// §3 conversion identity (3 extra simple operations for a general
+  /// operand, fewer when one operand is a known-sign constant).
+  MulHighCapability MulHigh = MulHighCapability::Both;
+};
+
+//===----------------------------------------------------------------------===//
+// Whole-program conveniences: one argument n, result(s) marked.
+//===----------------------------------------------------------------------===//
+
+/// Figure 4.2: q = ⌊n/d⌋ for constant d != 0.
+ir::Program genUnsignedDiv(int WordBits, uint64_t D,
+                           const GenOptions &Options = GenOptions());
+
+/// Figure 4.2 plus remainder: results "q" and "r".
+ir::Program genUnsignedDivRem(int WordBits, uint64_t D,
+                              const GenOptions &Options = GenOptions());
+
+/// Figure 5.2: q = trunc(n/d) for constant d != 0 (d sign-extended from
+/// \p D's low WordBits).
+ir::Program genSignedDiv(int WordBits, int64_t D,
+                         const GenOptions &Options = GenOptions());
+
+/// Figure 5.2 plus remainder (C `%`): results "q" and "r".
+ir::Program genSignedDivRem(int WordBits, int64_t D,
+                            const GenOptions &Options = GenOptions());
+
+/// Figure 6.1: q = ⌊n/d⌋ (floor) for constant d > 0.
+ir::Program genFloorDiv(int WordBits, int64_t D,
+                        const GenOptions &Options = GenOptions());
+
+/// Floor quotient plus modulo (sign of divisor): results "q" and "r".
+/// Matches the paper's n mod 10 example in §6.
+ir::Program genFloorDivMod(int WordBits, int64_t D,
+                           const GenOptions &Options = GenOptions());
+
+/// §9: q = n/d for unsigned n known divisible by d.
+ir::Program genExactUnsignedDiv(int WordBits, uint64_t D);
+
+/// §9: q = n/d for signed n known divisible by d.
+ir::Program genExactSignedDiv(int WordBits, int64_t D);
+
+/// §9: result "divisible" = 1 if d divides unsigned n, else 0.
+ir::Program genDivisibilityTestUnsigned(int WordBits, uint64_t D);
+
+/// §9: result "matches" = 1 if unsigned n mod d == r, for constants
+/// 0 <= r < d. One subtract, one MULL, a rotate and a compare.
+ir::Program genRemainderTestUnsigned(int WordBits, uint64_t D, uint64_t R);
+
+/// §9: result "matches" = 1 if signed n rem d == r, for constants
+/// 1 <= r < d (d > 0, not a power of two). Matches only nonnegative n,
+/// since rem carries the dividend's sign.
+ir::Program genRemainderTestSigned(int WordBits, int64_t D, int64_t R);
+
+/// §9: result "divisible" = 1 if d divides signed n, else 0.
+ir::Program genDivisibilityTestSigned(int WordBits, int64_t D);
+
+/// §6's run-time general case: floor division where *both* n and d are
+/// run-time values of unknown sign. Identity (6.1) wraps a trunc divide
+/// (left as a DivS opcode — "six instructions plus the divide") with
+/// branch-free sign adjustments, using the SLT improvement the paper
+/// shows as MIPS code:
+///   d_sign01 = SRL(d, N-1); n_sign01 = SLT(n, d_sign01);
+///   q = TRUNC((n + d_sign - n_sign)/d) + q_sign.
+/// The program takes two arguments (n, d) and marks results "q" and
+/// "r" (divisor-sign modulo via (6.2)).
+ir::Program genFloorDivModRuntime(int WordBits);
+
+/// Baseline: Alverson's ARITH-10 scheme (the paper's reference [1],
+/// deployed on the Tera) — reciprocal ⌈2^(N+l)/d⌉ rounded up with no
+/// interval search and no reduction, so every non-power-of-two divisor
+/// pays the full n + MULUH(f - 2^N, n) correction sequence. Benches
+/// compare this against Figure 4.2 to quantify what CHOOSE_MULTIPLIER
+/// buys.
+ir::Program genUnsignedDivAlverson(int WordBits, uint64_t D);
+
+/// Figure 8.1 as generated code: divides the doubleword (n_hi, n_lo) by
+/// the invariant word d, yielding word quotient and remainder. The
+/// program takes two arguments (high word first) and marks results "q"
+/// and "r". Requires n_hi < d, as in §8. All Figure 8.1 state (m',
+/// d_norm, l) is folded into constants; the doubleword additions expand
+/// into add/carry (SLTU) pairs.
+ir::Program genDWordDivRem(int WordBits, uint64_t D);
+
+/// Figure 4.2 performed in wider registers: an OpBits-bit unsigned
+/// division compiled for a MachineBits-bit machine (OpBits < MachineBits,
+/// e.g. 32-bit division on the 64-bit Alpha of Table 11.1). The full
+/// product fits the machine word, so a single MULL + shift suffices, and
+/// the multiply is expandable into shifts and adds.
+ir::Program genUnsignedDivWide(int OpBits, int MachineBits, uint64_t D,
+                               const GenOptions &Options = GenOptions());
+
+/// As genUnsignedDivWide, with remainder: results "q" and "r".
+ir::Program genUnsignedDivRemWide(int OpBits, int MachineBits, uint64_t D,
+                                  const GenOptions &Options = GenOptions());
+
+/// Figure 5.2 in wider registers: an OpBits-bit *signed* trunc division
+/// compiled for a MachineBits-bit machine. The argument is the
+/// sign-extended OpBits value; because the multiplier from
+/// CHOOSE_MULTIPLIER(|d|, OpBits-1) fits OpBits bits, the whole signed
+/// product fits the machine word and one MULL + SRA replaces the MULSH.
+ir::Program genSignedDivWide(int OpBits, int MachineBits, int64_t D,
+                             const GenOptions &Options = GenOptions());
+
+int emitSignedDivWide(ir::Builder &B, int N, int OpBits, int64_t D,
+                      const GenOptions &Options = GenOptions());
+
+//===----------------------------------------------------------------------===//
+// Builder-level emitters, for composing with surrounding code.
+// Each returns the value index of the quotient (or test result).
+//===----------------------------------------------------------------------===//
+
+int emitUnsignedDiv(ir::Builder &B, int N, uint64_t D,
+                    const GenOptions &Options = GenOptions());
+int emitSignedDiv(ir::Builder &B, int N, int64_t D,
+                  const GenOptions &Options = GenOptions());
+int emitFloorDiv(ir::Builder &B, int N, int64_t D,
+                 const GenOptions &Options = GenOptions());
+int emitExactUnsignedDiv(ir::Builder &B, int N, uint64_t D);
+int emitExactSignedDiv(ir::Builder &B, int N, int64_t D);
+int emitDivisibilityTestUnsigned(ir::Builder &B, int N, uint64_t D);
+int emitRemainderTestUnsigned(ir::Builder &B, int N, uint64_t D,
+                              uint64_t R);
+int emitRemainderTestSigned(ir::Builder &B, int N, int64_t D, int64_t R);
+int emitUnsignedDivWide(ir::Builder &B, int N, int OpBits, uint64_t D,
+                        const GenOptions &Options = GenOptions());
+
+/// §3 conversion identities at the IR level: a MULUH (resp. MULSH) that
+/// respects the target's capability, synthesizing the missing form as
+///   MULUH(x, y) = MULSH(x, y) + AND(x, XSIGN(y)) + AND(y, XSIGN(x))
+/// (and the inverse). Exposed for tests and for composing custom
+/// sequences against capability-restricted profiles.
+int emitMulUHCapability(ir::Builder &B, int Lhs, int Rhs,
+                        MulHighCapability Capability);
+int emitMulSHCapability(ir::Builder &B, int Lhs, int Rhs,
+                        MulHighCapability Capability);
+
+} // namespace codegen
+} // namespace gmdiv
+
+#endif // GMDIV_CODEGEN_DIVCODEGEN_H

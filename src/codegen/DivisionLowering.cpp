@@ -1,0 +1,169 @@
+//===- codegen/DivisionLowering.cpp - The §10 compiler pass ---------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DivisionLowering.h"
+
+#include "codegen/MulByConst.h"
+#include "ir/Builder.h"
+
+#include <vector>
+
+using namespace gmdiv;
+using namespace gmdiv::codegen;
+using namespace gmdiv::ir;
+
+namespace {
+
+/// Sign-extends an N-bit constant to int64.
+int64_t signExtendConst(uint64_t Value, int WordBits) {
+  const uint64_t SignBit = uint64_t{1} << (WordBits - 1);
+  const uint64_t Mask =
+      WordBits == 64 ? ~uint64_t{0} : (uint64_t{1} << WordBits) - 1;
+  return static_cast<int64_t>(((Value & Mask) ^ SignBit) - SignBit);
+}
+
+/// q*d, honoring the multiply-expansion option.
+int emitQuotientTimesDivisor(Builder &B, int Q, uint64_t D,
+                             const GenOptions &Options) {
+  if (Options.ExpandMulBelowCycles >= 0 &&
+      shouldExpandMultiply(D, B.wordBits(), Options.ExpandMulBelowCycles))
+    return emitMulByConst(B, Q, D);
+  return B.mulL(Q, B.constant(D), "q * d");
+}
+
+/// Re-emits a non-division instruction through the Builder.
+int reEmit(Builder &B, const Instr &I, int Lhs, int Rhs) {
+  switch (I.Op) {
+  case Opcode::Arg:
+    return B.arg(static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Const:
+    return B.constant(I.Imm, I.Comment);
+  case Opcode::Add:
+    return B.add(Lhs, Rhs, I.Comment);
+  case Opcode::Sub:
+    return B.sub(Lhs, Rhs, I.Comment);
+  case Opcode::Neg:
+    return B.neg(Lhs, I.Comment);
+  case Opcode::MulL:
+    return B.mulL(Lhs, Rhs, I.Comment);
+  case Opcode::MulUH:
+    return B.mulUH(Lhs, Rhs, I.Comment);
+  case Opcode::MulSH:
+    return B.mulSH(Lhs, Rhs, I.Comment);
+  case Opcode::And:
+    return B.and_(Lhs, Rhs, I.Comment);
+  case Opcode::Or:
+    return B.or_(Lhs, Rhs, I.Comment);
+  case Opcode::Eor:
+    return B.eor(Lhs, Rhs, I.Comment);
+  case Opcode::Not:
+    return B.not_(Lhs, I.Comment);
+  case Opcode::Sll:
+    return B.sll(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Srl:
+    return B.srl(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Sra:
+    return B.sra(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Ror:
+    return B.ror(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Xsign:
+    return B.xsign(Lhs, I.Comment);
+  case Opcode::SltS:
+    return B.sltS(Lhs, Rhs, I.Comment);
+  case Opcode::SltU:
+    return B.sltU(Lhs, Rhs, I.Comment);
+  case Opcode::DivU:
+    return B.divU(Lhs, Rhs, I.Comment);
+  case Opcode::DivS:
+    return B.divS(Lhs, Rhs, I.Comment);
+  case Opcode::RemU:
+    return B.remU(Lhs, Rhs, I.Comment);
+  case Opcode::RemS:
+    return B.remS(Lhs, Rhs, I.Comment);
+  }
+  assert(false && "unknown opcode");
+  return Lhs;
+}
+
+} // namespace
+
+Program codegen::lowerDivisions(const Program &P, const GenOptions &Options,
+                                LoweringStats *Stats) {
+  LoweringStats Local;
+  Builder B(P.wordBits(), P.numArgs());
+  std::vector<int> Remap(static_cast<size_t>(P.size()), -1);
+
+  for (int Index = 0; Index < P.size(); ++Index) {
+    const Instr &I = P.instr(Index);
+    const int Lhs =
+        opcodeIsLeaf(I.Op) ? -1 : Remap[static_cast<size_t>(I.Lhs)];
+    const int Rhs = (opcodeIsLeaf(I.Op) || opcodeIsUnary(I.Op))
+                        ? -1
+                        : Remap[static_cast<size_t>(I.Rhs)];
+
+    const bool IsDivision = I.Op == Opcode::DivU || I.Op == Opcode::DivS ||
+                            I.Op == Opcode::RemU || I.Op == Opcode::RemS;
+    uint64_t DivisorBits = 0;
+    const bool ConstDivisor =
+        IsDivision && B.program().instr(Rhs).Op == Opcode::Const &&
+        (DivisorBits = B.program().instr(Rhs).Imm) != 0;
+
+    int NewIndex;
+    if (!ConstDivisor) {
+      if (IsDivision)
+        ++Local.RuntimeDivisorsKept;
+      NewIndex = reEmit(B, I, Lhs, Rhs);
+    } else {
+      switch (I.Op) {
+      case Opcode::DivU:
+        NewIndex = emitUnsignedDiv(B, Lhs, DivisorBits, Options);
+        ++Local.UnsignedDivsLowered;
+        break;
+      case Opcode::DivS:
+        NewIndex = emitSignedDiv(
+            B, Lhs, signExtendConst(DivisorBits, P.wordBits()), Options);
+        ++Local.SignedDivsLowered;
+        break;
+      case Opcode::RemU: {
+        if ((DivisorBits & (DivisorBits - 1)) == 0) {
+          // Power of two: one AND.
+          NewIndex = B.and_(Lhs, B.constant(DivisorBits - 1),
+                            "r = n & (2^k - 1)");
+        } else {
+          const int Q = emitUnsignedDiv(B, Lhs, DivisorBits, Options);
+          NewIndex = B.sub(Lhs, emitQuotientTimesDivisor(
+                                    B, Q, DivisorBits, Options),
+                           "r = n - q*d");
+        }
+        ++Local.UnsignedRemsLowered;
+        break;
+      }
+      case Opcode::RemS: {
+        const int Q = emitSignedDiv(
+            B, Lhs, signExtendConst(DivisorBits, P.wordBits()), Options);
+        NewIndex = B.sub(Lhs, emitQuotientTimesDivisor(B, Q, DivisorBits,
+                                                       Options),
+                         "r = n - q*d");
+        ++Local.SignedRemsLowered;
+        break;
+      }
+      default:
+        NewIndex = reEmit(B, I, Lhs, Rhs); // Unreachable by construction.
+        break;
+      }
+    }
+    Remap[static_cast<size_t>(Index)] = NewIndex;
+  }
+
+  for (size_t ResultIndex = 0; ResultIndex < P.results().size();
+       ++ResultIndex)
+    B.markResult(Remap[static_cast<size_t>(P.results()[ResultIndex])],
+                 P.resultNames()[ResultIndex]);
+  if (Stats)
+    *Stats = Local;
+  return B.take();
+}

@@ -1,0 +1,60 @@
+//===- codegen/DivisionLowering.h - The §10 compiler pass -------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-integration pass of §10: "We have implemented the
+/// algorithms for constant divisors in the freely available GCC
+/// compiler, by extending its machine and language independent internal
+/// code generation."
+///
+/// Frontends emit generic DivU/DivS/RemU/RemS opcodes; this pass walks a
+/// program and replaces every division or remainder whose divisor is a
+/// nonzero constant with the optimized multiply sequence of Figures
+/// 4.2 / 5.2 (remainders via the extra MULL-and-subtract of §1), under
+/// the same options as the direct generators — multiply-high capability
+/// (the POWER case) and multiply strength-reduction thresholds (the
+/// Alpha case). Divisions by run-time values are left untouched, exactly
+/// as the paper's GCC port behaves ("we have not implemented any
+/// algorithm for run-time invariant divisors").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CODEGEN_DIVISIONLOWERING_H
+#define GMDIV_CODEGEN_DIVISIONLOWERING_H
+
+#include "codegen/DivCodeGen.h"
+#include "ir/IR.h"
+
+namespace gmdiv {
+namespace codegen {
+
+/// Statistics from one lowering run.
+struct LoweringStats {
+  int UnsignedDivsLowered = 0;
+  int SignedDivsLowered = 0;
+  int UnsignedRemsLowered = 0;
+  int SignedRemsLowered = 0;
+  int RuntimeDivisorsKept = 0; ///< Non-constant divisors left as-is.
+
+  int total() const {
+    return UnsignedDivsLowered + SignedDivsLowered +
+           UnsignedRemsLowered + SignedRemsLowered;
+  }
+};
+
+/// Rewrites \p P, replacing constant-divisor Div/Rem opcodes with
+/// multiply sequences. The result computes identical values (under the
+/// interpreter's hardware-style division semantics) and contains no
+/// Div/Rem with a constant divisor.
+ir::Program lowerDivisions(const ir::Program &P,
+                           const GenOptions &Options = GenOptions(),
+                           LoweringStats *Stats = nullptr);
+
+} // namespace codegen
+} // namespace gmdiv
+
+#endif // GMDIV_CODEGEN_DIVISIONLOWERING_H

@@ -1,0 +1,56 @@
+//===- codegen/MulByConst.h - Multiply-by-constant synthesis ----*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strength reduction of multiplication by a constant into shifts, adds
+/// and subtracts, after Bernstein [5] (the paper's reference 5, cited in
+/// §11: "the multiplications needed by these algorithms can sometimes be
+/// computed quickly using a sequence of shifts, adds and subtracts, since
+/// multipliers for small constant divisors have regular binary
+/// patterns"). Table 11.1's Alpha column uses exactly this: GCC expands
+/// the multiply by (2^34+1)/5 as
+///     4*[(2^16+1)*(2^8+1)*(4*[4*(4*0-x)+x]-x)]+x
+/// because it beats the Alpha's 23-cycle mulq.
+///
+/// The search is the classic memoized recursion over odd values:
+///   cost(0) = cost(1) = 0
+///   cost(even c) = cost(c >> tz(c)) + 1                       (shift)
+///   cost(odd c)  = min( cost(c-1) + 1,                        (add x)
+///                       cost(c+1) + 1,                        (sub x)
+///                       cost(c / (2^k ± 1)) + 2  if divisible ) (shift±self)
+/// Every branch strictly decreases the value (c+1 wraps 2^N-1 to 0, whose
+/// result is the negation), so the recursion terminates without a depth
+/// bound; a memo-size cap guards against pathological 64-bit constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CODEGEN_MULBYCONST_H
+#define GMDIV_CODEGEN_MULBYCONST_H
+
+#include "ir/Builder.h"
+
+#include <cstdint>
+
+namespace gmdiv {
+namespace codegen {
+
+/// Number of simple operations (shift/add/sub) in the best decomposition
+/// found for multiplying by \p C at width \p WordBits.
+int mulByConstCost(uint64_t C, int WordBits);
+
+/// Emits a shift/add/sub sequence computing C * x mod 2^N into \p B,
+/// returning the value index of the product. Never emits a multiply.
+int emitMulByConst(ir::Builder &B, int X, uint64_t C);
+
+/// True if the synthesized sequence is estimated cheaper than one
+/// hardware multiply of \p MulCycles (simple ops cost 1 cycle each).
+bool shouldExpandMultiply(uint64_t C, int WordBits, double MulCycles);
+
+} // namespace codegen
+} // namespace gmdiv
+
+#endif // GMDIV_CODEGEN_MULBYCONST_H

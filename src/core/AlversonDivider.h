@@ -1,0 +1,84 @@
+//===- core/AlversonDivider.h - The Alverson [1] baseline -------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The prior art the paper builds on: Robert Alverson, "Integer division
+/// using reciprocals" (ARITH-10, 1991), deployed on the Tera Computer
+/// System. Alverson picks the reciprocal f = ⌈2^(N+l)/d⌉ with
+/// l = ⌈log2 d⌉ — always rounding up, no reduction — so f occupies
+/// N+1 bits for every non-power-of-two divisor and every division pays
+/// the full n + MULUH(f - 2^N, n) correction sequence.
+///
+/// Granlund & Montgomery's CHOOSE_MULTIPLIER improves on exactly this:
+/// the (m_low, m_high) interval plus the lowest-terms reduction lets the
+/// multiplier fit a machine word for most divisors, dropping the two
+/// adds and one shift (compare Figure 4.1's sh1/sh2 with the plain
+/// MULUH/SRL form). This class is the faithful baseline so benches can
+/// measure that difference; correctness is identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CORE_ALVERSONDIVIDER_H
+#define GMDIV_CORE_ALVERSONDIVIDER_H
+
+#include "ops/Bits.h"
+#include "ops/Ops.h"
+
+#include <cassert>
+
+namespace gmdiv {
+
+/// Unsigned invariant-divisor division with Alverson's always-round-up
+/// N+1-bit reciprocal.
+template <typename UWordT> class AlversonDivider {
+public:
+  using UWord = UWordT;
+  using Traits = WordTraits<UWord>;
+  static constexpr int N = Traits::Bits;
+
+  explicit AlversonDivider(UWord Divisor) : D(Divisor) {
+    assert(Divisor >= 1 && "divisor must be nonzero");
+    L = ceilLog2(Divisor);
+    // f = ceil(2^(N+l)/d); f - 2^N is the word-sized part.
+    auto [Quotient, Remainder] =
+        Traits::udDivModPow2(N + L, Traits::udFromWord(Divisor));
+    if (!(Remainder == Traits::udFromWord(UWord{0})))
+      Quotient = Quotient + Traits::udFromWord(UWord{1});
+    FPrime = Traits::udLow(
+        Quotient - Traits::udPow2(N)); // f - 2^N, zero for powers of 2.
+    Shift1 = L < 1 ? L : 1;
+    Shift2 = L - 1 > 0 ? L - 1 : 0;
+  }
+
+  UWord divisor() const { return D; }
+  /// The low word of the N+1-bit reciprocal (f - 2^N).
+  UWord reciprocalLow() const { return FPrime; }
+
+  /// ⌊n/d⌋ — always the long correction sequence, Alverson-style.
+  UWord divide(UWord N0) const {
+    const UWord T1 = mulUH(FPrime, N0);
+    const UWord Sum =
+        static_cast<UWord>(T1 + srl(static_cast<UWord>(N0 - T1), Shift1));
+    return srl(Sum, Shift2);
+  }
+
+  /// n mod d.
+  UWord remainder(UWord N0) const {
+    return static_cast<UWord>(N0 - mulL(divide(N0), D));
+  }
+
+private:
+  UWord D;
+  UWord FPrime;
+  int L;
+  int Shift1;
+  int Shift2;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_CORE_ALVERSONDIVIDER_H

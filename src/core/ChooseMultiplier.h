@@ -1,0 +1,115 @@
+//===- core/ChooseMultiplier.h - Figure 6.2 multiplier selection -*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CHOOSE_MULTIPLIER (Figure 6.2): selects the magic multiplier m, the
+/// post-shift sh_post and l = ⌈log2 d⌉ for dividing by a constant d.
+///
+/// Postconditions, straight from the figure's comments (and enforced by
+/// the property tests):
+///   * 2^(l-1) < d <= 2^l
+///   * 0 <= sh_post <= l
+///   * 2^(N+sh_post) < m * d <= 2^(N+sh_post) * (1 + 2^-prec)
+///   * if d < 2^prec then m fits in max(prec, N-1) + 1 unsigned bits;
+///     in particular m < 2^N when prec <= N-1, and m < 2^(N+1) always.
+///
+/// The returned multiplier may exceed the word (m >= 2^N); the code
+/// generators handle that case with the n + MULUH(m - 2^N, n) sequence of
+/// Figure 4.1 / 5.1. Internally ⌊2^(N+l)/d⌋ needs up to 2N+1-bit
+/// arithmetic; udDivModPow2 (UInt128::divModPow2 at N = 64) provides it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CORE_CHOOSEMULTIPLIER_H
+#define GMDIV_CORE_CHOOSEMULTIPLIER_H
+
+#include "ops/Bits.h"
+#include "ops/Ops.h"
+
+#include <cassert>
+
+namespace gmdiv {
+
+/// The (m, sh_post, l) triple produced by CHOOSE_MULTIPLIER.
+template <typename UWord> struct MultiplierInfo {
+  using Traits = WordTraits<UWord>;
+  using UDWord = typename Traits::UDWord;
+
+  /// The multiplier m; may be as large as 2^N + 2^(N-prec), so it is held
+  /// in a doubleword.
+  UDWord Multiplier;
+  /// Right-shift applied after the high multiply.
+  int ShiftPost;
+  /// l = ⌈log2 d⌉ for the divisor this multiplier was chosen for.
+  int Log2Ceil;
+
+  /// True if m < 2^N, i.e. the multiplier fits in a machine word and the
+  /// short MULUH sequence applies.
+  bool fitsInWord() const {
+    return Multiplier < Traits::udPow2(Traits::Bits);
+  }
+  /// The multiplier as a word. Only valid when fitsInWord().
+  UWord wordMultiplier() const {
+    assert(fitsInWord() && "multiplier does not fit in a word");
+    return Traits::udLow(Multiplier);
+  }
+  /// m - 2^N as a word bit pattern, for the long sequence used when
+  /// m >= 2^N (Figures 4.1, 5.1: multiply by m - 2^N, then add n).
+  UWord truncatedMultiplier() const {
+    return Traits::udLow(Multiplier);
+  }
+};
+
+/// CHOOSE_MULTIPLIER(d, prec) of Figure 6.2.
+///
+/// \param D     the divisor to invert, 1 <= d < 2^N.
+/// \param Prec  number of bits of precision needed, 1 <= prec <= N.
+///              Unsigned division uses prec = N; signed uses prec = N-1.
+template <typename UWord>
+MultiplierInfo<UWord> chooseMultiplier(UWord D, int Prec) {
+  using T = WordTraits<UWord>;
+  using UDWord = typename T::UDWord;
+  constexpr int N = T::Bits;
+  assert(D >= 1 && "divisor must be nonzero");
+  assert(Prec >= 1 && Prec <= N && "precision out of range");
+
+  const int L = ceilLog2(D);
+  int ShiftPost = L;
+
+  // m_low  = ⌊2^(N+l) / d⌋
+  // m_high = ⌊(2^(N+l) + 2^(N+l-prec)) / d⌋
+  //        = m_low + ⌊(r_low + 2^(N+l-prec)) / d⌋.
+  // N+l <= 2N, so udDivModPow2 covers the exponent; the second division's
+  // numerator is r_low + 2^(N+l-prec) < d + 2^N+... which fits a udword.
+  auto [MLow, RLow] = T::udDivModPow2(N + L, T::udFromWord(D));
+  assert(N + L - Prec >= 0 && "exponent underflow");
+  const UDWord Bump = static_cast<UDWord>(RLow + T::udPow2(N + L - Prec));
+  assert(Bump >= RLow && "bump addition overflowed the udword");
+  UDWord MHigh = static_cast<UDWord>(
+      MLow + T::udDivMod(Bump, T::udFromWord(D)).first);
+
+  // Reduce to lowest terms: halve both bounds while they still straddle an
+  // integer, i.e. while ⌊m_low/2⌋ < ⌊m_high/2⌋.
+  UDWord MLowCursor = MLow;
+  while (static_cast<UDWord>(MLowCursor >> 1) <
+             static_cast<UDWord>(MHigh >> 1) &&
+         ShiftPost > 0) {
+    MLowCursor = static_cast<UDWord>(MLowCursor >> 1);
+    MHigh = static_cast<UDWord>(MHigh >> 1);
+    --ShiftPost;
+  }
+
+  MultiplierInfo<UWord> Result;
+  Result.Multiplier = MHigh;
+  Result.ShiftPost = ShiftPost;
+  Result.Log2Ceil = L;
+  return Result;
+}
+
+} // namespace gmdiv
+
+#endif // GMDIV_CORE_CHOOSEMULTIPLIER_H

@@ -1,0 +1,136 @@
+//===- core/DWordDivider.h - Figure 8.1 udword/uword division ----*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §8: division of an unsigned doubleword by a run-time invariant unsigned
+/// word, yielding word quotient and remainder — the primitive operation of
+/// multiple-precision arithmetic [Knuth v2, §4.3.1].
+///
+/// After initialization depending only on the divisor, each division costs
+/// two multiplications plus ~20 simple operations (Figure 8.1), with no
+/// hardware divide. Lemma 8.1 guarantees the first estimate q1 satisfies
+/// 0 <= n - q1*d < 2*d, so a single conditional correction finishes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CORE_DWORDDIVIDER_H
+#define GMDIV_CORE_DWORDDIVIDER_H
+
+#include "ops/Bits.h"
+#include "ops/Ops.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gmdiv {
+
+/// Divides 2N-bit dividends by an invariant N-bit divisor (Figure 8.1).
+/// The quotient must fit in a word, i.e. HIGH(n) < d.
+template <typename UWordT> class DWordDivider {
+public:
+  using UWord = UWordT;
+  using Traits = WordTraits<UWord>;
+  using UDWord = typename Traits::UDWord;
+  using SWord = typename Traits::SWord;
+  static constexpr int N = Traits::Bits;
+
+  /// Precomputes the reciprocal state. \p Divisor must be nonzero.
+  explicit DWordDivider(UWord Divisor) : D(Divisor) {
+    assert(Divisor > 0 && "divisor must be nonzero");
+    // l = 1 + ⌊log2 d⌋, so 2^(l-1) <= d < 2^l, 1 <= l <= N.
+    L = 1 + floorLog2(Divisor);
+    // m' = ⌊(2^(N+l) - 1)/d⌋ - 2^N  (the paper's ⌊2^N*(2^l - d) - 1)/d⌋).
+    // Note this rounds the reciprocal *down*, unlike the earlier sections.
+    auto [Quotient, Remainder] =
+        Traits::udDivModPow2(N + L, Traits::udFromWord(Divisor));
+    if (Remainder == Traits::udFromWord(UWord{0}))
+      Quotient = static_cast<UDWord>(Quotient - Traits::udFromWord(UWord{1}));
+    MPrime = Traits::udLow(
+        static_cast<UDWord>(Quotient - Traits::udPow2(N)));
+    // Normalized divisor d * 2^(N-l) with its top bit set.
+    DNorm = sll(Divisor, N - L);
+  }
+
+  UWord divisor() const { return D; }
+
+  /// Computes (q, r) with n = q*d + r, 0 <= r < d.
+  /// Requires HIGH(n) < d so the quotient fits in a word.
+  std::pair<UWord, UWord> divRem(UDWord N0) const {
+    assert(Traits::udHigh(N0) < D && "quotient would overflow a word");
+    const UWord High = Traits::udHigh(N0);
+    const UWord Low = Traits::udLow(N0);
+
+    // n2 = top N bits of n below bit N+l; n10 = the next bits, aligned so
+    // that n1 (bit l-1 of LOW(n)) lands in the sign position.
+    const UWord N2 =
+        static_cast<UWord>(sll(High, N - L) + srlWide(Low, L));
+    const UWord N10 = sll(Low, N - L);
+
+    // -n1 as a mask: all ones if bit N-1 of n10 is set.
+    const UWord N1Mask = static_cast<UWord>(xsign(static_cast<SWord>(N10)));
+    // n_adj = n10 + n1*(d_norm - 2^N); in N-bit arithmetic the -2^N term
+    // vanishes, and the true value is nonnegative (underflow impossible).
+    const UWord NAdj = static_cast<UWord>(N10 + (N1Mask & DNorm));
+
+    // q1 = n2 + HIGH(m' * (n2 - (-n1)) + n_adj)   [Lemma 8.1].
+    const UDWord Product =
+        Traits::udFromWord(MPrime) *
+        Traits::udFromWord(static_cast<UWord>(N2 - N1Mask));
+    const UWord Q1 = static_cast<UWord>(
+        N2 + Traits::udHigh(static_cast<UDWord>(
+                 Product + Traits::udFromWord(NAdj))));
+
+    // dr = n - q1*d - d, a signed doubleword in [-d, d). Computed as
+    // n + (2^N - 1 - q1)*d - 2^N*d so everything stays unsigned.
+    const UDWord DR = static_cast<UDWord>(
+        static_cast<UDWord>(
+            N0 + Traits::udFromWord(static_cast<UWord>(~Q1)) *
+                     Traits::udFromWord(D)) -
+        static_cast<UDWord>(Traits::udFromWord(D) << N));
+
+    // HIGH(dr) is 0 if dr >= 0, all ones if dr < 0.
+    const UWord DRHigh = Traits::udHigh(DR);
+    const UWord Quotient = static_cast<UWord>(Q1 + UWord{1} + DRHigh);
+    const UWord Remainder =
+        static_cast<UWord>(Traits::udLow(DR) + (D & DRHigh));
+    return {Quotient, Remainder};
+  }
+
+  /// Quotient only.
+  UWord divide(UDWord N0) const { return divRem(N0).first; }
+
+  /// Full 2N-bit quotient for arbitrary dividends (no HIGH(n) < d
+  /// precondition): two applications of the Figure 8.1 kernel, exactly
+  /// how multi-precision long division strings it limb by limb.
+  struct FullQuotient {
+    UWord QuotientHigh;
+    UWord QuotientLow;
+    UWord Remainder;
+  };
+  FullQuotient divRemFull(UDWord N0) const {
+    // High limb first: HIGH(n) = qh*d + r1 with qh < 2^N since the
+    // chunk's own high word is zero.
+    auto [QuotientHigh, R1] =
+        divRem(static_cast<UDWord>(Traits::udFromWord(Traits::udHigh(N0))));
+    // Then the (r1, LOW(n)) chunk, whose high word r1 < d.
+    const UDWord Chunk = static_cast<UDWord>(
+        static_cast<UDWord>(Traits::udFromWord(R1) << N) +
+        Traits::udFromWord(Traits::udLow(N0)));
+    auto [QuotientLow, Remainder] = divRem(Chunk);
+    return {QuotientHigh, QuotientLow, Remainder};
+  }
+
+private:
+  UWord D;
+  UWord MPrime;
+  UWord DNorm;
+  int L;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_CORE_DWORDDIVIDER_H

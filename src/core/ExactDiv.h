@@ -1,0 +1,188 @@
+//===- core/ExactDiv.h - §9 exact division and divisibility -----*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §9: division whose remainder is known a priori to be zero (e.g. C
+/// pointer subtraction divided by the object size), plus branch-free
+/// divisibility and remainder-equality tests.
+///
+/// Write d = 2^e * d_odd. With d_inv the inverse of d_odd mod 2^N (found
+/// by the Newton iteration (9.2)), the exact quotient is simply
+/// SRL/SRA(MULL(d_inv, n), e) — only the *low* half of a product, so it
+/// works even on machines without a high-multiply.
+///
+/// The divisibility test exploits that x -> MULL(d_inv, x) permutes the
+/// N-bit words: x is a multiple of d exactly when the image, rotated
+/// right by e, lands in the small interval [0, ⌊(2^N-1)/d⌋].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CORE_EXACTDIV_H
+#define GMDIV_CORE_EXACTDIV_H
+
+#include "numtheory/ModArith.h"
+#include "ops/Bits.h"
+#include "ops/Ops.h"
+
+#include <cassert>
+
+namespace gmdiv {
+
+//===----------------------------------------------------------------------===//
+// Unsigned
+//===----------------------------------------------------------------------===//
+
+/// Exact unsigned division and divisibility testing by a constant or
+/// invariant divisor d >= 1.
+template <typename UWordT> class ExactUnsignedDivider {
+public:
+  using UWord = UWordT;
+  using Traits = WordTraits<UWord>;
+  static constexpr int N = Traits::Bits;
+
+  explicit ExactUnsignedDivider(UWord Divisor) : D(Divisor) {
+    assert(Divisor >= 1 && "divisor must be nonzero");
+    Shift = countTrailingZeros(Divisor); // <= N-1 since d != 0.
+    const UWord DOdd = srl(Divisor, Shift);
+    Inverse = modInverseNewton(DOdd);
+    // ⌊(2^N - 1)/d⌋: the largest representable quotient.
+    QMax = static_cast<UWord>(static_cast<UWord>(~UWord{0}) / Divisor);
+  }
+
+  UWord divisor() const { return D; }
+  /// The multiplicative inverse of the odd part of d, mod 2^N.
+  UWord inverse() const { return Inverse; }
+
+  /// n / d for n known to be a multiple of d. One MULL and one shift.
+  UWord divideExact(UWord N0) const {
+    assert(N0 % D == 0 && "divideExact requires an exact multiple");
+    return srl(mulL(Inverse, N0), Shift);
+  }
+
+  /// True iff d divides n, without computing a remainder.
+  bool isDivisible(UWord N0) const {
+    const UWord Q0 = mulL(Inverse, N0);
+    return rotateRight(Q0, Shift) <= QMax;
+  }
+
+  /// True iff n mod d == r, for a constant 0 <= r < d.
+  /// One subtract, one MULL, a rotate and a compare.
+  bool remainderIs(UWord N0, UWord R) const {
+    assert(R < D && "remainder target must be below the divisor");
+    const UWord Q0 = mulL(Inverse, static_cast<UWord>(N0 - R));
+    // Bound ⌊(2^N - 1 - r)/d⌋ rejects the wrapped case n < r.
+    const UWord Bound =
+        static_cast<UWord>(static_cast<UWord>(~UWord{0} - R) / D);
+    return rotateRight(Q0, Shift) <= Bound;
+  }
+
+private:
+  static UWord rotateRight(UWord Value, int Count) {
+    if (Count == 0)
+      return Value;
+    return static_cast<UWord>(srl(Value, Count) | sll(Value, N - Count));
+  }
+
+  UWord D;
+  UWord Inverse;
+  UWord QMax;
+  int Shift;
+};
+
+//===----------------------------------------------------------------------===//
+// Signed
+//===----------------------------------------------------------------------===//
+
+/// Exact signed division and divisibility testing by a constant or
+/// invariant divisor d != 0.
+template <typename SWordT> class ExactSignedDivider {
+public:
+  using SWord = SWordT;
+  using Traits = typename SignedWordTraits<SWord>::Traits;
+  using UWord = typename Traits::UWord;
+  static constexpr int N = Traits::Bits;
+
+  explicit ExactSignedDivider(SWord Divisor) : D(Divisor) {
+    assert(Divisor != 0 && "divisor must be nonzero");
+    Negative = Divisor < 0;
+    const UWord AbsD =
+        Negative ? static_cast<UWord>(UWord{0} - static_cast<UWord>(Divisor))
+                 : static_cast<UWord>(Divisor);
+    Shift = countTrailingZeros(AbsD);
+    IsPowerOf2 = isPowerOf2(AbsD);
+    const UWord DOdd = srl(AbsD, Shift);
+    Inverse = modInverseNewton(DOdd);
+    // ⌊(2^(N-1) - 1)/|d|⌋ * 2^e bounds |MULL(d_inv, n)| for multiples.
+    const UWord SMax = srl(static_cast<UWord>(~UWord{0}), 1); // 2^(N-1) - 1
+    QMax = IsPowerOf2 ? UWord{0} : sll(static_cast<UWord>(SMax / AbsD), Shift);
+  }
+
+  SWord divisor() const { return D; }
+  /// The multiplicative inverse of the odd part of |d|, mod 2^N.
+  UWord inverse() const { return Inverse; }
+
+  /// n / d for n known to be a multiple of d. One MULL, one SRA, and a
+  /// negation when d < 0.
+  SWord divideExact(SWord N0) const {
+    const UWord Q0 = mulL(Inverse, static_cast<UWord>(N0));
+    const SWord Quotient = sra(static_cast<SWord>(Q0), Shift);
+    if (!Negative)
+      return Quotient;
+    return static_cast<SWord>(UWord{0} - static_cast<UWord>(Quotient));
+  }
+
+  /// True iff d divides n. For |d| = 2^k this is a low-bits check (the
+  /// paper's special case); otherwise MULL + interval test.
+  bool isDivisible(SWord N0) const {
+    const UWord UN = static_cast<UWord>(N0);
+    if (IsPowerOf2)
+      return (UN & static_cast<UWord>(sllWide(UWord{1}, Shift) - UWord{1})) ==
+             0;
+    const UWord Q0 = mulL(Inverse, UN);
+    // q0 must be a multiple of 2^e inside [-QMax, QMax]; fold the signed
+    // interval test into one unsigned compare: q0 + QMax <= 2*QMax.
+    if ((Q0 & static_cast<UWord>(sll(UWord{1}, Shift) - UWord{1})) != 0)
+      return false;
+    return static_cast<UWord>(Q0 + QMax) <=
+           static_cast<UWord>(static_cast<UWord>(QMax) + QMax);
+  }
+
+  /// True iff n rem d == r (C remainder, sign of dividend), for a constant
+  /// 1 <= r < |d|; per §9 this implies n must be nonnegative to match.
+  bool remainderIs(SWord N0, SWord R) const {
+    assert(R >= 1 && "use isDivisible for r == 0");
+    assert(!IsPowerOf2 && "power-of-two divisors: test the low bits");
+    const UWord AbsD =
+        Negative ? static_cast<UWord>(UWord{0} - static_cast<UWord>(D))
+                 : static_cast<UWord>(D);
+    assert(static_cast<UWord>(R) < AbsD && "remainder out of range");
+    const UWord Q0 =
+        mulL(Inverse, static_cast<UWord>(static_cast<UWord>(N0) -
+                                         static_cast<UWord>(R)));
+    // Nonnegative multiple of 2^e not exceeding 2^e*⌊(2^(N-1)-1-r)/|d|⌋.
+    if ((Q0 & static_cast<UWord>(sll(UWord{1}, Shift) - UWord{1})) != 0)
+      return false;
+    const UWord SMax = static_cast<UWord>(static_cast<UWord>(~UWord{0}) >> 1);
+    const UWord Bound = sll(
+        static_cast<UWord>(
+            static_cast<UWord>(SMax - static_cast<UWord>(R)) / AbsD),
+        Shift);
+    return Q0 <= Bound;
+  }
+
+private:
+  SWord D;
+  UWord Inverse;
+  UWord QMax;
+  int Shift;
+  bool Negative;
+  bool IsPowerOf2;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_CORE_EXACTDIV_H

@@ -1,0 +1,130 @@
+//===- core/FloatDiv.h - §7 division via floating point ----------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §7: an alternative to MULUH/MULSH using floating point. With an F-bit
+/// mantissa and N <= F - 3, equation (7.1) guarantees
+///   TRUNC(n/d) = TRUNC(q_est),  q_est = (fp)n / (fp)d,
+/// for |n| <= 2^N - 1 and 0 < |d| < 2^N, *regardless of rounding mode*,
+/// because the worst-case relative error (1 + 2^(2-F)) is too small to
+/// move the estimate across an integer. IEEE double has F = 53, so all
+/// widths up to 32 bits qualify (N = 32 <= 50); the 64-bit instantiation
+/// is deliberately rejected at compile time.
+///
+/// The reciprocal variant multiplies by a precomputed 1/d. Two roundings
+/// (reciprocal, then product) can exceed the one-ulp budget the proof's
+/// "no representable number strictly between (1-2^-F)q and q" step
+/// relies on: under FE_DOWNWARD, fl(7 * fl(1/7)) = 1 - 2^-53 < 1, so the
+/// naive trunc yields 0 instead of 1. divideViaReciprocal therefore
+/// follows the multiply with an exact integer fixup (one MULL-and-
+/// compare), keeping it division-free while restoring exactness in every
+/// rounding mode. Tests demonstrate both the failure of the naive form
+/// and the correctness of the fixed-up one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CORE_FLOATDIV_H
+#define GMDIV_CORE_FLOATDIV_H
+
+#include "ops/Ops.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+
+namespace gmdiv {
+
+namespace detail {
+
+template <typename Word> struct FloatDivTraits {
+  static constexpr int WordBits = static_cast<int>(sizeof(Word) * 8);
+  static constexpr int MantissaBits = 53; // IEEE double.
+  static_assert(WordBits <= MantissaBits - 3,
+                "§7 requires N <= F - 3; use the integer dividers for "
+                "64-bit words");
+};
+
+} // namespace detail
+
+/// Division via floating point (§7), for signed or unsigned words of at
+/// most 32 bits. Quotients truncate towards zero, matching (7.1).
+template <typename WordT> class FloatDivider {
+public:
+  using Word = WordT;
+
+  explicit FloatDivider(Word Divisor)
+      : D(Divisor), DAsDouble(static_cast<double>(Divisor)),
+        Reciprocal(1.0 / static_cast<double>(Divisor)) {
+    (void)sizeof(detail::FloatDivTraits<Word>);
+    assert(Divisor != 0 && "divisor must be nonzero");
+  }
+
+  Word divisor() const { return D; }
+
+  /// TRUNC(n/d) via one FP divide.
+  Word divide(Word N0) const {
+    const double Estimate = static_cast<double>(N0) / DAsDouble;
+    return static_cast<Word>(std::trunc(Estimate));
+  }
+
+  /// TRUNC(n/d) via multiply by the precomputed reciprocal, plus an
+  /// exact integer fixup: the estimate is off by at most one, so one
+  /// conditional step in each direction restores the true quotient.
+  Word divideViaReciprocal(Word N0) const {
+    const double Estimate = static_cast<double>(N0) * Reciprocal;
+    int64_t Quotient = static_cast<int64_t>(std::trunc(Estimate));
+    const int64_t N64 = static_cast<int64_t>(N0);
+    const int64_t D64 = static_cast<int64_t>(D);
+    const int64_t AbsD = D64 < 0 ? -D64 : D64;
+    int64_t Remainder = N64 - Quotient * D64;
+    const int64_t Step = (D64 < 0) == (N64 < 0) ? 1 : -1;
+    // Trunc semantics: remainder has the dividend's sign, |r| < |d|.
+    if (N64 >= 0) {
+      if (Remainder < 0)
+        Quotient -= Step;
+      else if (Remainder >= AbsD)
+        Quotient += Step;
+    } else {
+      if (Remainder > 0)
+        Quotient -= Step;
+      else if (Remainder <= -AbsD)
+        Quotient += Step;
+    }
+    return static_cast<Word>(Quotient);
+  }
+
+  /// The naive reciprocal multiply *without* fixup — provided so the
+  /// benchmark and tests can demonstrate where §7's guarantee stops: it
+  /// is exact for single-rounding division but not for two roundings.
+  Word divideViaReciprocalNoFixup(Word N0) const {
+    const double Estimate = static_cast<double>(N0) * Reciprocal;
+    return static_cast<Word>(std::trunc(Estimate));
+  }
+
+  /// n - d*TRUNC(n/d): the rem operator (sign of the dividend).
+  Word remainder(Word N0) const {
+    if constexpr (std::is_signed_v<Word>) {
+      using UWord = std::make_unsigned_t<Word>;
+      return static_cast<Word>(
+          static_cast<UWord>(N0) -
+          static_cast<UWord>(static_cast<UWord>(divide(N0)) *
+                             static_cast<UWord>(D)));
+    } else {
+      return static_cast<Word>(N0 - divide(N0) * D);
+    }
+  }
+
+private:
+  Word D;
+  double DAsDouble;
+  double Reciprocal;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_CORE_FLOATDIV_H

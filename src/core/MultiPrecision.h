@@ -1,0 +1,126 @@
+//===- core/MultiPrecision.h - §8 applied: bignum / word ops ----*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §8 exists because "one primitive operation for multiple precision
+/// arithmetic [Knuth v2, p. 251] is the division of a udword by a
+/// uword". This header is that primitive put to work: divide, reduce
+/// and decimal-format arbitrary-length little-endian limb arrays with an
+/// invariant word divisor, each long-division step running the
+/// Figure 8.1 kernel instead of a hardware divide.
+///
+/// Decimal conversion divides by 10^19 (the largest power of ten in a
+/// 64-bit word) per round, producing 19 digits per multi-precision
+/// pass — the production-grade version of the paper's radix-conversion
+/// workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CORE_MULTIPRECISION_H
+#define GMDIV_CORE_MULTIPRECISION_H
+
+#include "core/DWordDivider.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace multiprecision {
+
+/// Divides the little-endian limb array in place by the divider's word
+/// divisor; returns the remainder. One Figure 8.1 kernel call per limb.
+inline uint64_t divModInPlace(std::vector<uint64_t> &Limbs,
+                              const DWordDivider<uint64_t> &ByD) {
+  uint64_t Remainder = 0;
+  for (size_t Index = Limbs.size(); Index-- > 0;) {
+    auto [Quotient, NextRemainder] =
+        ByD.divRem(UInt128::fromHalves(Remainder, Limbs[Index]));
+    Limbs[Index] = Quotient;
+    Remainder = NextRemainder;
+  }
+  return Remainder;
+}
+
+/// n mod d for a limb array, without modifying it.
+inline uint64_t mod(const std::vector<uint64_t> &Limbs,
+                    const DWordDivider<uint64_t> &ByD) {
+  uint64_t Remainder = 0;
+  for (size_t Index = Limbs.size(); Index-- > 0;) {
+    Remainder =
+        ByD.divRem(UInt128::fromHalves(Remainder, Limbs[Index])).second;
+  }
+  return Remainder;
+}
+
+/// True when every limb is zero (the canonical zero may have any
+/// length, including none).
+inline bool isZero(const std::vector<uint64_t> &Limbs) {
+  for (uint64_t Limb : Limbs)
+    if (Limb != 0)
+      return false;
+  return true;
+}
+
+/// Multiplies the limb array in place by a word and adds a word carry
+/// (the inverse building block, used by parsing and by tests).
+inline void mulAddInPlace(std::vector<uint64_t> &Limbs, uint64_t Factor,
+                          uint64_t Addend) {
+  uint64_t Carry = Addend;
+  for (uint64_t &Limb : Limbs) {
+    const UInt128 Product =
+        UInt128::mulFull64(Limb, Factor) + UInt128(Carry);
+    Limb = Product.low64();
+    Carry = Product.high64();
+  }
+  if (Carry != 0)
+    Limbs.push_back(Carry);
+}
+
+/// Decimal rendering via invariant division by 10^19.
+inline std::string toDecimalString(std::vector<uint64_t> Limbs) {
+  static constexpr uint64_t Chunk = 10000000000000000000ull; // 10^19.
+  static const DWordDivider<uint64_t> ByChunk(Chunk);
+  if (isZero(Limbs))
+    return "0";
+  std::string Digits;
+  while (!isZero(Limbs)) {
+    uint64_t Part = divModInPlace(Limbs, ByChunk);
+    while (!Limbs.empty() && Limbs.back() == 0)
+      Limbs.pop_back();
+    const bool Last = isZero(Limbs);
+    // 19 digits per chunk, left-padded with zeros except the leading one.
+    for (int DigitIndex = 0; DigitIndex < 19; ++DigitIndex) {
+      Digits.push_back(static_cast<char>('0' + Part % 10));
+      Part /= 10;
+      if (Last && Part == 0)
+        break;
+    }
+  }
+  return std::string(Digits.rbegin(), Digits.rend());
+}
+
+/// Parses a decimal string into limbs. Asserts on malformed input;
+/// intended for tests and fixtures.
+inline std::vector<uint64_t> fromDecimalString(const std::string &Text) {
+  assert(!Text.empty() && "empty string is not a number");
+  std::vector<uint64_t> Limbs;
+  for (char Ch : Text) {
+    assert(Ch >= '0' && Ch <= '9' && "malformed decimal digit");
+    if (Limbs.empty())
+      Limbs.push_back(0);
+    mulAddInPlace(Limbs, 10, static_cast<uint64_t>(Ch - '0'));
+  }
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  return Limbs;
+}
+
+} // namespace multiprecision
+} // namespace gmdiv
+
+#endif // GMDIV_CORE_MULTIPRECISION_H

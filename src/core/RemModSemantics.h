@@ -1,0 +1,114 @@
+//===- core/RemModSemantics.h - §2 remainder conventions --------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §2: "Two remainder operators are common in language definitions.
+/// Sometimes a remainder has the sign of the dividend and sometimes the
+/// sign of the divisor. We use the Ada notations
+///     n rem d = n - d * TRUNC(n/d)   (sign of dividend)
+///     n mod d = n - d * ⌊n/d⌋        (sign of divisor)
+/// The Fortran 90 names are MOD and MODULO. ... Other definitions have
+/// been proposed [6, 7]" — [6] being Boute's Euclidean definition,
+/// whose remainder is always nonnegative.
+///
+/// This header implements all three conventions on top of the invariant
+/// dividers, so language runtimes with any of the semantics can divide
+/// without a divide instruction. Exhaustive tests pin the definitional
+/// identities against each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_CORE_REMMODSEMANTICS_H
+#define GMDIV_CORE_REMMODSEMANTICS_H
+
+#include "core/Divider.h"
+
+#include <cassert>
+
+namespace gmdiv {
+
+/// The remainder conventions of §2 and its citations.
+enum class RemainderConvention {
+  Truncated, ///< C `%` / Ada `rem` / Fortran MOD: sign of the dividend.
+  Floored,   ///< Ada `mod` / Fortran MODULO: sign of the divisor.
+  Euclidean, ///< Boute [6]: remainder always in [0, |d|).
+};
+
+/// Quotient/remainder for a run-time invariant divisor under any of the
+/// §2 conventions. Backed by the Figure 5.1 trunc divider plus the
+/// branch-free convention fixups.
+template <typename SWordT> class ConventionDivider {
+public:
+  using SWord = SWordT;
+  using Traits = typename SignedWordTraits<SWord>::Traits;
+  using UWord = typename Traits::UWord;
+
+  ConventionDivider(SWord Divisor, RemainderConvention Convention)
+      : D(Divisor), Convention(Convention), Trunc(Divisor) {
+    assert(Divisor != 0 && "divisor must be nonzero");
+  }
+
+  SWord divisor() const { return D; }
+  RemainderConvention convention() const { return Convention; }
+
+  /// The quotient paired with remainder() such that n = q*d + r always.
+  SWord quotient(SWord N0) const {
+    auto [Quotient, Remainder] = Trunc.divRem(N0);
+    return static_cast<SWord>(static_cast<UWord>(Quotient) -
+                              static_cast<UWord>(fixup(Remainder)));
+  }
+
+  /// The remainder under the configured convention.
+  SWord remainder(SWord N0) const {
+    auto [Quotient, Remainder] = Trunc.divRem(N0);
+    (void)Quotient;
+    return static_cast<SWord>(
+        static_cast<UWord>(Remainder) +
+        static_cast<UWord>(fixup(Remainder)) * static_cast<UWord>(D));
+  }
+
+  /// Both at once (one division).
+  std::pair<SWord, SWord> quotRem(SWord N0) const {
+    auto [Quotient, Remainder] = Trunc.divRem(N0);
+    const SWord Adjust = fixup(Remainder);
+    return {static_cast<SWord>(static_cast<UWord>(Quotient) -
+                               static_cast<UWord>(Adjust)),
+            static_cast<SWord>(static_cast<UWord>(Remainder) +
+                               static_cast<UWord>(Adjust) *
+                                   static_cast<UWord>(D))};
+  }
+
+private:
+  /// How much to *subtract* from the trunc quotient (0 or ±1); the
+  /// remainder gains that multiple of d.
+  SWord fixup(SWord TruncRem) const {
+    switch (Convention) {
+    case RemainderConvention::Truncated:
+      return 0;
+    case RemainderConvention::Floored:
+      // q floors: adjust when the remainder's sign differs from d's.
+      if (TruncRem != 0 && ((TruncRem < 0) != (D < 0)))
+        return 1;
+      return 0;
+    case RemainderConvention::Euclidean:
+      // Remainder into [0, |d|): adjust only when it is negative.
+      if (TruncRem < 0)
+        return D > 0 ? 1 : -1;
+      return 0;
+    }
+    assert(false && "unknown convention");
+    return 0;
+  }
+
+  SWord D;
+  RemainderConvention Convention;
+  SignedDivider<SWord> Trunc;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_CORE_REMMODSEMANTICS_H

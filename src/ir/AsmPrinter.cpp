@@ -1,0 +1,81 @@
+//===- ir/AsmPrinter.cpp - Textual listings of IR programs ----------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AsmPrinter.h"
+
+#include <sstream>
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+namespace {
+
+std::string valueName(const Program &P, int Index,
+                      const PrintOptions &Options) {
+  const Instr &I = P.instr(Index);
+  if (Options.ShowArgsAsNames && I.Op == Opcode::Arg)
+    return "n" + std::to_string(I.Imm);
+  return "t" + std::to_string(Index);
+}
+
+std::string hexImm(uint64_t Value) {
+  if (Value < 10)
+    return std::to_string(Value);
+  std::ostringstream Stream;
+  Stream << "0x" << std::hex << Value;
+  return Stream.str();
+}
+
+} // namespace
+
+std::string ir::formatInstr(const Program &P, int Index,
+                            const PrintOptions &Options) {
+  const Instr &I = P.instr(Index);
+  std::ostringstream Line;
+  Line << valueName(P, Index, Options) << " = ";
+  switch (I.Op) {
+  case Opcode::Arg:
+    Line << "arg " << I.Imm;
+    break;
+  case Opcode::Const:
+    Line << "const " << hexImm(I.Imm);
+    break;
+  default:
+    Line << opcodeName(I.Op) << " " << valueName(P, I.Lhs, Options);
+    if (opcodeHasImmOperand(I.Op))
+      Line << ", " << I.Imm;
+    else if (!opcodeIsUnary(I.Op))
+      Line << ", " << valueName(P, I.Rhs, Options);
+    break;
+  }
+  if (Options.ShowComments && !I.Comment.empty()) {
+    // Pad to a fixed column so the annotations line up.
+    std::string Text = Line.str();
+    if (Text.size() < 32)
+      Text.append(32 - Text.size(), ' ');
+    return Text + "; " + I.Comment;
+  }
+  return Line.str();
+}
+
+std::string ir::formatProgram(const Program &P, const PrintOptions &Options) {
+  std::ostringstream Out;
+  for (int Index = 0; Index < P.size(); ++Index) {
+    // Skip printing bare argument loads unless they carry a comment.
+    const Instr &I = P.instr(Index);
+    if (I.Op == Opcode::Arg && Options.ShowArgsAsNames && I.Comment.empty())
+      continue;
+    Out << "  " << formatInstr(P, Index, Options) << "\n";
+  }
+  for (size_t ResultIndex = 0; ResultIndex < P.results().size();
+       ++ResultIndex) {
+    const std::string &Name = P.resultNames()[ResultIndex];
+    Out << "  => " << (Name.empty() ? "result" : Name) << ": "
+        << valueName(P, P.results()[ResultIndex], Options) << "\n";
+  }
+  return Out.str();
+}

@@ -1,0 +1,44 @@
+//===- ir/AsmPrinter.h - Textual listings of IR programs --------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR programs as assembler-style listings, the form Table 11.1
+/// presents: one operation per line, virtual registers, constants shown
+/// in hex, the paper's mnemonics. bench_table_11_1 uses this to
+/// regenerate the paper's per-architecture code listings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_IR_ASMPRINTER_H
+#define GMDIV_IR_ASMPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace gmdiv {
+namespace ir {
+
+/// Formatting options for listings.
+struct PrintOptions {
+  bool ShowComments = true;   ///< Append "; comment" annotations.
+  bool ShowArgsAsNames = true; ///< Print arg values as n0, n1, ...
+};
+
+/// Renders one instruction, e.g. "t3 = muluh t1, t2".
+std::string formatInstr(const Program &P, int Index,
+                        const PrintOptions &Options = PrintOptions());
+
+/// Renders the whole program, one instruction per line, followed by
+/// "=> name: tN" result lines.
+std::string formatProgram(const Program &P,
+                          const PrintOptions &Options = PrintOptions());
+
+} // namespace ir
+} // namespace gmdiv
+
+#endif // GMDIV_IR_ASMPRINTER_H

@@ -1,0 +1,230 @@
+//===- ir/Builder.cpp - IR builder with folding and CSE -------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "ir/Interp.h"
+#include "ops/Bits.h"
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+bool Builder::matchConstant(int Index, uint64_t &Value) const {
+  const Instr &I = P.instr(Index);
+  if (I.Op != Opcode::Const)
+    return false;
+  Value = I.Imm;
+  return true;
+}
+
+int Builder::emit(Opcode Op, int Lhs, int Rhs, uint64_t Imm,
+                  std::string Comment) {
+  const uint64_t Mask = wordMask();
+
+  const bool IsDivision = Op == Opcode::DivU || Op == Opcode::DivS ||
+                          Op == Opcode::RemU || Op == Opcode::RemS;
+
+  // Constant folding: all value operands constant => evaluate now.
+  // Division by a constant zero is left in place (a frontend bug the
+  // interpreter's assertion will catch, not ours to hide).
+  if (!opcodeIsLeaf(Op)) {
+    uint64_t A = 0, B = 0;
+    const bool LhsConst = matchConstant(Lhs, A);
+    const bool RhsConst = opcodeIsUnary(Op) || matchConstant(Rhs, B);
+    if (LhsConst && RhsConst && !(IsDivision && B == 0))
+      return constant(evalOp(Op, P.wordBits(), A, B, Imm),
+                      std::move(Comment));
+  }
+
+  // Algebraic simplifications — the "obvious" ones §3 expects, applied
+  // before CSE so equivalent forms share one value.
+  uint64_t C = 0;
+  switch (Op) {
+  case Opcode::Add:
+    if (matchConstant(Rhs, C) && C == 0)
+      return Lhs;
+    if (matchConstant(Lhs, C) && C == 0)
+      return Rhs;
+    break;
+  case Opcode::Sub:
+    if (matchConstant(Rhs, C) && C == 0)
+      return Lhs; // x - 0 => x
+    if (matchConstant(Lhs, C) && C == 0)
+      return emit(Opcode::Neg, Rhs, -1, 0, std::move(Comment));
+    if (Lhs == Rhs)
+      return constant(0, std::move(Comment)); // x - x => 0
+    break;
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::Ror:
+    if (Imm == 0)
+      return Lhs; // SRL(x, 0) => x and friends.
+    break;
+  case Opcode::MulL:
+    if ((matchConstant(Rhs, C) || matchConstant(Lhs, C)) && C == 0)
+      return constant(0, std::move(Comment));
+    if (matchConstant(Rhs, C) && C == 1)
+      return Lhs;
+    if (matchConstant(Lhs, C) && C == 1)
+      return Rhs;
+    // Multiply by a power of two is a shift.
+    if (matchConstant(Rhs, C) && C != 0 && (C & (C - 1)) == 0)
+      return emit(Opcode::Sll, Lhs, -1,
+                  static_cast<uint64_t>(countTrailingZeros64(C)),
+                  std::move(Comment));
+    if (matchConstant(Lhs, C) && C != 0 && (C & (C - 1)) == 0)
+      return emit(Opcode::Sll, Rhs, -1,
+                  static_cast<uint64_t>(countTrailingZeros64(C)),
+                  std::move(Comment));
+    break;
+  case Opcode::MulUH:
+    // MULUH(0, x) = 0; MULUH(1, x) = 0 (high half of x is zero).
+    if ((matchConstant(Lhs, C) || matchConstant(Rhs, C)) && C <= 1)
+      return constant(0, std::move(Comment));
+    break;
+  case Opcode::And:
+    if ((matchConstant(Lhs, C) || matchConstant(Rhs, C)) && C == 0)
+      return constant(0, std::move(Comment));
+    if (matchConstant(Rhs, C) && C == Mask)
+      return Lhs;
+    if (matchConstant(Lhs, C) && C == Mask)
+      return Rhs;
+    break;
+  case Opcode::Or:
+  case Opcode::Eor:
+    if (matchConstant(Rhs, C) && C == 0)
+      return Lhs;
+    if (matchConstant(Lhs, C) && C == 0)
+      return Rhs;
+    break;
+  case Opcode::DivU:
+  case Opcode::DivS:
+    if (matchConstant(Rhs, C) && C == 1)
+      return Lhs; // x / 1 => x
+    break;
+  case Opcode::RemU:
+  case Opcode::RemS:
+    if (matchConstant(Rhs, C) && C == 1)
+      return constant(0, std::move(Comment)); // x % 1 => 0
+    break;
+  default:
+    break;
+  }
+
+  // Commutative operations: canonicalize operand order for CSE.
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::MulL:
+  case Opcode::MulUH:
+  case Opcode::MulSH:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Eor:
+    if (Lhs > Rhs)
+      std::swap(Lhs, Rhs);
+    break;
+  default:
+    break;
+  }
+
+  const CseKey Key(Op, Lhs, Rhs, Imm);
+  if (const auto It = CseMap.find(Key); It != CseMap.end())
+    return It->second;
+
+  Instr I;
+  I.Op = Op;
+  I.Lhs = Lhs;
+  I.Rhs = Rhs;
+  I.Imm = Imm;
+  I.Comment = std::move(Comment);
+  const int Index = P.append(std::move(I));
+  CseMap.emplace(Key, Index);
+  return Index;
+}
+
+int Builder::arg(int Index, std::string Comment) {
+  assert(Index >= 0 && Index < P.numArgs() && "argument index out of range");
+  return emit(Opcode::Arg, -1, -1, static_cast<uint64_t>(Index),
+              std::move(Comment));
+}
+
+int Builder::constant(uint64_t Value, std::string Comment) {
+  return emit(Opcode::Const, -1, -1, Value & wordMask(), std::move(Comment));
+}
+
+int Builder::add(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::Add, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::sub(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::Sub, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::neg(int Lhs, std::string Comment) {
+  return emit(Opcode::Neg, Lhs, -1, 0, std::move(Comment));
+}
+int Builder::mulL(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::MulL, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::mulUH(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::MulUH, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::mulSH(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::MulSH, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::and_(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::And, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::or_(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::Or, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::eor(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::Eor, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::not_(int Lhs, std::string Comment) {
+  return emit(Opcode::Not, Lhs, -1, 0, std::move(Comment));
+}
+int Builder::sll(int Lhs, int Amount, std::string Comment) {
+  assert(Amount >= 0 && Amount < wordBits() && "shift amount out of range");
+  return emit(Opcode::Sll, Lhs, -1, static_cast<uint64_t>(Amount),
+              std::move(Comment));
+}
+int Builder::srl(int Lhs, int Amount, std::string Comment) {
+  assert(Amount >= 0 && Amount < wordBits() && "shift amount out of range");
+  return emit(Opcode::Srl, Lhs, -1, static_cast<uint64_t>(Amount),
+              std::move(Comment));
+}
+int Builder::sra(int Lhs, int Amount, std::string Comment) {
+  assert(Amount >= 0 && Amount < wordBits() && "shift amount out of range");
+  return emit(Opcode::Sra, Lhs, -1, static_cast<uint64_t>(Amount),
+              std::move(Comment));
+}
+int Builder::ror(int Lhs, int Amount, std::string Comment) {
+  assert(Amount >= 0 && Amount < wordBits() && "rotate amount out of range");
+  return emit(Opcode::Ror, Lhs, -1, static_cast<uint64_t>(Amount),
+              std::move(Comment));
+}
+int Builder::xsign(int Lhs, std::string Comment) {
+  return emit(Opcode::Xsign, Lhs, -1, 0, std::move(Comment));
+}
+int Builder::sltS(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::SltS, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::sltU(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::SltU, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::divU(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::DivU, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::divS(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::DivS, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::remU(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::RemU, Lhs, Rhs, 0, std::move(Comment));
+}
+int Builder::remS(int Lhs, int Rhs, std::string Comment) {
+  return emit(Opcode::RemS, Lhs, Rhs, 0, std::move(Comment));
+}

@@ -1,0 +1,141 @@
+//===- ir/IR.cpp - Straight-line IR over the Table 3.1 machine ------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Arg:
+    return "arg";
+  case Opcode::Const:
+    return "const";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::MulL:
+    return "mull";
+  case Opcode::MulUH:
+    return "muluh";
+  case Opcode::MulSH:
+    return "mulsh";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Eor:
+    return "eor";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Sll:
+    return "sll";
+  case Opcode::Srl:
+    return "srl";
+  case Opcode::Sra:
+    return "sra";
+  case Opcode::Ror:
+    return "ror";
+  case Opcode::Xsign:
+    return "xsign";
+  case Opcode::SltS:
+    return "slts";
+  case Opcode::SltU:
+    return "sltu";
+  case Opcode::DivU:
+    return "divu";
+  case Opcode::DivS:
+    return "divs";
+  case Opcode::RemU:
+    return "remu";
+  case Opcode::RemS:
+    return "rems";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+bool ir::opcodeHasImmOperand(Opcode Op) {
+  switch (Op) {
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::Ror:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ir::opcodeIsLeaf(Opcode Op) {
+  return Op == Opcode::Arg || Op == Opcode::Const;
+}
+
+bool ir::opcodeIsUnary(Opcode Op) {
+  switch (Op) {
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Xsign:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::Ror:
+    return true;
+  default:
+    return false;
+  }
+}
+
+int Program::append(Instr I) {
+  const int Index = static_cast<int>(Instrs.size());
+  if (!opcodeIsLeaf(I.Op)) {
+    assert(I.Lhs >= 0 && I.Lhs < Index && "operand must precede use");
+    if (!opcodeIsUnary(I.Op))
+      assert(I.Rhs >= 0 && I.Rhs < Index && "operand must precede use");
+  }
+  Instrs.push_back(std::move(I));
+  return Index;
+}
+
+void Program::markResult(int ValueIndex, std::string Name) {
+  assert(ValueIndex >= 0 && ValueIndex < size() && "result not defined");
+  Results.push_back(ValueIndex);
+  ResultNames.push_back(std::move(Name));
+}
+
+int Program::operationCount() const {
+  int Count = 0;
+  for (const Instr &I : Instrs)
+    if (I.Op != Opcode::Arg)
+      ++Count;
+  return Count;
+}
+
+void Program::verify() const {
+  for (int Index = 0; Index < size(); ++Index) {
+    const Instr &I = instr(Index);
+    if (!opcodeIsLeaf(I.Op)) {
+      assert(I.Lhs >= 0 && I.Lhs < Index && "operand out of order");
+      if (!opcodeIsUnary(I.Op))
+        assert(I.Rhs >= 0 && I.Rhs < Index && "operand out of order");
+    }
+    if (opcodeHasImmOperand(I.Op))
+      assert(I.Imm < static_cast<uint64_t>(WordBits) &&
+             "shift amount out of range");
+    if (I.Op == Opcode::Arg)
+      assert(I.Imm < static_cast<uint64_t>(NumArgs) &&
+             "argument index out of range");
+  }
+  for (int Result : Results) {
+    (void)Result;
+    assert(Result >= 0 && Result < size() && "dangling result");
+  }
+}

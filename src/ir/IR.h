@@ -1,0 +1,144 @@
+//===- ir/IR.h - Straight-line IR over the Table 3.1 machine ----*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny SSA-style straight-line IR whose instruction set is exactly the
+/// paper's machine model (Table 3.1) plus the relational operations the
+/// §6 improvements mention. The constant-divisor generation algorithms
+/// (Figures 4.2, 5.2, 6.1 and the §9 expansions) emit programs in this
+/// IR; the interpreter executes them with exact N-bit semantics so tests
+/// can prove every emitted sequence equal to reference division, and the
+/// cost model prices them per architecture to reproduce the paper's
+/// cycle accounting.
+///
+/// Programs are pure dataflow: a list of instructions, each defining one
+/// value, referencing earlier values by index. No control flow — none of
+/// the paper's sequences need any.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_IR_IR_H
+#define GMDIV_IR_IR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace ir {
+
+/// Instruction opcodes: Table 3.1 primitives plus Arg/Const plumbing and
+/// the 0/1-producing relationals used by the §6 improvements.
+enum class Opcode {
+  Arg,   ///< Function argument; Imm holds the argument index.
+  Const, ///< Constant; Imm holds the N-bit value.
+  Add,   ///< Lhs + Rhs (mod 2^N).
+  Sub,   ///< Lhs - Rhs (mod 2^N).
+  Neg,   ///< -Lhs (mod 2^N).
+  MulL,  ///< Lower half of Lhs * Rhs.
+  MulUH, ///< Upper half of the unsigned product (Table 3.1 MULUH).
+  MulSH, ///< Upper half of the signed product (Table 3.1 MULSH).
+  And,   ///< Bitwise AND.
+  Or,    ///< Bitwise OR.
+  Eor,   ///< Bitwise exclusive OR.
+  Not,   ///< Bitwise complement of Lhs.
+  Sll,   ///< Logical left shift of Lhs by immediate Imm.
+  Srl,   ///< Logical right shift of Lhs by immediate Imm.
+  Sra,   ///< Arithmetic right shift of Lhs by immediate Imm.
+  Ror,   ///< Rotate right of Lhs by immediate Imm (§9 divisibility).
+  Xsign, ///< -1 if Lhs < 0 else 0 (Table 3.1 XSIGN).
+  SltS,  ///< 1 if Lhs < Rhs signed, else 0.
+  SltU,  ///< 1 if Lhs < Rhs unsigned, else 0.
+
+  // Division opcodes, as a frontend would emit them *before* the §10
+  // lowering pass replaces constant-divisor instances with multiply
+  // sequences (codegen/DivisionLowering.h). The interpreter gives them
+  // hardware-style semantics: x/0 = 0 (defined for totality, asserted
+  // against in checked builds), INT_MIN / -1 = INT_MIN with rem 0.
+  DivU, ///< Unsigned quotient Lhs / Rhs.
+  DivS, ///< Signed quotient trunc(Lhs / Rhs).
+  RemU, ///< Unsigned remainder Lhs % Rhs.
+  RemS, ///< Signed remainder (sign of the dividend).
+};
+
+/// Human-readable mnemonic, lowercase (e.g. "muluh").
+const char *opcodeName(Opcode Op);
+
+/// True for opcodes whose second operand is the immediate field rather
+/// than a value index (shifts and rotates).
+bool opcodeHasImmOperand(Opcode Op);
+
+/// True for Arg/Const, which read no prior value.
+bool opcodeIsLeaf(Opcode Op);
+
+/// True for unary value operations (Neg, Not, Xsign and the shifts).
+bool opcodeIsUnary(Opcode Op);
+
+/// One instruction; defines the value whose index is its position in the
+/// program.
+struct Instr {
+  Opcode Op;
+  int Lhs = -1;     ///< First operand value index (unused for leaves).
+  int Rhs = -1;     ///< Second operand value index (binary value ops).
+  uint64_t Imm = 0; ///< Constant / argument index / shift amount.
+  std::string Comment; ///< Optional annotation shown by the printer.
+};
+
+/// A straight-line program over N-bit words.
+class Program {
+public:
+  Program(int WordBits, int NumArgs)
+      : WordBits(WordBits), NumArgs(NumArgs) {
+    assert((WordBits == 8 || WordBits == 16 || WordBits == 32 ||
+            WordBits == 64) &&
+           "unsupported word width");
+    assert(NumArgs >= 0 && "negative argument count");
+  }
+
+  int wordBits() const { return WordBits; }
+  int numArgs() const { return NumArgs; }
+
+  /// Appends an instruction and returns the index of the value it defines.
+  int append(Instr I);
+
+  const std::vector<Instr> &instrs() const { return Instrs; }
+  const Instr &instr(int Index) const {
+    assert(Index >= 0 && Index < static_cast<int>(Instrs.size()) &&
+           "value index out of range");
+    return Instrs[static_cast<size_t>(Index)];
+  }
+  int size() const { return static_cast<int>(Instrs.size()); }
+
+  /// Marks a value as a program result. Results are returned by the
+  /// interpreter in the order they were marked.
+  void markResult(int ValueIndex, std::string Name = "");
+  const std::vector<int> &results() const { return Results; }
+  const std::vector<std::string> &resultNames() const { return ResultNames; }
+
+  /// Number of instructions that would execute on a real machine, i.e.
+  /// everything except Arg (Const counts: the paper treats loading large
+  /// constants as implicit, and the cost model prices it at zero, but the
+  /// value still occupies a register).
+  int operationCount() const;
+
+  /// Asserts structural well-formedness (operand indices precede uses,
+  /// shift immediates within [0, N-1], results defined).
+  void verify() const;
+
+private:
+  int WordBits;
+  int NumArgs;
+  std::vector<Instr> Instrs;
+  std::vector<int> Results;
+  std::vector<std::string> ResultNames;
+};
+
+} // namespace ir
+} // namespace gmdiv
+
+#endif // GMDIV_IR_IR_H

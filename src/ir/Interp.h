@@ -1,0 +1,44 @@
+//===- ir/Interp.h - Exact N-bit IR interpreter ------------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes IR programs with exact N-bit two's complement semantics —
+/// the reference machine against which every generated division sequence
+/// is proven: tests sweep dividends through the interpreter and compare
+/// with directly computed quotients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_IR_INTERP_H
+#define GMDIV_IR_INTERP_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace gmdiv {
+namespace ir {
+
+/// Evaluates a single operation on N-bit values. \p A and \p B are the
+/// operand bit patterns (already masked to N bits); the result is masked
+/// to N bits. Leaf opcodes are not valid here.
+uint64_t evalOp(Opcode Op, int WordBits, uint64_t A, uint64_t B,
+                uint64_t Imm);
+
+/// Executes \p P on \p Args (bit patterns masked to N bits) and returns
+/// the marked results in order.
+std::vector<uint64_t> run(const Program &P,
+                          const std::vector<uint64_t> &Args);
+
+/// Executes \p P and returns the value with index \p ValueIndex.
+uint64_t runValue(const Program &P, const std::vector<uint64_t> &Args,
+                  int ValueIndex);
+
+} // namespace ir
+} // namespace gmdiv
+
+#endif // GMDIV_IR_INTERP_H

@@ -1,0 +1,241 @@
+//===- ir/Parser.cpp - Parse textual IR listings --------------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+namespace {
+
+/// Cursor over one line.
+class LineCursor {
+public:
+  explicit LineCursor(const std::string &Line) : Text(Line) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEndOrComment() {
+    skipSpace();
+    return Pos >= Text.size() || Text[Pos] == ';';
+  }
+
+  bool consume(char Ch) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == Ch) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeLiteral(const std::string &Word) {
+    skipSpace();
+    if (Text.compare(Pos, Word.size(), Word) == 0) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an identifier-like token ([a-z0-9_']+).
+  std::string readToken() {
+    skipSpace();
+    const size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '\''))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Reads a decimal or 0x-hex unsigned integer.
+  bool readImmediate(uint64_t &Value) {
+    skipSpace();
+    const size_t Start = Pos;
+    int Base = 10;
+    if (Text.compare(Pos, 2, "0x") == 0) {
+      Base = 16;
+      Pos += 2;
+    }
+    uint64_t Result = 0;
+    bool Any = false;
+    while (Pos < Text.size()) {
+      const char Ch = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(Text[Pos])));
+      int Digit;
+      if (Ch >= '0' && Ch <= '9')
+        Digit = Ch - '0';
+      else if (Base == 16 && Ch >= 'a' && Ch <= 'f')
+        Digit = Ch - 'a' + 10;
+      else
+        break;
+      Result = Result * Base + static_cast<uint64_t>(Digit);
+      Any = true;
+      ++Pos;
+    }
+    if (!Any) {
+      Pos = Start;
+      return false;
+    }
+    Value = Result;
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+std::optional<Opcode> opcodeByName(const std::string &Name) {
+  static const std::map<std::string, Opcode> Table = {
+      {"arg", Opcode::Arg},     {"const", Opcode::Const},
+      {"add", Opcode::Add},     {"sub", Opcode::Sub},
+      {"neg", Opcode::Neg},     {"mull", Opcode::MulL},
+      {"muluh", Opcode::MulUH}, {"mulsh", Opcode::MulSH},
+      {"and", Opcode::And},     {"or", Opcode::Or},
+      {"eor", Opcode::Eor},     {"not", Opcode::Not},
+      {"sll", Opcode::Sll},     {"srl", Opcode::Srl},
+      {"sra", Opcode::Sra},     {"ror", Opcode::Ror},
+      {"xsign", Opcode::Xsign}, {"slts", Opcode::SltS},
+      {"sltu", Opcode::SltU},   {"divu", Opcode::DivU},
+      {"divs", Opcode::DivS},   {"remu", Opcode::RemU},
+      {"rems", Opcode::RemS}};
+  const auto It = Table.find(Name);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}
+
+/// Parser state: maps printed names to value indices, materializing
+/// elided argument loads on first use.
+class ProgramAssembler {
+public:
+  ProgramAssembler(int WordBits, int NumArgs)
+      : P(WordBits, NumArgs), NumArgs(NumArgs) {}
+
+  /// Resolves an operand name ("t3" or "n0") to a value index; -1 on
+  /// failure.
+  int resolve(const std::string &Name) {
+    if (const auto It = ByName.find(Name); It != ByName.end())
+      return It->second;
+    if (Name.size() >= 2 && Name[0] == 'n') {
+      const int ArgIndex = std::atoi(Name.c_str() + 1);
+      if (ArgIndex < 0 || ArgIndex >= NumArgs)
+        return -1;
+      Instr I;
+      I.Op = Opcode::Arg;
+      I.Imm = static_cast<uint64_t>(ArgIndex);
+      const int Index = P.append(std::move(I));
+      ByName.emplace(Name, Index);
+      return Index;
+    }
+    return -1;
+  }
+
+  void define(const std::string &Name, int Index) {
+    ByName[Name] = Index;
+  }
+
+  Program P;
+  int NumArgs;
+
+private:
+  std::map<std::string, int> ByName;
+};
+
+} // namespace
+
+ParseResult ir::parseProgram(const std::string &Text, int WordBits,
+                             int NumArgs) {
+  ProgramAssembler Assembler(WordBits, NumArgs);
+  std::istringstream Stream(Text);
+  std::string Line;
+  int LineNumber = 0;
+
+  auto Fail = [&](const std::string &Message) {
+    ParseResult Result;
+    Result.Error = Message;
+    Result.ErrorLine = LineNumber;
+    return Result;
+  };
+
+  while (std::getline(Stream, Line)) {
+    ++LineNumber;
+    LineCursor Cursor(Line);
+    if (Cursor.atEndOrComment())
+      continue;
+
+    // Result marker: "=> name: tN".
+    if (Cursor.consumeLiteral("=>")) {
+      const std::string Name = Cursor.readToken();
+      if (!Cursor.consume(':'))
+        return Fail("expected ':' after result name");
+      const std::string ValueName = Cursor.readToken();
+      const int Index = Assembler.resolve(ValueName);
+      if (Index < 0)
+        return Fail("unknown result value '" + ValueName + "'");
+      Assembler.P.markResult(Index, Name);
+      continue;
+    }
+
+    // Definition: "<name> = <op> ...".
+    const std::string DefName = Cursor.readToken();
+    if (DefName.empty() || !Cursor.consume('='))
+      return Fail("expected '<name> = <op> ...'");
+    const std::string OpName = Cursor.readToken();
+    const std::optional<Opcode> Op = opcodeByName(OpName);
+    if (!Op)
+      return Fail("unknown opcode '" + OpName + "'");
+
+    Instr I;
+    I.Op = *Op;
+    if (*Op == Opcode::Arg || *Op == Opcode::Const) {
+      if (!Cursor.readImmediate(I.Imm))
+        return Fail("expected immediate after '" + OpName + "'");
+      if (*Op == Opcode::Arg &&
+          I.Imm >= static_cast<uint64_t>(NumArgs))
+        return Fail("argument index out of range");
+    } else {
+      const std::string LhsName = Cursor.readToken();
+      I.Lhs = Assembler.resolve(LhsName);
+      if (I.Lhs < 0)
+        return Fail("unknown operand '" + LhsName + "'");
+      if (opcodeHasImmOperand(*Op)) {
+        if (!Cursor.consume(','))
+          return Fail("expected ',' before shift amount");
+        if (!Cursor.readImmediate(I.Imm))
+          return Fail("expected shift amount");
+        if (I.Imm >= static_cast<uint64_t>(WordBits))
+          return Fail("shift amount out of range");
+      } else if (!opcodeIsUnary(*Op)) {
+        if (!Cursor.consume(','))
+          return Fail("expected ',' before second operand");
+        const std::string RhsName = Cursor.readToken();
+        I.Rhs = Assembler.resolve(RhsName);
+        if (I.Rhs < 0)
+          return Fail("unknown operand '" + RhsName + "'");
+      }
+    }
+    if (!Cursor.atEndOrComment())
+      return Fail("trailing tokens");
+    Assembler.define(DefName, Assembler.P.append(std::move(I)));
+  }
+
+  Assembler.P.verify();
+  ParseResult Result;
+  Result.Parsed = std::move(Assembler.P);
+  return Result;
+}

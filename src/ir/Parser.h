@@ -1,0 +1,54 @@
+//===- ir/Parser.h - Parse textual IR listings -------------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the assembler-style listings AsmPrinter emits back into
+/// Programs, so listings can serve as test fixtures and golden files can
+/// be executed, not just compared as text. Accepts exactly the printer's
+/// grammar:
+///
+///   t3 = muluh n0, t1        ; optional comment
+///   t4 = srl t3, 3
+///   t5 = const 0xcccccccd
+///   n2 = arg 2               (explicit arg lines also accepted)
+///   => q: t4
+///
+/// Value names are `t<index>` or `n<argindex>`; an `n<K>` operand that
+/// was never defined materializes the Arg instruction on first use (the
+/// printer elides bare argument loads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_IR_PARSER_H
+#define GMDIV_IR_PARSER_H
+
+#include "ir/IR.h"
+
+#include <optional>
+#include <string>
+
+namespace gmdiv {
+namespace ir {
+
+/// Outcome of a parse: the program, or a message with the line number.
+struct ParseResult {
+  std::optional<Program> Parsed;
+  std::string Error;
+  int ErrorLine = 0;
+
+  bool ok() const { return Parsed.has_value(); }
+};
+
+/// Parses \p Text as a WordBits-wide program. \p NumArgs gives the
+/// argument count (arguments beyond the ones mentioned are legal).
+ParseResult parseProgram(const std::string &Text, int WordBits,
+                         int NumArgs);
+
+} // namespace ir
+} // namespace gmdiv
+
+#endif // GMDIV_IR_PARSER_H

@@ -1,0 +1,252 @@
+//===- ir/Peephole.cpp - Standalone IR cleanup pass -----------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Peephole.h"
+
+#include "ir/Builder.h"
+
+#include <vector>
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+namespace {
+
+/// Attempts the pattern rewrites that need to look *through* operands.
+/// Returns the replacement value index in \p B, or -1 when no pattern
+/// applies. \p Lhs / \p Rhs are already remapped into B's program.
+int tryPatternRewrite(Builder &B, Opcode Op, int Lhs, int Rhs,
+                      uint64_t Imm) {
+  Program &NP = B.program();
+  const int WordBits = NP.wordBits();
+  switch (Op) {
+  case Opcode::Srl:
+  case Opcode::Sll: {
+    // Combine same-direction logical shifts: total < N stays a shift;
+    // total >= N is the constant zero.
+    const Instr &Inner = NP.instr(Lhs);
+    if (Inner.Op != Op)
+      return -1;
+    const int Total = static_cast<int>(Imm + Inner.Imm);
+    if (Total >= WordBits)
+      return B.constant(0);
+    return Op == Opcode::Srl ? B.srl(Inner.Lhs, Total)
+                             : B.sll(Inner.Lhs, Total);
+  }
+  case Opcode::Sra: {
+    // SRA(SRA(x, a), b) = SRA(x, min(a + b, N - 1)).
+    const Instr &Inner = NP.instr(Lhs);
+    if (Inner.Op != Opcode::Sra)
+      return -1;
+    int Total = static_cast<int>(Imm + Inner.Imm);
+    if (Total > WordBits - 1)
+      Total = WordBits - 1;
+    return B.sra(Inner.Lhs, Total);
+  }
+  case Opcode::Sub: {
+    // SUB(x, SLL(SRL(x, k), k)) => AND(x, 2^k - 1): a cleared-low-bits
+    // round trip, the shape unsigned power-of-two remainders lower to.
+    const Instr &RhsDef = NP.instr(Rhs);
+    if (RhsDef.Op != Opcode::Sll)
+      return -1;
+    const Instr &Inner = NP.instr(RhsDef.Lhs);
+    if (Inner.Op != Opcode::Srl || Inner.Lhs != Lhs ||
+        Inner.Imm != RhsDef.Imm)
+      return -1;
+    // Shift immediates are < N <= 64 by Program::verify.
+    return B.and_(Lhs, B.constant((uint64_t{1} << RhsDef.Imm) - 1));
+  }
+  case Opcode::Eor: {
+    // EOR(s, EOR(s, x)) => x — the §6 sign-mask round trip.
+    const Instr &LhsDef = NP.instr(Lhs);
+    const Instr &RhsDef = NP.instr(Rhs);
+    if (RhsDef.Op == Opcode::Eor) {
+      if (RhsDef.Lhs == Lhs)
+        return RhsDef.Rhs;
+      if (RhsDef.Rhs == Lhs)
+        return RhsDef.Lhs;
+    }
+    if (LhsDef.Op == Opcode::Eor) {
+      if (LhsDef.Lhs == Rhs)
+        return LhsDef.Rhs;
+      if (LhsDef.Rhs == Rhs)
+        return LhsDef.Lhs;
+    }
+    return -1;
+  }
+  case Opcode::Not: {
+    const Instr &Inner = NP.instr(Lhs);
+    if (Inner.Op == Opcode::Not)
+      return Inner.Lhs;
+    return -1;
+  }
+  case Opcode::Neg: {
+    const Instr &Inner = NP.instr(Lhs);
+    if (Inner.Op == Opcode::Neg)
+      return Inner.Lhs;
+    return -1;
+  }
+  case Opcode::Xsign: {
+    // XSIGN is idempotent, and XSIGN of an all-ones/zero mask produced
+    // by another XSIGN is that mask itself.
+    const Instr &Inner = NP.instr(Lhs);
+    if (Inner.Op == Opcode::Xsign)
+      return Lhs;
+    return -1;
+  }
+  default:
+    return -1;
+  }
+}
+
+/// Re-emits one instruction through the Builder (folding + CSE inside).
+int reEmit(Builder &B, const Instr &I, int Lhs, int Rhs) {
+  switch (I.Op) {
+  case Opcode::Arg:
+    return B.arg(static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Const:
+    return B.constant(I.Imm, I.Comment);
+  case Opcode::Add:
+    return B.add(Lhs, Rhs, I.Comment);
+  case Opcode::Sub:
+    return B.sub(Lhs, Rhs, I.Comment);
+  case Opcode::Neg:
+    return B.neg(Lhs, I.Comment);
+  case Opcode::MulL:
+    return B.mulL(Lhs, Rhs, I.Comment);
+  case Opcode::MulUH:
+    return B.mulUH(Lhs, Rhs, I.Comment);
+  case Opcode::MulSH:
+    return B.mulSH(Lhs, Rhs, I.Comment);
+  case Opcode::And:
+    return B.and_(Lhs, Rhs, I.Comment);
+  case Opcode::Or:
+    return B.or_(Lhs, Rhs, I.Comment);
+  case Opcode::Eor:
+    return B.eor(Lhs, Rhs, I.Comment);
+  case Opcode::Not:
+    return B.not_(Lhs, I.Comment);
+  case Opcode::Sll:
+    return B.sll(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Srl:
+    return B.srl(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Sra:
+    return B.sra(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Ror:
+    return B.ror(Lhs, static_cast<int>(I.Imm), I.Comment);
+  case Opcode::Xsign:
+    return B.xsign(Lhs, I.Comment);
+  case Opcode::SltS:
+    return B.sltS(Lhs, Rhs, I.Comment);
+  case Opcode::SltU:
+    return B.sltU(Lhs, Rhs, I.Comment);
+  case Opcode::DivU:
+    return B.divU(Lhs, Rhs, I.Comment);
+  case Opcode::DivS:
+    return B.divS(Lhs, Rhs, I.Comment);
+  case Opcode::RemU:
+    return B.remU(Lhs, Rhs, I.Comment);
+  case Opcode::RemS:
+    return B.remS(Lhs, Rhs, I.Comment);
+  }
+  assert(false && "unknown opcode");
+  return Lhs;
+}
+
+} // namespace
+
+Program ir::optimize(const Program &P, PeepholeStats *Stats) {
+  PeepholeStats Local;
+  Builder B(P.wordBits(), P.numArgs());
+  std::vector<int> Remap(static_cast<size_t>(P.size()), -1);
+
+  for (int Index = 0; Index < P.size(); ++Index) {
+    const Instr &I = P.instr(Index);
+    const int Lhs = opcodeIsLeaf(I.Op) ? -1
+                                       : Remap[static_cast<size_t>(I.Lhs)];
+    const int Rhs = (opcodeIsLeaf(I.Op) || opcodeIsUnary(I.Op))
+                        ? -1
+                        : Remap[static_cast<size_t>(I.Rhs)];
+    const int SizeBefore = B.program().size();
+    int NewIndex = -1;
+    if (!opcodeIsLeaf(I.Op)) {
+      NewIndex = tryPatternRewrite(B, I.Op, Lhs, Rhs, I.Imm);
+      if (NewIndex >= 0)
+        ++Local.Simplified;
+    }
+    if (NewIndex < 0) {
+      NewIndex = reEmit(B, I, Lhs, Rhs);
+      if (B.program().size() == SizeBefore && !opcodeIsLeaf(I.Op)) {
+        // Builder returned an existing value: folding or CSE fired.
+        if (B.program().instr(NewIndex).Op == Opcode::Const &&
+            I.Op != Opcode::Const)
+          ++Local.Folded;
+        else if (NewIndex != Lhs && NewIndex != Rhs &&
+                 I.Op != Opcode::Arg)
+          ++Local.Deduplicated;
+        else
+          ++Local.Simplified;
+      }
+    }
+    Remap[static_cast<size_t>(Index)] = NewIndex;
+  }
+
+  for (size_t ResultIndex = 0; ResultIndex < P.results().size();
+       ++ResultIndex)
+    B.markResult(Remap[static_cast<size_t>(P.results()[ResultIndex])],
+                 P.resultNames()[ResultIndex]);
+
+  Program Optimized = B.take();
+  int Removed = 0;
+  Optimized = eliminateDeadCode(Optimized, &Removed);
+  Local.DeadRemoved = Removed;
+  if (Stats)
+    *Stats = Local;
+  return Optimized;
+}
+
+Program ir::eliminateDeadCode(const Program &P, int *Removed) {
+  std::vector<bool> Live(static_cast<size_t>(P.size()), false);
+  for (int Result : P.results())
+    Live[static_cast<size_t>(Result)] = true;
+  for (int Index = P.size() - 1; Index >= 0; --Index) {
+    const Instr &I = P.instr(Index);
+    if (I.Op == Opcode::Arg)
+      Live[static_cast<size_t>(Index)] = true; // Keep the signature.
+    if (!Live[static_cast<size_t>(Index)])
+      continue;
+    if (!opcodeIsLeaf(I.Op)) {
+      Live[static_cast<size_t>(I.Lhs)] = true;
+      if (!opcodeIsUnary(I.Op))
+        Live[static_cast<size_t>(I.Rhs)] = true;
+    }
+  }
+
+  Program Result(P.wordBits(), P.numArgs());
+  std::vector<int> Remap(static_cast<size_t>(P.size()), -1);
+  int Dropped = 0;
+  for (int Index = 0; Index < P.size(); ++Index) {
+    if (!Live[static_cast<size_t>(Index)]) {
+      ++Dropped;
+      continue;
+    }
+    Instr I = P.instr(Index);
+    if (!opcodeIsLeaf(I.Op)) {
+      I.Lhs = Remap[static_cast<size_t>(I.Lhs)];
+      if (!opcodeIsUnary(I.Op))
+        I.Rhs = Remap[static_cast<size_t>(I.Rhs)];
+    }
+    Remap[static_cast<size_t>(Index)] = Result.append(std::move(I));
+  }
+  for (size_t ResultIndex = 0; ResultIndex < P.results().size();
+       ++ResultIndex)
+    Result.markResult(Remap[static_cast<size_t>(P.results()[ResultIndex])],
+                      P.resultNames()[ResultIndex]);
+  if (Removed)
+    *Removed = Dropped;
+  return Result;
+}

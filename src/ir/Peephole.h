@@ -1,0 +1,59 @@
+//===- ir/Peephole.h - Standalone IR cleanup pass ---------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standalone optimization pass over IR programs: constant folding,
+/// the §3 "obvious simplifications", local CSE, and dead-code
+/// elimination. The Builder already applies most of these at emission
+/// time; this pass exists for programs assembled by other means (hand-
+/// written tests, deserialized sequences, compositions of generated
+/// fragments) and as the place where *pattern* rewrites live:
+///
+///   * SRL(x, 0) => x and friends           (§3)
+///   * x + 0, x - 0, 0 - x => neg, x ^ 0    (§3)
+///   * SRL(SRL(x, a), b) => SRL(x, a+b)     (shift combining, a+b < N)
+///   * EOR(s, EOR(s, x)) => x               (sign-mask round trips from
+///                                           the §6 floor sequences)
+///   * NOT(NOT(x)) => x, NEG(NEG(x)) => x
+///   * XSIGN(XSIGN(x)) => XSIGN(x)
+///
+/// Rewrites preserve program results exactly; the differential tests run
+/// original and optimized programs on shared inputs to prove it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_IR_PEEPHOLE_H
+#define GMDIV_IR_PEEPHOLE_H
+
+#include "ir/IR.h"
+
+namespace gmdiv {
+namespace ir {
+
+/// Statistics from one optimization run.
+struct PeepholeStats {
+  int Folded = 0;     ///< Instructions replaced by constants.
+  int Simplified = 0; ///< Algebraic rewrites applied.
+  int Deduplicated = 0; ///< CSE hits.
+  int DeadRemoved = 0;  ///< Instructions dropped by DCE.
+
+  int total() const {
+    return Folded + Simplified + Deduplicated + DeadRemoved;
+  }
+};
+
+/// Returns an optimized copy of \p P computing identical results.
+Program optimize(const Program &P, PeepholeStats *Stats = nullptr);
+
+/// Removes instructions whose values cannot reach any result. Arg
+/// instructions are kept (they fix the calling convention).
+Program eliminateDeadCode(const Program &P, int *Removed = nullptr);
+
+} // namespace ir
+} // namespace gmdiv
+
+#endif // GMDIV_IR_PEEPHOLE_H

@@ -1,0 +1,92 @@
+//===- ir/Scheduler.cpp - Latency-aware list scheduling -------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+Program ir::scheduleProgram(
+    const Program &P,
+    const std::function<double(const Instr &)> &Latency) {
+  const int Size = P.size();
+
+  // Height: longest latency path from each instruction to any consumer
+  // chain end — the classic list-scheduling priority.
+  std::vector<double> Height(static_cast<size_t>(Size), 0);
+  for (int Index = Size - 1; Index >= 0; --Index) {
+    const Instr &I = P.instr(Index);
+    Height[static_cast<size_t>(Index)] += Latency(I);
+    if (!opcodeIsLeaf(I.Op)) {
+      auto Relax = [&](int Operand) {
+        Height[static_cast<size_t>(Operand)] =
+            std::max(Height[static_cast<size_t>(Operand)],
+                     Height[static_cast<size_t>(Index)]);
+      };
+      Relax(I.Lhs);
+      if (!opcodeIsUnary(I.Op))
+        Relax(I.Rhs);
+    }
+  }
+
+  // Kahn's algorithm with a priority pick: ready set ordered by height,
+  // then latency, then original index (stable and deterministic).
+  std::vector<int> PendingOperands(static_cast<size_t>(Size), 0);
+  std::vector<std::vector<int>> Users(static_cast<size_t>(Size));
+  for (int Index = 0; Index < Size; ++Index) {
+    const Instr &I = P.instr(Index);
+    if (opcodeIsLeaf(I.Op))
+      continue;
+    PendingOperands[static_cast<size_t>(Index)] =
+        opcodeIsUnary(I.Op) ? 1 : (I.Lhs == I.Rhs ? 1 : 2);
+    Users[static_cast<size_t>(I.Lhs)].push_back(Index);
+    if (!opcodeIsUnary(I.Op) && I.Rhs != I.Lhs)
+      Users[static_cast<size_t>(I.Rhs)].push_back(Index);
+  }
+
+  std::vector<int> Ready;
+  for (int Index = 0; Index < Size; ++Index)
+    if (PendingOperands[static_cast<size_t>(Index)] == 0)
+      Ready.push_back(Index);
+
+  auto Better = [&](int A, int B) {
+    if (Height[static_cast<size_t>(A)] != Height[static_cast<size_t>(B)])
+      return Height[static_cast<size_t>(A)] >
+             Height[static_cast<size_t>(B)];
+    return A < B;
+  };
+
+  Program Result(P.wordBits(), P.numArgs());
+  std::vector<int> Remap(static_cast<size_t>(Size), -1);
+  while (!Ready.empty()) {
+    const auto PickIt = std::min_element(
+        Ready.begin(), Ready.end(),
+        [&](int A, int B) { return Better(A, B); });
+    const int Picked = *PickIt;
+    Ready.erase(PickIt);
+    Instr I = P.instr(Picked);
+    if (!opcodeIsLeaf(I.Op)) {
+      I.Lhs = Remap[static_cast<size_t>(I.Lhs)];
+      if (!opcodeIsUnary(I.Op))
+        I.Rhs = Remap[static_cast<size_t>(I.Rhs)];
+    }
+    Remap[static_cast<size_t>(Picked)] = Result.append(std::move(I));
+    for (int User : Users[static_cast<size_t>(Picked)])
+      if (--PendingOperands[static_cast<size_t>(User)] == 0)
+        Ready.push_back(User);
+  }
+
+  for (size_t ResultIndex = 0; ResultIndex < P.results().size();
+       ++ResultIndex)
+    Result.markResult(Remap[static_cast<size_t>(P.results()[ResultIndex])],
+                      P.resultNames()[ResultIndex]);
+  Result.verify();
+  return Result;
+}

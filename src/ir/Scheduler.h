@@ -1,0 +1,44 @@
+//===- ir/Scheduler.h - Latency-aware list scheduling -----------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1.1 marks several machines 'P' — "pipelined implementation
+/// (independent instructions can execute simultaneously)". On those,
+/// emission order matters: hoisting long-latency multiplies ahead of
+/// independent cheap operations shortens the realized schedule. This
+/// pass reorders a straight-line program by critical-path list
+/// scheduling (ties broken toward higher latency, then program order,
+/// keeping the output deterministic). Data dependences are the only
+/// constraints — the IR is pure — so any topological order preserves
+/// semantics, which the differential tests confirm anyway.
+///
+/// The arch-aware wrappers (schedule for a Table 1.1 profile, in-order
+/// issue cost) live in arch/CostModel.h to preserve layering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_IR_SCHEDULER_H
+#define GMDIV_IR_SCHEDULER_H
+
+#include "ir/IR.h"
+
+#include <functional>
+
+namespace gmdiv {
+namespace ir {
+
+/// Reorders \p P into a critical-path-first topological schedule.
+/// \p Latency returns the cycle latency of one instruction (leaves may
+/// return 0). The result computes identical values, possibly in a
+/// different instruction order.
+Program scheduleProgram(const Program &P,
+                        const std::function<double(const Instr &)> &Latency);
+
+} // namespace ir
+} // namespace gmdiv
+
+#endif // GMDIV_IR_SCHEDULER_H

@@ -1,0 +1,37 @@
+//===- numtheory/ModArith.cpp - GCD and inverses mod 2^N ------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numtheory/ModArith.h"
+
+using namespace gmdiv;
+
+ExtendedGcd128 gmdiv::extendedGcd(UInt128 A, UInt128 B) {
+  assert((!A.isZero() || !B.isZero()) && "gcd(0, 0) is undefined here");
+  // Iterative extended Euclid. Invariants:
+  //   OldX*A0 + OldY*B0 = OldR,  X*A0 + Y*B0 = R.
+  // Coefficients stay below max(A, B) in magnitude, so Int128 cannot
+  // overflow for 128-bit inputs of which at least one is < 2^127; our
+  // callers pass (d, 2^N) with N <= 64, far inside the safe range.
+  Int128 OldX(1), X(0);
+  Int128 OldY(0), Y(1);
+  UInt128 OldR = A, R = B;
+  while (!R.isZero()) {
+    auto [Quotient, Remainder] = UInt128::divMod(OldR, R);
+    assert(!Quotient.bit(127) &&
+           "quotient magnitude in range for signed coefficient update");
+    const Int128 Q = Int128::fromBits(Quotient);
+    const Int128 NextX = OldX - Q * X;
+    const Int128 NextY = OldY - Q * Y;
+    OldR = R;
+    R = Remainder;
+    OldX = X;
+    X = NextX;
+    OldY = Y;
+    Y = NextY;
+  }
+  return {OldX, OldY, OldR};
+}

@@ -1,0 +1,87 @@
+//===- numtheory/ModArith.h - GCD and inverses mod 2^N ----------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Number-theoretic support for §9 (exact division by constants).
+///
+/// The exact-division algorithm needs d_inv with d_inv * d_odd ≡ 1
+/// (mod 2^N) for the odd part of the divisor. The paper offers two
+/// constructions, both implemented here and cross-checked in tests:
+///   1. the extended Euclidean algorithm [Knuth v2, p. 325], and
+///   2. the Newton iteration (9.2): x <- x*(2 - d*x) mod 2^N, starting at
+///      x = d (valid mod 2^3), doubling the valid exponent each step, so
+///      ⌈log2(N/3)⌉ iterations suffice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_NUMTHEORY_MODARITH_H
+#define GMDIV_NUMTHEORY_MODARITH_H
+
+#include "ops/Bits.h"
+#include "wideint/Int128.h"
+#include "wideint/UInt128.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace gmdiv {
+
+/// Greatest common divisor (Euclid); gcd(0, 0) == 0 by convention.
+constexpr uint64_t gcd64(uint64_t A, uint64_t B) {
+  while (B != 0) {
+    const uint64_t Next = A % B;
+    A = B;
+    B = Next;
+  }
+  return A;
+}
+
+/// Result of the extended Euclidean algorithm: G = gcd(A, B) and Bezout
+/// coefficients with X*A + Y*B = G.
+struct ExtendedGcd128 {
+  Int128 X;
+  Int128 Y;
+  UInt128 G;
+};
+
+/// Extended Euclidean algorithm over 128-bit values. \p A and \p B must
+/// not both be zero.
+ExtendedGcd128 extendedGcd(UInt128 A, UInt128 B);
+
+/// Inverse of an odd value modulo 2^N via extended Euclid.
+template <typename UWord>
+UWord modInverseEuclid(UWord OddValue) {
+  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  assert((OddValue & 1) != 0 && "only odd values are invertible mod 2^N");
+  const UInt128 Modulus = UInt128::pow2(Bits);
+  const ExtendedGcd128 Result =
+      extendedGcd(UInt128(static_cast<uint64_t>(OddValue)), Modulus);
+  assert(Result.G == UInt128(1) && "odd value must be coprime to 2^N");
+  // Reduce the Bezout coefficient into [0, 2^N).
+  UInt128 Inverse = Result.X.bits() & (Modulus - UInt128(1));
+  return static_cast<UWord>(Inverse.low64());
+}
+
+/// Inverse of an odd value modulo 2^N via the Newton iteration (9.2).
+template <typename UWord>
+constexpr UWord modInverseNewton(UWord OddValue) {
+  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  assert((OddValue & 1) != 0 && "only odd values are invertible mod 2^N");
+  // x = d satisfies d*x ≡ 1 (mod 2^3); each iteration doubles the
+  // exponent, so iterate while 3 * 2^k < N, i.e. ⌈log2(N/3)⌉ times.
+  UWord Inverse = OddValue;
+  for (int Precision = 3; Precision < Bits; Precision *= 2)
+    Inverse = static_cast<UWord>(
+        Inverse * static_cast<UWord>(UWord{2} - OddValue * Inverse));
+  assert(static_cast<UWord>(Inverse * OddValue) == 1 &&
+         "Newton iteration failed to converge");
+  return Inverse;
+}
+
+} // namespace gmdiv
+
+#endif // GMDIV_NUMTHEORY_MODARITH_H

@@ -1,0 +1,145 @@
+//===- ops/Bits.h - Bit scanning and integer logarithms ---------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leading/trailing zero counts and the integer logarithms of §3.
+///
+/// The paper derives both logarithms from a leading-zero-count (LDZ)
+/// instruction:
+///   ⌈log2 x⌉ = N - LDZ(x - 1)        (1 < x <= 2^(N-1))
+///   ⌊log2 x⌋ = N - 1 - LDZ(x)        (x >= 1)
+/// We implement LDZ itself by binary search so the library is
+/// self-contained; tests cross-check against std::countl_zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_OPS_BITS_H
+#define GMDIV_OPS_BITS_H
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace gmdiv {
+
+/// Number of leading zero bits in a 64-bit value; 64 for zero.
+constexpr int countLeadingZeros64(uint64_t Value) {
+  if (Value == 0)
+    return 64;
+  int Count = 0;
+  if ((Value >> 32) == 0) {
+    Count += 32;
+    Value <<= 32;
+  }
+  if ((Value >> 48) == 0) {
+    Count += 16;
+    Value <<= 16;
+  }
+  if ((Value >> 56) == 0) {
+    Count += 8;
+    Value <<= 8;
+  }
+  if ((Value >> 60) == 0) {
+    Count += 4;
+    Value <<= 4;
+  }
+  if ((Value >> 62) == 0) {
+    Count += 2;
+    Value <<= 2;
+  }
+  if ((Value >> 63) == 0)
+    Count += 1;
+  return Count;
+}
+
+/// Number of trailing zero bits in a 64-bit value; 64 for zero.
+constexpr int countTrailingZeros64(uint64_t Value) {
+  if (Value == 0)
+    return 64;
+  int Count = 0;
+  if ((Value & 0xffffffffu) == 0) {
+    Count += 32;
+    Value >>= 32;
+  }
+  if ((Value & 0xffffu) == 0) {
+    Count += 16;
+    Value >>= 16;
+  }
+  if ((Value & 0xffu) == 0) {
+    Count += 8;
+    Value >>= 8;
+  }
+  if ((Value & 0xfu) == 0) {
+    Count += 4;
+    Value >>= 4;
+  }
+  if ((Value & 0x3u) == 0) {
+    Count += 2;
+    Value >>= 2;
+  }
+  if ((Value & 0x1u) == 0)
+    Count += 1;
+  return Count;
+}
+
+/// Number of set bits in a 64-bit value.
+constexpr int popCount64(uint64_t Value) {
+  Value = Value - ((Value >> 1) & 0x5555555555555555ull);
+  Value = (Value & 0x3333333333333333ull) +
+          ((Value >> 2) & 0x3333333333333333ull);
+  Value = (Value + (Value >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return static_cast<int>((Value * 0x0101010101010101ull) >> 56);
+}
+
+/// Leading-zero count within a word of \p Bits bits (the paper's LDZ).
+template <typename UWord>
+constexpr int countLeadingZeros(UWord Value) {
+  static_assert(std::is_unsigned_v<UWord>, "LDZ operates on unsigned words");
+  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  return countLeadingZeros64(static_cast<uint64_t>(Value)) - (64 - Bits);
+}
+
+/// Trailing-zero count within a word; width of the word for zero.
+template <typename UWord>
+constexpr int countTrailingZeros(UWord Value) {
+  static_assert(std::is_unsigned_v<UWord>, "CTZ operates on unsigned words");
+  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  if (Value == 0)
+    return Bits;
+  return countTrailingZeros64(static_cast<uint64_t>(Value));
+}
+
+/// ⌊log2 Value⌋ for Value >= 1, via the paper's LDZ identity.
+template <typename UWord>
+constexpr int floorLog2(UWord Value) {
+  assert(Value >= 1 && "floorLog2 requires a positive argument");
+  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  return Bits - 1 - countLeadingZeros<UWord>(Value);
+}
+
+/// ⌈log2 Value⌉ for Value >= 1, via the paper's LDZ identity.
+/// Unlike the paper's statement (which assumes 1 < x <= 2^(N-1)) this
+/// also handles Value == 1 (result 0) and values above 2^(N-1).
+template <typename UWord>
+constexpr int ceilLog2(UWord Value) {
+  assert(Value >= 1 && "ceilLog2 requires a positive argument");
+  if (Value == 1)
+    return 0;
+  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  return Bits - countLeadingZeros<UWord>(static_cast<UWord>(Value - 1));
+}
+
+/// True if \p Value is a power of two (and nonzero).
+template <typename UWord>
+constexpr bool isPowerOf2(UWord Value) {
+  static_assert(std::is_unsigned_v<UWord>, "requires an unsigned word");
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+} // namespace gmdiv
+
+#endif // GMDIV_OPS_BITS_H

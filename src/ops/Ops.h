@@ -1,0 +1,366 @@
+//===- ops/Ops.h - Table 3.1 primitive operations ---------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine model of the paper: an N-bit two's complement architecture
+/// with the primitive operations of Table 3.1 (MULL, MULUH, MULSH, shifts,
+/// XSIGN, bit operations) plus the §3 identities between them.
+///
+/// Everything is templated over the unsigned word type through WordTraits,
+/// so the same algorithm code instantiates at N = 8, 16, 32 and 64. The
+/// doubleword types ("udword"/"sdword") are the next-wider built-in type
+/// where one exists and the from-scratch UInt128/Int128 at N = 64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_OPS_OPS_H
+#define GMDIV_OPS_OPS_H
+
+#include "ops/Bits.h"
+#include "wideint/Int128.h"
+#include "wideint/Int256.h"
+#include "wideint/UInt128.h"
+#include "wideint/UInt256.h"
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace gmdiv {
+
+//===----------------------------------------------------------------------===//
+// WordTraits: word / doubleword type families per machine width N.
+//===----------------------------------------------------------------------===//
+
+template <typename UWordT> struct WordTraits;
+
+namespace detail {
+
+/// Common helpers for widths whose doubleword is a built-in integer type.
+template <typename UWordT, typename SWordT, typename UDWordT,
+          typename SDWordT>
+struct NativeWordTraits {
+  using UWord = UWordT;
+  using SWord = SWordT;
+  using UDWord = UDWordT;
+  using SDWord = SDWordT;
+  static constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+
+  static constexpr UDWord udFromWord(UWord Value) {
+    return static_cast<UDWord>(Value);
+  }
+  static constexpr UWord udLow(UDWord Value) {
+    return static_cast<UWord>(Value);
+  }
+  static constexpr UWord udHigh(UDWord Value) {
+    return static_cast<UWord>(Value >> Bits);
+  }
+  static constexpr SDWord sdFromWord(SWord Value) {
+    return static_cast<SDWord>(Value);
+  }
+  static constexpr UWord sdLow(SDWord Value) {
+    return static_cast<UWord>(static_cast<UDWord>(Value));
+  }
+  static constexpr SWord sdHigh(SDWord Value) {
+    return static_cast<SWord>(Value >> Bits);
+  }
+  static std::pair<UDWord, UDWord> udDivMod(UDWord A, UDWord B) {
+    assert(B != 0 && "division by zero");
+    return {static_cast<UDWord>(A / B), static_cast<UDWord>(A % B)};
+  }
+  /// 2^K as a doubleword, 0 <= K < 2*Bits.
+  static constexpr UDWord udPow2(int K) {
+    assert(K >= 0 && K < 2 * Bits && "udPow2 exponent out of range");
+    return static_cast<UDWord>(UDWord{1} << K);
+  }
+  /// (q, r) with 2^Exponent = q*Divisor + r; Exponent may be up to 2*Bits.
+  static std::pair<UDWord, UDWord> udDivModPow2(int Exponent, UDWord Divisor) {
+    assert(Exponent >= 0 && Exponent <= 2 * Bits && "exponent out of range");
+    assert(Divisor != 0 && "division by zero");
+    if (Exponent < 2 * Bits) {
+      const UDWord Numerator = static_cast<UDWord>(UDWord{1} << Exponent);
+      return udDivMod(Numerator, Divisor);
+    }
+    assert(Divisor > 1 && "2^(2N) / 1 does not fit in a udword");
+    auto [Quotient, Remainder] =
+        udDivMod(static_cast<UDWord>(UDWord{1} << (2 * Bits - 1)), Divisor);
+    const bool Wrapped =
+        (Remainder >> (2 * Bits - 1)) != 0; // 2r overflows 2N bits.
+    Quotient = static_cast<UDWord>(Quotient << 1);
+    Remainder = static_cast<UDWord>(Remainder << 1);
+    if (Wrapped || Remainder >= Divisor) {
+      Remainder = static_cast<UDWord>(Remainder - Divisor);
+      Quotient = static_cast<UDWord>(Quotient + 1);
+    }
+    return {Quotient, Remainder};
+  }
+};
+
+} // namespace detail
+
+template <>
+struct WordTraits<uint8_t>
+    : detail::NativeWordTraits<uint8_t, int8_t, uint16_t, int16_t> {};
+template <>
+struct WordTraits<uint16_t>
+    : detail::NativeWordTraits<uint16_t, int16_t, uint32_t, int32_t> {};
+template <>
+struct WordTraits<uint32_t>
+    : detail::NativeWordTraits<uint32_t, int32_t, uint64_t, int64_t> {};
+
+/// N = 64: the doubleword is the from-scratch 128-bit type.
+template <> struct WordTraits<uint64_t> {
+  using UWord = uint64_t;
+  using SWord = int64_t;
+  using UDWord = UInt128;
+  using SDWord = Int128;
+  static constexpr int Bits = 64;
+
+  static constexpr UDWord udFromWord(UWord Value) { return UInt128(Value); }
+  static constexpr UWord udLow(UDWord Value) { return Value.low64(); }
+  static constexpr UWord udHigh(UDWord Value) { return Value.high64(); }
+  static constexpr SDWord sdFromWord(SWord Value) { return Int128(Value); }
+  static constexpr UWord sdLow(SDWord Value) { return Value.bits().low64(); }
+  static constexpr SWord sdHigh(SDWord Value) {
+    return static_cast<SWord>(Value.bits().high64());
+  }
+  static std::pair<UDWord, UDWord> udDivMod(UDWord A, UDWord B) {
+    return UInt128::divMod(A, B);
+  }
+  /// 2^K as a doubleword, 0 <= K < 2*Bits.
+  static constexpr UDWord udPow2(int K) { return UInt128::pow2(K); }
+  static std::pair<UDWord, UDWord> udDivModPow2(int Exponent, UDWord Divisor) {
+    return UInt128::divModPow2(Exponent, Divisor);
+  }
+};
+
+/// N = 128: one size beyond the host. The doubleword is the 256-bit
+/// type, the "word" is our own UInt128 — instantiating the paper's
+/// algorithms at a width no hardware provides, with the independently
+/// validated 128-bit division as the test reference. Signed members are
+/// deliberately absent (no Int256); only the unsigned algorithms
+/// instantiate at this width.
+template <> struct WordTraits<UInt128> {
+  using UWord = UInt128;
+  using SWord = Int128;
+  using UDWord = UInt256;
+  using SDWord = Int256;
+  static constexpr int Bits = 128;
+
+  static UDWord udFromWord(UWord Value) { return UInt256(Value); }
+  static UWord udLow(const UDWord &Value) { return Value.low128(); }
+  static UWord udHigh(const UDWord &Value) { return Value.high128(); }
+  static UDWord udPow2(int K) { return UInt256::pow2(K); }
+  static std::pair<UDWord, UDWord> udDivMod(const UDWord &A,
+                                            const UDWord &B) {
+    return UInt256::divMod(A, B);
+  }
+  static std::pair<UDWord, UDWord> udDivModPow2(int Exponent,
+                                                const UDWord &Divisor) {
+    return UInt256::divModPow2(Exponent, Divisor);
+  }
+  static SDWord sdFromWord(SWord Value) { return Int256(Value); }
+  static UWord sdLow(const SDWord &Value) { return Value.low128(); }
+  static SWord sdHigh(const SDWord &Value) { return Value.high128(); }
+};
+
+/// Bit-scanning overloads for the class-type word (the templates in
+/// Bits.h are constrained to built-in unsigned types).
+inline int countLeadingZeros(const UInt128 &Value) {
+  return Value.countLeadingZeros();
+}
+inline int countTrailingZeros(const UInt128 &Value) {
+  return Value.countTrailingZeros();
+}
+inline int floorLog2(const UInt128 &Value) {
+  assert(!Value.isZero() && "floorLog2 requires a positive argument");
+  return Value.bitLength() - 1;
+}
+inline int ceilLog2(const UInt128 &Value) {
+  assert(!Value.isZero() && "ceilLog2 requires a positive argument");
+  return (Value - UInt128(1)).bitLength();
+}
+inline bool isPowerOf2(const UInt128 &Value) {
+  return !Value.isZero() && (Value & (Value - UInt128(1))).isZero();
+}
+
+/// Maps a signed word type back to its unsigned family.
+template <typename SWordT> struct SignedWordTraits;
+template <> struct SignedWordTraits<int8_t> {
+  using Traits = WordTraits<uint8_t>;
+};
+template <> struct SignedWordTraits<int16_t> {
+  using Traits = WordTraits<uint16_t>;
+};
+template <> struct SignedWordTraits<int32_t> {
+  using Traits = WordTraits<uint32_t>;
+};
+template <> struct SignedWordTraits<int64_t> {
+  using Traits = WordTraits<uint64_t>;
+};
+template <> struct SignedWordTraits<Int128> {
+  using Traits = WordTraits<UInt128>;
+};
+
+//===----------------------------------------------------------------------===//
+// Table 3.1 primitives.
+//
+// Shift counts follow the paper: 0 <= n <= N-1 for the plain forms. The
+// *wide* forms additionally accept n == N (needed by Figure 8.1, where the
+// paper notes "the shift count may equal N; if this is too large, use
+// separate shifts") and return 0 in that case.
+//===----------------------------------------------------------------------===//
+
+/// MULL(x, y): lower half of the product, i.e. x*y mod 2^N.
+template <typename UWord>
+constexpr UWord mulL(UWord X, UWord Y) {
+  using T = WordTraits<UWord>;
+  return T::udLow(T::udFromWord(X) * T::udFromWord(Y));
+}
+
+/// MULUH(x, y): upper half of the unsigned product.
+///
+/// At N = 64 this is the one hot primitive where portability costs real
+/// cycles: the from-scratch UInt128 multiply decomposes into four 32-bit
+/// partial products, while most 64-bit ISAs have a single widening
+/// multiply the compiler exposes through __int128. Production practice
+/// (libdivide, GMP longlong.h) is a builtin fast path with the portable
+/// route as fallback; tests cross-check the two against each other and
+/// against the §3 identities.
+template <typename UWord>
+constexpr UWord mulUH(UWord X, UWord Y) {
+  using T = WordTraits<UWord>;
+  if constexpr (T::Bits == 64) {
+#ifdef __SIZEOF_INT128__
+    return static_cast<UWord>(
+        (static_cast<unsigned __int128>(X) *
+         static_cast<unsigned __int128>(Y)) >>
+        64);
+#endif
+  }
+  return T::udHigh(T::udFromWord(X) * T::udFromWord(Y));
+}
+
+/// MULSH(x, y): upper half of the signed product.
+template <typename SWord>
+constexpr SWord mulSH(SWord X, SWord Y) {
+  using T = typename SignedWordTraits<SWord>::Traits;
+  if constexpr (T::Bits == 64) {
+#ifdef __SIZEOF_INT128__
+    return static_cast<SWord>(
+        (static_cast<__int128>(X) * static_cast<__int128>(Y)) >> 64);
+#endif
+  }
+  return T::sdHigh(T::sdFromWord(X) * T::sdFromWord(Y));
+}
+
+/// The portable (builtin-free) forms, kept callable so tests can verify
+/// the fast paths against them on every platform.
+template <typename UWord>
+constexpr UWord mulUHPortable(UWord X, UWord Y) {
+  using T = WordTraits<UWord>;
+  return T::udHigh(T::udFromWord(X) * T::udFromWord(Y));
+}
+template <typename SWord>
+constexpr SWord mulSHPortable(SWord X, SWord Y) {
+  using T = typename SignedWordTraits<SWord>::Traits;
+  return T::sdHigh(T::sdFromWord(X) * T::sdFromWord(Y));
+}
+
+/// SLL(x, n): logical left shift, 0 <= n <= N-1.
+template <typename UWord>
+constexpr UWord sll(UWord X, int N) {
+  assert(N >= 0 && N < WordTraits<UWord>::Bits && "shift count out of range");
+  return static_cast<UWord>(X << N);
+}
+
+/// SRL(x, n): logical right shift, 0 <= n <= N-1.
+template <typename UWord>
+constexpr UWord srl(UWord X, int N) {
+  assert(N >= 0 && N < WordTraits<UWord>::Bits && "shift count out of range");
+  return static_cast<UWord>(X >> N);
+}
+
+/// SRA(x, n): arithmetic right shift, 0 <= n <= N-1. C++20 defines >> on
+/// signed types as arithmetic, but we route through the unsigned identity
+/// of §3 so the semantics are explicit and testable:
+///   SRA(x, n) = SRL(x + 2^(N-1), n) - 2^(N-n-1)   for 0 < n <= N-1.
+template <typename SWord>
+constexpr SWord sra(SWord X, int N) {
+  using T = typename SignedWordTraits<SWord>::Traits;
+  using UWord = typename T::UWord;
+  assert(N >= 0 && N < T::Bits && "shift count out of range");
+  if (N == 0)
+    return X;
+  const UWord Biased = static_cast<UWord>(
+      static_cast<UWord>(X) + (UWord{1} << (T::Bits - 1)));
+  const UWord Shifted = static_cast<UWord>(Biased >> N);
+  return static_cast<SWord>(
+      static_cast<UWord>(Shifted - (UWord{1} << (T::Bits - 1 - N))));
+}
+
+/// SLL permitting a shift count of N (result 0).
+template <typename UWord>
+constexpr UWord sllWide(UWord X, int N) {
+  if (N == WordTraits<UWord>::Bits)
+    return 0;
+  return sll(X, N);
+}
+
+/// SRL permitting a shift count of N (result 0).
+template <typename UWord>
+constexpr UWord srlWide(UWord X, int N) {
+  if (N == WordTraits<UWord>::Bits)
+    return 0;
+  return srl(X, N);
+}
+
+/// XSIGN(x): -1 if x < 0, else 0. "Short for SRA(x, N-1)."
+template <typename SWord>
+constexpr SWord xsign(SWord X) {
+  return sra(X, SignedWordTraits<SWord>::Traits::Bits - 1);
+}
+
+/// EOR / AND / OR / NOT exist natively; NOT on a signed word is -1 - x.
+
+//===----------------------------------------------------------------------===//
+// §3 identities — each is both a usable fallback for architectures missing
+// an instruction and a testable claim of the paper.
+//===----------------------------------------------------------------------===//
+
+/// MULUH computed from MULSH (for machines with only a signed high
+/// multiply):
+///   MULUH(x, y) = MULSH(x, y) + AND(x, XSIGN(y)) + AND(y, XSIGN(x)).
+template <typename UWord>
+constexpr UWord mulUHFromMulSH(UWord X, UWord Y) {
+  using T = WordTraits<UWord>;
+  using SWord = typename T::SWord;
+  const SWord SX = static_cast<SWord>(X), SY = static_cast<SWord>(Y);
+  const UWord High = static_cast<UWord>(mulSH(SX, SY));
+  return static_cast<UWord>(High +
+                            (X & static_cast<UWord>(xsign(SY))) +
+                            (Y & static_cast<UWord>(xsign(SX))));
+}
+
+/// MULSH computed from MULUH (the same identity solved the other way).
+template <typename SWord>
+constexpr SWord mulSHFromMulUH(SWord X, SWord Y) {
+  using T = typename SignedWordTraits<SWord>::Traits;
+  using UWord = typename T::UWord;
+  const UWord UX = static_cast<UWord>(X), UY = static_cast<UWord>(Y);
+  const UWord High = mulUH(UX, UY);
+  return static_cast<SWord>(static_cast<UWord>(
+      High - (UX & static_cast<UWord>(xsign(Y))) -
+      (UY & static_cast<UWord>(xsign(X)))));
+}
+
+/// Reference TRUNC on rationals is provided by the dividers; on floating
+/// point it is std::trunc (used by §7's FloatDivider).
+
+} // namespace gmdiv
+
+#endif // GMDIV_OPS_OPS_H

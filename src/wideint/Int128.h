@@ -1,0 +1,180 @@
+//===- wideint/Int128.h - 128-bit signed integer ----------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two's complement 128-bit signed integer on top of UInt128.
+///
+/// This is the paper's "sdword" for N = 64: the signed doubleword that
+/// MULSH produces and that §8 uses for the remainder adjustment. Division
+/// truncates toward zero, matching the dominant C convention the paper
+/// discusses in §2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_WIDEINT_INT128_H
+#define GMDIV_WIDEINT_INT128_H
+
+#include "wideint/UInt128.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace gmdiv {
+
+/// 128-bit two's complement signed integer. Addition, subtraction and
+/// multiplication wrap mod 2^128 exactly like the unsigned type (two's
+/// complement makes them bit-identical); comparisons, shifts and division
+/// are sign-aware.
+class Int128 {
+public:
+  constexpr Int128() : Rep() {}
+  constexpr Int128(int64_t Value)
+      : Rep(UInt128::fromHalves(Value < 0 ? ~uint64_t{0} : 0,
+                                static_cast<uint64_t>(Value))) {}
+
+  /// Reinterprets an unsigned 128-bit pattern as signed (two's complement).
+  static constexpr Int128 fromBits(UInt128 Bits) {
+    Int128 Result;
+    Result.Rep = Bits;
+    return Result;
+  }
+
+  /// Explicit bit-pattern conversions, so the width-generic algorithm
+  /// templates can `static_cast` between the signed and unsigned views
+  /// the same way they do for built-in words.
+  explicit constexpr Int128(UInt128 Bits) : Rep(Bits) {}
+  explicit constexpr operator UInt128() const { return Rep; }
+
+  static constexpr Int128 min() {
+    return fromBits(UInt128::pow2(127));
+  }
+  static constexpr Int128 max() {
+    return fromBits(UInt128::pow2(127) - UInt128(1));
+  }
+
+  /// The underlying two's complement bit pattern.
+  constexpr UInt128 bits() const { return Rep; }
+
+  constexpr bool isNegative() const { return Rep.bit(127); }
+  constexpr bool isZero() const { return Rep.isZero(); }
+
+  /// Magnitude as an unsigned value; correct even for min() (2^127).
+  constexpr UInt128 magnitude() const {
+    return isNegative() ? -Rep : Rep;
+  }
+
+  /// Truncates to the low 64 bits (two's complement).
+  constexpr int64_t low64() const {
+    return static_cast<int64_t>(Rep.low64());
+  }
+
+  /// True if the value is representable as int64_t.
+  constexpr bool fitsIn64() const {
+    return Rep.high64() == (Rep.bit(63) ? ~uint64_t{0} : 0);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Comparison (signed)
+  //===--------------------------------------------------------------------===//
+
+  friend constexpr bool operator==(Int128 A, Int128 B) {
+    return A.Rep == B.Rep;
+  }
+  friend constexpr bool operator!=(Int128 A, Int128 B) { return !(A == B); }
+  friend constexpr bool operator<(Int128 A, Int128 B) {
+    if (A.isNegative() != B.isNegative())
+      return A.isNegative();
+    return A.Rep < B.Rep;
+  }
+  friend constexpr bool operator>(Int128 A, Int128 B) { return B < A; }
+  friend constexpr bool operator<=(Int128 A, Int128 B) { return !(B < A); }
+  friend constexpr bool operator>=(Int128 A, Int128 B) { return !(A < B); }
+
+  //===--------------------------------------------------------------------===//
+  // Arithmetic (wrapping, mod 2^128)
+  //===--------------------------------------------------------------------===//
+
+  friend constexpr Int128 operator+(Int128 A, Int128 B) {
+    return fromBits(A.Rep + B.Rep);
+  }
+  friend constexpr Int128 operator-(Int128 A, Int128 B) {
+    return fromBits(A.Rep - B.Rep);
+  }
+  friend constexpr Int128 operator-(Int128 A) { return fromBits(-A.Rep); }
+  friend constexpr Int128 operator*(Int128 A, Int128 B) {
+    return fromBits(A.Rep * B.Rep);
+  }
+
+  Int128 &operator+=(Int128 B) { return *this = *this + B; }
+  Int128 &operator-=(Int128 B) { return *this = *this - B; }
+  Int128 &operator*=(Int128 B) { return *this = *this * B; }
+
+  //===--------------------------------------------------------------------===//
+  // Bitwise and shifts
+  //===--------------------------------------------------------------------===//
+
+  friend constexpr Int128 operator&(Int128 A, Int128 B) {
+    return fromBits(A.Rep & B.Rep);
+  }
+  friend constexpr Int128 operator|(Int128 A, Int128 B) {
+    return fromBits(A.Rep | B.Rep);
+  }
+  friend constexpr Int128 operator^(Int128 A, Int128 B) {
+    return fromBits(A.Rep ^ B.Rep);
+  }
+  friend constexpr Int128 operator~(Int128 A) { return fromBits(~A.Rep); }
+
+  friend constexpr Int128 operator<<(Int128 A, int Count) {
+    return fromBits(A.Rep << Count);
+  }
+  /// Arithmetic right shift (sign-propagating).
+  friend constexpr Int128 operator>>(Int128 A, int Count) {
+    assert(Count >= 0 && Count < 128 && "shift count out of range");
+    if (!A.isNegative())
+      return fromBits(A.Rep >> Count);
+    if (Count == 0)
+      return A;
+    // Shift in ones from the top: ~(~x >> count).
+    return fromBits(~(~A.Rep >> Count));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Division (truncating toward zero, like C)
+  //===--------------------------------------------------------------------===//
+
+  /// Computes quotient and remainder with C semantics: the quotient
+  /// truncates toward zero and the remainder has the sign of the dividend.
+  /// min() / -1 wraps to min(), matching two's complement hardware.
+  static std::pair<Int128, Int128> divMod(Int128 Dividend, Int128 Divisor) {
+    assert(!Divisor.isZero() && "division by zero");
+    auto [QMag, RMag] = UInt128::divMod(Dividend.magnitude(),
+                                        Divisor.magnitude());
+    const bool QNegative = Dividend.isNegative() != Divisor.isNegative();
+    Int128 Quotient = fromBits(QNegative ? -QMag : QMag);
+    Int128 Remainder = fromBits(Dividend.isNegative() ? -RMag : RMag);
+    return {Quotient, Remainder};
+  }
+
+  friend Int128 operator/(Int128 A, Int128 B) { return divMod(A, B).first; }
+  friend Int128 operator%(Int128 A, Int128 B) { return divMod(A, B).second; }
+
+  /// Decimal representation with a leading '-' for negative values.
+  std::string toString() const {
+    if (!isNegative())
+      return Rep.toString();
+    return "-" + magnitude().toString();
+  }
+
+private:
+  UInt128 Rep;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_WIDEINT_INT128_H

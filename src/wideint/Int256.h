@@ -1,0 +1,86 @@
+//===- wideint/Int256.h - 256-bit signed integer ----------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two's complement 256-bit integer over UInt256 — the "sdword" for the
+/// N = 128 instantiation. Only what MULSH and the signed dividers need:
+/// wrapping add/sub/mul (bit-identical to unsigned), sign-aware
+/// comparison, arithmetic right shift, and high/low extraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_WIDEINT_INT256_H
+#define GMDIV_WIDEINT_INT256_H
+
+#include "wideint/Int128.h"
+#include "wideint/UInt256.h"
+
+namespace gmdiv {
+
+/// 256-bit two's complement signed integer.
+class Int256 {
+public:
+  constexpr Int256() = default;
+  Int256(int64_t Value)
+      : Rep(UInt256::fromHalves(
+            Value < 0 ? ~UInt128(0) : UInt128(0),
+            UInt128::fromHalves(Value < 0 ? ~uint64_t{0} : 0,
+                                static_cast<uint64_t>(Value)))) {}
+  /// Sign-extends a 128-bit signed value.
+  explicit Int256(Int128 Value)
+      : Rep(UInt256::fromHalves(Value.isNegative() ? ~UInt128(0)
+                                                   : UInt128(0),
+                                Value.bits())) {}
+
+  static constexpr Int256 fromBits(const UInt256 &Bits) {
+    Int256 Result;
+    Result.Rep = Bits;
+    return Result;
+  }
+  constexpr const UInt256 &bits() const { return Rep; }
+
+  bool isNegative() const { return Rep.high128().bit(127); }
+
+  /// High and low 128-bit halves; the high half is the MULSH result.
+  Int128 high128() const { return Int128::fromBits(Rep.high128()); }
+  UInt128 low128() const { return Rep.low128(); }
+
+  friend Int256 operator+(const Int256 &A, const Int256 &B) {
+    return fromBits(A.Rep + B.Rep);
+  }
+  friend Int256 operator-(const Int256 &A, const Int256 &B) {
+    return fromBits(A.Rep - B.Rep);
+  }
+  friend Int256 operator*(const Int256 &A, const Int256 &B) {
+    // Two's complement: the low 256 bits of the product are
+    // sign-agnostic, and signed operands were sign-extended on entry.
+    return fromBits(A.Rep * B.Rep);
+  }
+  friend bool operator==(const Int256 &A, const Int256 &B) {
+    return A.Rep == B.Rep;
+  }
+  friend bool operator<(const Int256 &A, const Int256 &B) {
+    if (A.isNegative() != B.isNegative())
+      return A.isNegative();
+    return A.Rep < B.Rep;
+  }
+
+  /// Arithmetic right shift: shift in ones from the top for negatives,
+  /// via ~(~x >> count).
+  friend Int256 operator>>(const Int256 &A, int Count) {
+    if (!A.isNegative())
+      return fromBits(A.Rep >> Count);
+    return fromBits(~((~A.Rep) >> Count));
+  }
+
+private:
+  UInt256 Rep;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_WIDEINT_INT256_H

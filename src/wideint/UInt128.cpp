@@ -1,0 +1,227 @@
+//===- wideint/UInt128.cpp - 128-bit unsigned integer ---------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wideint/UInt128.h"
+
+#include "ops/Bits.h"
+
+#include <array>
+
+using namespace gmdiv;
+
+int UInt128::countLeadingZeros() const {
+  if (Hi != 0)
+    return countLeadingZeros64(Hi);
+  return 64 + countLeadingZeros64(Lo);
+}
+
+int UInt128::countTrailingZeros() const {
+  if (Lo != 0)
+    return countTrailingZeros64(Lo);
+  return 64 + countTrailingZeros64(Hi);
+}
+
+namespace {
+
+/// Decomposes a UInt128 into four base-2^32 limbs, least significant first.
+std::array<uint32_t, 4> toLimbs(UInt128 Value) {
+  return {static_cast<uint32_t>(Value.low64()),
+          static_cast<uint32_t>(Value.low64() >> 32),
+          static_cast<uint32_t>(Value.high64()),
+          static_cast<uint32_t>(Value.high64() >> 32)};
+}
+
+UInt128 fromLimbs(const uint32_t *Limbs) {
+  const uint64_t Low = Limbs[0] | (uint64_t{Limbs[1]} << 32);
+  const uint64_t High = Limbs[2] | (uint64_t{Limbs[3]} << 32);
+  return UInt128::fromHalves(High, Low);
+}
+
+/// Short division of a multi-limb dividend by a single 32-bit limb.
+std::pair<UInt128, UInt128> divModShort(UInt128 Dividend, uint32_t Divisor) {
+  const std::array<uint32_t, 4> U = toLimbs(Dividend);
+  std::array<uint32_t, 4> Quotient = {0, 0, 0, 0};
+  uint64_t Remainder = 0;
+  for (int I = 3; I >= 0; --I) {
+    const uint64_t Part = (Remainder << 32) | U[I];
+    Quotient[I] = static_cast<uint32_t>(Part / Divisor);
+    Remainder = Part % Divisor;
+  }
+  return {fromLimbs(Quotient.data()), UInt128(Remainder)};
+}
+
+/// Knuth's Algorithm D (TAOCP vol. 2, §4.3.1) over base-2^32 limbs, for
+/// divisors of two or more limbs. Both operands have at most four limbs.
+std::pair<UInt128, UInt128> divModKnuth(UInt128 Dividend, UInt128 Divisor) {
+  constexpr uint64_t Base = uint64_t{1} << 32;
+  std::array<uint32_t, 4> VRaw = toLimbs(Divisor);
+  int N = 4;
+  while (N > 0 && VRaw[N - 1] == 0)
+    --N;
+  assert(N >= 2 && "single-limb divisors take the short-division path");
+
+  int M = 4;
+  std::array<uint32_t, 4> URaw = toLimbs(Dividend);
+  while (M > 0 && URaw[M - 1] == 0)
+    --M;
+  if (M < N)
+    return {UInt128(0), Dividend};
+
+  // D1: normalize so the top divisor limb has its high bit set.
+  const int Shift = countLeadingZeros<uint32_t>(VRaw[N - 1]);
+  std::array<uint32_t, 5> U = {0, 0, 0, 0, 0};
+  std::array<uint32_t, 4> V = {0, 0, 0, 0};
+  for (int I = N - 1; I > 0; --I)
+    V[I] = (VRaw[I] << Shift) |
+           (Shift ? static_cast<uint32_t>(uint64_t{VRaw[I - 1]} >>
+                                          (32 - Shift))
+                  : 0);
+  V[0] = VRaw[0] << Shift;
+  U[M] = Shift ? static_cast<uint32_t>(uint64_t{URaw[M - 1]} >> (32 - Shift))
+               : 0;
+  for (int I = M - 1; I > 0; --I)
+    U[I] = (URaw[I] << Shift) |
+           (Shift ? static_cast<uint32_t>(uint64_t{URaw[I - 1]} >>
+                                          (32 - Shift))
+                  : 0);
+  U[0] = URaw[0] << Shift;
+
+  std::array<uint32_t, 4> Quotient = {0, 0, 0, 0};
+
+  // D2..D7: main loop.
+  for (int J = M - N; J >= 0; --J) {
+    // D3: estimate the quotient limb.
+    const uint64_t Numerator = (uint64_t{U[J + N]} << 32) | U[J + N - 1];
+    uint64_t QHat = Numerator / V[N - 1];
+    uint64_t RHat = Numerator % V[N - 1];
+    while (QHat >= Base ||
+           QHat * V[N - 2] > ((RHat << 32) | U[J + N - 2])) {
+      --QHat;
+      RHat += V[N - 1];
+      if (RHat >= Base)
+        break;
+    }
+
+    // D4: multiply and subtract.
+    int64_t Borrow = 0;
+    uint64_t Carry = 0;
+    for (int I = 0; I < N; ++I) {
+      const uint64_t Product = QHat * V[I] + Carry;
+      Carry = Product >> 32;
+      const int64_t Diff = static_cast<int64_t>(U[I + J]) -
+                           static_cast<int64_t>(Product & 0xffffffffu) +
+                           Borrow;
+      U[I + J] = static_cast<uint32_t>(Diff);
+      Borrow = Diff >> 32; // Arithmetic shift: 0 or -1.
+    }
+    const int64_t Diff = static_cast<int64_t>(U[J + N]) -
+                         static_cast<int64_t>(Carry) + Borrow;
+    U[J + N] = static_cast<uint32_t>(Diff);
+
+    // D5/D6: if we subtracted too much, add one divisor back.
+    if (Diff < 0) {
+      --QHat;
+      uint64_t AddCarry = 0;
+      for (int I = 0; I < N; ++I) {
+        const uint64_t Sum = uint64_t{U[I + J]} + V[I] + AddCarry;
+        U[I + J] = static_cast<uint32_t>(Sum);
+        AddCarry = Sum >> 32;
+      }
+      U[J + N] = static_cast<uint32_t>(U[J + N] + AddCarry);
+    }
+
+    Quotient[J] = static_cast<uint32_t>(QHat);
+  }
+
+  // D8: denormalize the remainder.
+  std::array<uint32_t, 4> R = {0, 0, 0, 0};
+  for (int I = 0; I < N - 1; ++I)
+    R[I] = (U[I] >> Shift) |
+           (Shift ? static_cast<uint32_t>(uint64_t{U[I + 1]} << (32 - Shift))
+                  : 0);
+  R[N - 1] = U[N - 1] >> Shift;
+  return {fromLimbs(Quotient.data()), fromLimbs(R.data())};
+}
+
+} // namespace
+
+std::pair<UInt128, UInt128> UInt128::divMod(UInt128 Dividend,
+                                            UInt128 Divisor) {
+  assert(!Divisor.isZero() && "division by zero");
+  if (Dividend < Divisor)
+    return {UInt128(0), Dividend};
+  if (Divisor.fitsIn64() && Divisor.low64() <= 0xffffffffu)
+    return divModShort(Dividend, static_cast<uint32_t>(Divisor.low64()));
+  if (Dividend.fitsIn64()) {
+    // Divisor also fits (it is <= Dividend), so use native 64-bit division.
+    return {UInt128(Dividend.low64() / Divisor.low64()),
+            UInt128(Dividend.low64() % Divisor.low64())};
+  }
+  return divModKnuth(Dividend, Divisor);
+}
+
+std::pair<UInt128, UInt128> UInt128::divModPow2(int Exponent,
+                                                UInt128 Divisor) {
+  assert(Exponent >= 0 && Exponent <= 128 && "exponent out of range");
+  assert(!Divisor.isZero() && "division by zero");
+  if (Exponent < 128)
+    return divMod(pow2(Exponent), Divisor);
+  assert(Divisor > UInt128(1) &&
+         "2^128 / 1 does not fit in 128 bits");
+  // 2^128 = 2*q0*d + 2*r0 where 2^127 = q0*d + r0. Since r0 < d, a single
+  // conditional subtraction reduces 2*r0 below d. Doubling r0 may wrap past
+  // 2^128; in that case 2*r0 >= 2^128 > d, so the subtraction is mandatory
+  // and the wrapped value minus d equals the true residue (2*r0 - d < d).
+  auto [Quotient, Remainder] = divMod(pow2(127), Divisor);
+  const bool DoublingWrapped = Remainder.bit(127);
+  Quotient <<= 1;
+  Remainder <<= 1;
+  if (DoublingWrapped || Remainder >= Divisor) {
+    Remainder -= Divisor;
+    ++Quotient;
+  }
+  return {Quotient, Remainder};
+}
+
+std::string UInt128::toString() const {
+  if (isZero())
+    return "0";
+  std::string Digits;
+  UInt128 Value = *this;
+  while (!Value.isZero()) {
+    auto [Quotient, Remainder] = divMod(Value, UInt128(10));
+    Digits.push_back(static_cast<char>('0' + Remainder.low64()));
+    Value = Quotient;
+  }
+  return std::string(Digits.rbegin(), Digits.rend());
+}
+
+std::string UInt128::toHexString() const {
+  static const char HexDigits[] = "0123456789abcdef";
+  if (isZero())
+    return "0x0";
+  std::string Digits;
+  UInt128 Value = *this;
+  while (!Value.isZero()) {
+    Digits.push_back(HexDigits[Value.low64() & 0xf]);
+    Value >>= 4;
+  }
+  return "0x" + std::string(Digits.rbegin(), Digits.rend());
+}
+
+UInt128 UInt128::fromString(const std::string &Text) {
+  assert(!Text.empty() && "empty string is not a number");
+  UInt128 Value(0);
+  for (char Ch : Text) {
+    assert(Ch >= '0' && Ch <= '9' && "malformed decimal digit");
+    const UInt128 Scaled = Value * UInt128(10);
+    assert(divMod(Scaled, UInt128(10)).first == Value && "overflow");
+    Value = Scaled + UInt128(static_cast<uint64_t>(Ch - '0'));
+    assert(Value >= Scaled && "overflow");
+  }
+  return Value;
+}

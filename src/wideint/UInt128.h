@@ -1,0 +1,244 @@
+//===- wideint/UInt128.h - 128-bit unsigned integer -------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch 128-bit unsigned integer built from two 64-bit limbs.
+///
+/// The paper's algorithms require "udword" (2N-bit) arithmetic for an N-bit
+/// machine word: CHOOSE_MULTIPLIER (Figure 6.2) computes ⌊2^(N+l)/d⌋, the
+/// MULUH/MULSH primitives of Table 3.1 need full 2N-bit products, and §8
+/// divides a udword by a uword. For N = 64 no standard C++ type provides
+/// this, so we implement one. Multiplication decomposes into 32-bit limbs;
+/// division uses short division for 64-bit divisors and a Knuth-style
+/// algorithm-D loop for wider divisors. No compiler extensions are used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_WIDEINT_UINT128_H
+#define GMDIV_WIDEINT_UINT128_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace gmdiv {
+
+/// 128-bit unsigned integer with wrap-around (mod 2^128) semantics,
+/// mirroring the behavior of the built-in unsigned types.
+class UInt128 {
+public:
+  constexpr UInt128() : Lo(0), Hi(0) {}
+  constexpr UInt128(uint64_t Value) : Lo(Value), Hi(0) {}
+
+  /// Builds a value from explicit high and low 64-bit halves.
+  static constexpr UInt128 fromHalves(uint64_t High, uint64_t Low) {
+    UInt128 Result;
+    Result.Lo = Low;
+    Result.Hi = High;
+    return Result;
+  }
+
+  /// Returns 2^Exponent. \p Exponent must be in [0, 128).
+  static constexpr UInt128 pow2(int Exponent) {
+    assert(Exponent >= 0 && Exponent < 128 && "pow2 exponent out of range");
+    return UInt128(1) << Exponent;
+  }
+
+  /// Returns 2^128 - 1, the largest representable value.
+  static constexpr UInt128 max() {
+    return fromHalves(~uint64_t{0}, ~uint64_t{0});
+  }
+
+  constexpr uint64_t low64() const { return Lo; }
+  constexpr uint64_t high64() const { return Hi; }
+
+  /// True if the value fits in a plain uint64_t.
+  constexpr bool fitsIn64() const { return Hi == 0; }
+
+  constexpr bool isZero() const { return (Lo | Hi) == 0; }
+
+  /// Value of bit \p Index (0 = least significant).
+  constexpr bool bit(int Index) const {
+    assert(Index >= 0 && Index < 128 && "bit index out of range");
+    if (Index < 64)
+      return (Lo >> Index) & 1;
+    return (Hi >> (Index - 64)) & 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Comparison
+  //===--------------------------------------------------------------------===//
+
+  friend constexpr bool operator==(UInt128 A, UInt128 B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend constexpr bool operator!=(UInt128 A, UInt128 B) { return !(A == B); }
+  friend constexpr bool operator<(UInt128 A, UInt128 B) {
+    return A.Hi != B.Hi ? A.Hi < B.Hi : A.Lo < B.Lo;
+  }
+  friend constexpr bool operator>(UInt128 A, UInt128 B) { return B < A; }
+  friend constexpr bool operator<=(UInt128 A, UInt128 B) { return !(B < A); }
+  friend constexpr bool operator>=(UInt128 A, UInt128 B) { return !(A < B); }
+
+  //===--------------------------------------------------------------------===//
+  // Addition / subtraction / negation (mod 2^128)
+  //===--------------------------------------------------------------------===//
+
+  friend constexpr UInt128 operator+(UInt128 A, UInt128 B) {
+    UInt128 Result;
+    Result.Lo = A.Lo + B.Lo;
+    Result.Hi = A.Hi + B.Hi + (Result.Lo < A.Lo ? 1 : 0);
+    return Result;
+  }
+  friend constexpr UInt128 operator-(UInt128 A, UInt128 B) {
+    UInt128 Result;
+    Result.Lo = A.Lo - B.Lo;
+    Result.Hi = A.Hi - B.Hi - (A.Lo < B.Lo ? 1 : 0);
+    return Result;
+  }
+  friend constexpr UInt128 operator-(UInt128 A) { return UInt128(0) - A; }
+
+  UInt128 &operator+=(UInt128 B) { return *this = *this + B; }
+  UInt128 &operator-=(UInt128 B) { return *this = *this - B; }
+
+  UInt128 &operator++() { return *this += UInt128(1); }
+  UInt128 &operator--() { return *this -= UInt128(1); }
+
+  //===--------------------------------------------------------------------===//
+  // Bitwise operations
+  //===--------------------------------------------------------------------===//
+
+  friend constexpr UInt128 operator&(UInt128 A, UInt128 B) {
+    return fromHalves(A.Hi & B.Hi, A.Lo & B.Lo);
+  }
+  friend constexpr UInt128 operator|(UInt128 A, UInt128 B) {
+    return fromHalves(A.Hi | B.Hi, A.Lo | B.Lo);
+  }
+  friend constexpr UInt128 operator^(UInt128 A, UInt128 B) {
+    return fromHalves(A.Hi ^ B.Hi, A.Lo ^ B.Lo);
+  }
+  friend constexpr UInt128 operator~(UInt128 A) {
+    return fromHalves(~A.Hi, ~A.Lo);
+  }
+
+  UInt128 &operator&=(UInt128 B) { return *this = *this & B; }
+  UInt128 &operator|=(UInt128 B) { return *this = *this | B; }
+  UInt128 &operator^=(UInt128 B) { return *this = *this ^ B; }
+
+  //===--------------------------------------------------------------------===//
+  // Shifts. Counts must be in [0, 128); a count of 128 is rejected by
+  // assertion just like shifting a built-in type by its full width would be
+  // undefined behavior.
+  //===--------------------------------------------------------------------===//
+
+  friend constexpr UInt128 operator<<(UInt128 A, int Count) {
+    assert(Count >= 0 && Count < 128 && "shift count out of range");
+    if (Count == 0)
+      return A;
+    if (Count >= 64)
+      return fromHalves(A.Lo << (Count - 64), 0);
+    return fromHalves((A.Hi << Count) | (A.Lo >> (64 - Count)),
+                      A.Lo << Count);
+  }
+  friend constexpr UInt128 operator>>(UInt128 A, int Count) {
+    assert(Count >= 0 && Count < 128 && "shift count out of range");
+    if (Count == 0)
+      return A;
+    if (Count >= 64)
+      return fromHalves(0, A.Hi >> (Count - 64));
+    return fromHalves(A.Hi >> Count,
+                      (A.Lo >> Count) | (A.Hi << (64 - Count)));
+  }
+
+  UInt128 &operator<<=(int Count) { return *this = *this << Count; }
+  UInt128 &operator>>=(int Count) { return *this = *this >> Count; }
+
+  //===--------------------------------------------------------------------===//
+  // Multiplication (mod 2^128)
+  //===--------------------------------------------------------------------===//
+
+  /// Full 64x64 -> 128-bit product, computed from 32-bit limbs.
+  static constexpr UInt128 mulFull64(uint64_t A, uint64_t B) {
+    const uint64_t ALo = A & 0xffffffffu, AHi = A >> 32;
+    const uint64_t BLo = B & 0xffffffffu, BHi = B >> 32;
+    const uint64_t LoLo = ALo * BLo;
+    const uint64_t LoHi = ALo * BHi;
+    const uint64_t HiLo = AHi * BLo;
+    const uint64_t HiHi = AHi * BHi;
+    // Sum the three middle partial products' contribution to bits [32, 96).
+    uint64_t Mid = (LoLo >> 32) + (LoHi & 0xffffffffu) + (HiLo & 0xffffffffu);
+    uint64_t Low = (LoLo & 0xffffffffu) | (Mid << 32);
+    uint64_t High = HiHi + (LoHi >> 32) + (HiLo >> 32) + (Mid >> 32);
+    return fromHalves(High, Low);
+  }
+
+  friend constexpr UInt128 operator*(UInt128 A, UInt128 B) {
+    UInt128 Result = mulFull64(A.Lo, B.Lo);
+    Result.Hi += A.Lo * B.Hi + A.Hi * B.Lo;
+    return Result;
+  }
+  UInt128 &operator*=(UInt128 B) { return *this = *this * B; }
+
+  //===--------------------------------------------------------------------===//
+  // Division
+  //===--------------------------------------------------------------------===//
+
+  /// Computes quotient and remainder of \p Dividend / \p Divisor.
+  /// \p Divisor must be nonzero.
+  static std::pair<UInt128, UInt128> divMod(UInt128 Dividend,
+                                            UInt128 Divisor);
+
+  friend UInt128 operator/(UInt128 A, UInt128 B) {
+    return divMod(A, B).first;
+  }
+  friend UInt128 operator%(UInt128 A, UInt128 B) {
+    return divMod(A, B).second;
+  }
+  UInt128 &operator/=(UInt128 B) { return *this = *this / B; }
+  UInt128 &operator%=(UInt128 B) { return *this = *this % B; }
+
+  /// Computes (q, r) with 2^Exponent = q * Divisor + r, 0 <= r < Divisor,
+  /// for exponents up to 128 *inclusive* — the numerator itself may exceed
+  /// 2^128 - 1, which divMod cannot represent. CHOOSE_MULTIPLIER needs
+  /// ⌊2^(N+l)/d⌋ where N + l reaches 128 for 64-bit divisors.
+  /// The quotient must fit in 128 bits (guaranteed when Divisor > 1 or
+  /// Exponent < 128; asserted otherwise).
+  static std::pair<UInt128, UInt128> divModPow2(int Exponent,
+                                                UInt128 Divisor);
+
+  //===--------------------------------------------------------------------===//
+  // Bit scanning
+  //===--------------------------------------------------------------------===//
+
+  /// Number of leading zero bits; 128 when the value is zero.
+  int countLeadingZeros() const;
+  /// Number of trailing zero bits; 128 when the value is zero.
+  int countTrailingZeros() const;
+  /// Position of the highest set bit plus one; 0 when the value is zero.
+  int bitLength() const { return 128 - countLeadingZeros(); }
+
+  //===--------------------------------------------------------------------===//
+  // Formatting
+  //===--------------------------------------------------------------------===//
+
+  /// Decimal representation, e.g. "340282366920938463463374607431768211455".
+  std::string toString() const;
+  /// Hexadecimal representation with "0x" prefix and no leading zeros.
+  std::string toHexString() const;
+  /// Parses a decimal string. Asserts on malformed input or overflow;
+  /// intended for tests and constant tables, not user input.
+  static UInt128 fromString(const std::string &Text);
+
+private:
+  uint64_t Lo;
+  uint64_t Hi;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_WIDEINT_UINT128_H

@@ -1,0 +1,95 @@
+//===- wideint/UInt256.cpp - 256-bit unsigned integer ---------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wideint/UInt256.h"
+
+using namespace gmdiv;
+
+UInt256 UInt256::mulFull128(UInt128 A, UInt128 B) {
+  // Schoolbook over 64-bit limbs: (a1*W + a0)(b1*W + b0) with W = 2^64.
+  const UInt128 LoLo = UInt128::mulFull64(A.low64(), B.low64());
+  const UInt128 LoHi = UInt128::mulFull64(A.low64(), B.high64());
+  const UInt128 HiLo = UInt128::mulFull64(A.high64(), B.low64());
+  const UInt128 HiHi = UInt128::mulFull64(A.high64(), B.high64());
+
+  // Accumulate the middle terms into bits [64, 192).
+  UInt128 Mid = UInt128(LoLo.high64()) + UInt128(LoHi.low64()) +
+                UInt128(HiLo.low64());
+  const UInt128 Low =
+      UInt128::fromHalves(Mid.low64(), LoLo.low64());
+  const UInt128 High = HiHi + UInt128(LoHi.high64()) +
+                       UInt128(HiLo.high64()) + UInt128(Mid.high64());
+  return fromHalves(High, Low);
+}
+
+std::pair<UInt256, UInt256> UInt256::divMod(const UInt256 &Dividend,
+                                            const UInt256 &Divisor) {
+  assert(!Divisor.isZero() && "division by zero");
+  if (Dividend < Divisor)
+    return {UInt256(), Dividend};
+  if (Dividend.Hi.isZero()) {
+    // Both fit 128 bits: delegate.
+    auto [Quotient, Remainder] =
+        UInt128::divMod(Dividend.Lo, Divisor.Lo);
+    return {UInt256(Quotient), UInt256(Remainder)};
+  }
+  // Bitwise long division, aligned to the leading bits.
+  UInt256 Remainder;
+  UInt256 Quotient;
+  for (int Bit = Dividend.bitLength() - 1; Bit >= 0; --Bit) {
+    // Remainder = (Remainder << 1) | dividend bit.
+    Remainder = Remainder + Remainder;
+    const bool BitSet =
+        Bit < 128 ? Dividend.Lo.bit(Bit) : Dividend.Hi.bit(Bit - 128);
+    if (BitSet)
+      Remainder += UInt256(UInt128(1));
+    if (!(Remainder < Divisor)) {
+      Remainder -= Divisor;
+      if (Bit < 128)
+        Quotient.Lo = Quotient.Lo | UInt128::pow2(Bit);
+      else
+        Quotient.Hi = Quotient.Hi | UInt128::pow2(Bit - 128);
+    }
+  }
+  return {Quotient, Remainder};
+}
+
+std::pair<UInt256, UInt256> UInt256::divModPow2(int Exponent,
+                                                const UInt256 &Divisor) {
+  assert(Exponent >= 0 && Exponent <= 256 && "exponent out of range");
+  assert(!Divisor.isZero() && "division by zero");
+  if (Exponent < 256)
+    return divMod(pow2(Exponent), Divisor);
+  assert(Divisor > UInt256(UInt128(1)) &&
+         "2^256 / 1 does not fit in 256 bits");
+  // Same doubling trick as UInt128::divModPow2.
+  auto [Quotient, Remainder] = divMod(pow2(255), Divisor);
+  const bool DoublingWrapped =
+      !Remainder.high128().isZero() && Remainder.high128().bit(127);
+  Quotient = Quotient + Quotient;
+  Remainder = Remainder + Remainder;
+  if (DoublingWrapped || Remainder >= Divisor) {
+    Remainder -= Divisor;
+    Quotient += UInt256(UInt128(1));
+  }
+  return {Quotient, Remainder};
+}
+
+std::string UInt256::toString() const {
+  if (isZero())
+    return "0";
+  std::string Digits;
+  UInt256 Value = *this;
+  const UInt256 Ten(UInt128(10));
+  while (!Value.isZero()) {
+    auto [Quotient, Remainder] = divMod(Value, Ten);
+    Digits.push_back(
+        static_cast<char>('0' + Remainder.low128().low64()));
+    Value = Quotient;
+  }
+  return std::string(Digits.rbegin(), Digits.rend());
+}

@@ -1,0 +1,156 @@
+//===- wideint/UInt256.h - 256-bit unsigned integer -------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 256-bit unsigned integer assembled from two UInt128 halves — the
+/// "udword" for an N = 128 machine. It exists so the paper's algorithms
+/// can be instantiated one word size beyond anything the host supports,
+/// demonstrating that the N-bit derivations hold for any N: with this
+/// type as the doubleword, `UnsignedDivider<UInt128>` divides 128-bit
+/// values by invariant 128-bit divisors using one 128x128->256
+/// multiply-high — and the reference it is tested against is our own
+/// (independently validated) UInt128 division.
+///
+/// Only the operations the algorithms need are provided: comparisons,
+/// add/sub, full multiplication, shifts, and quotient/remainder (bitwise
+/// long division — this type runs at divider setup and in tests, never
+/// in a per-division hot path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_WIDEINT_UINT256_H
+#define GMDIV_WIDEINT_UINT256_H
+
+#include "wideint/UInt128.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace gmdiv {
+
+/// 256-bit unsigned integer with wrap-around (mod 2^256) semantics.
+class UInt256 {
+public:
+  constexpr UInt256() = default;
+  constexpr UInt256(uint64_t Value) : Lo(Value) {}
+  constexpr UInt256(UInt128 Value) : Lo(Value) {}
+
+  static constexpr UInt256 fromHalves(UInt128 High, UInt128 Low) {
+    UInt256 Result;
+    Result.Hi = High;
+    Result.Lo = Low;
+    return Result;
+  }
+
+  /// Returns 2^Exponent for Exponent in [0, 256).
+  static UInt256 pow2(int Exponent) {
+    assert(Exponent >= 0 && Exponent < 256 && "pow2 exponent out of range");
+    if (Exponent < 128)
+      return fromHalves(UInt128(0), UInt128::pow2(Exponent));
+    return fromHalves(UInt128::pow2(Exponent - 128), UInt128(0));
+  }
+
+  constexpr UInt128 low128() const { return Lo; }
+  constexpr UInt128 high128() const { return Hi; }
+  constexpr bool isZero() const { return Lo.isZero() && Hi.isZero(); }
+
+  friend constexpr bool operator==(const UInt256 &A, const UInt256 &B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend constexpr bool operator!=(const UInt256 &A, const UInt256 &B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(const UInt256 &A, const UInt256 &B) {
+    if (!(A.Hi == B.Hi))
+      return A.Hi < B.Hi;
+    return A.Lo < B.Lo;
+  }
+  friend constexpr bool operator>(const UInt256 &A, const UInt256 &B) {
+    return B < A;
+  }
+  friend constexpr bool operator<=(const UInt256 &A, const UInt256 &B) {
+    return !(B < A);
+  }
+  friend constexpr bool operator>=(const UInt256 &A, const UInt256 &B) {
+    return !(A < B);
+  }
+
+  friend constexpr UInt256 operator+(const UInt256 &A, const UInt256 &B) {
+    UInt256 Result;
+    Result.Lo = A.Lo + B.Lo;
+    Result.Hi = A.Hi + B.Hi + (Result.Lo < A.Lo ? UInt128(1) : UInt128(0));
+    return Result;
+  }
+  friend constexpr UInt256 operator-(const UInt256 &A, const UInt256 &B) {
+    UInt256 Result;
+    Result.Lo = A.Lo - B.Lo;
+    Result.Hi = A.Hi - B.Hi - (A.Lo < B.Lo ? UInt128(1) : UInt128(0));
+    return Result;
+  }
+  UInt256 &operator+=(const UInt256 &B) { return *this = *this + B; }
+  UInt256 &operator-=(const UInt256 &B) { return *this = *this - B; }
+
+  friend constexpr UInt256 operator~(const UInt256 &A) {
+    return fromHalves(~A.Hi, ~A.Lo);
+  }
+
+  /// Full 128x128 -> 256 product.
+  static UInt256 mulFull128(UInt128 A, UInt128 B);
+
+  friend UInt256 operator*(const UInt256 &A, const UInt256 &B) {
+    UInt256 Result = mulFull128(A.Lo, B.Lo);
+    Result.Hi = Result.Hi + A.Lo * B.Hi + A.Hi * B.Lo;
+    return Result;
+  }
+
+  friend UInt256 operator<<(const UInt256 &A, int Count) {
+    assert(Count >= 0 && Count < 256 && "shift count out of range");
+    if (Count == 0)
+      return A;
+    if (Count >= 128)
+      return fromHalves(A.Lo << (Count - 128), UInt128(0));
+    return fromHalves((A.Hi << Count) | (A.Lo >> (128 - Count)),
+                      A.Lo << Count);
+  }
+  friend UInt256 operator>>(const UInt256 &A, int Count) {
+    assert(Count >= 0 && Count < 256 && "shift count out of range");
+    if (Count == 0)
+      return A;
+    if (Count >= 128)
+      return fromHalves(UInt128(0), A.Hi >> (Count - 128));
+    return fromHalves(A.Hi >> Count,
+                      (A.Lo >> Count) | (A.Hi << (128 - Count)));
+  }
+
+  /// Position of the highest set bit plus one; 0 for zero.
+  int bitLength() const {
+    if (!Hi.isZero())
+      return 128 + Hi.bitLength();
+    return Lo.bitLength();
+  }
+
+  /// Quotient and remainder; bitwise long division (setup paths only).
+  static std::pair<UInt256, UInt256> divMod(const UInt256 &Dividend,
+                                            const UInt256 &Divisor);
+
+  /// (q, r) with 2^Exponent = q*Divisor + r, Exponent up to 256
+  /// inclusive (the CHOOSE_MULTIPLIER numerator for N = 128).
+  static std::pair<UInt256, UInt256> divModPow2(int Exponent,
+                                                const UInt256 &Divisor);
+
+  /// Decimal rendering (tests and diagnostics).
+  std::string toString() const;
+
+private:
+  UInt128 Lo;
+  UInt128 Hi;
+};
+
+} // namespace gmdiv
+
+#endif // GMDIV_WIDEINT_UINT256_H

@@ -1,0 +1,77 @@
+//===- tests/ArchTest.cpp - Table 1.1 profile tests -----------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/Arch.h"
+
+#include <gtest/gtest.h>
+
+using namespace gmdiv;
+using namespace gmdiv::arch;
+
+namespace {
+
+TEST(Arch, TableHasAllRows) {
+  // 15 CPUs; the R4000 appears twice (32- and 64-bit operation costs),
+  // and the MC68020's divide range covers its unsigned/signed spread.
+  EXPECT_EQ(table11Profiles().size(), 17u);
+}
+
+TEST(Arch, DividesSlowerThanMultipliesEverywhere) {
+  // The premise of the whole paper (§1): division costs several times a
+  // multiplication on every machine in Table 1.1.
+  for (const ArchProfile &Profile : table11Profiles()) {
+    EXPECT_GT(Profile.divCycles(), Profile.mulCycles()) << Profile.Name;
+  }
+}
+
+TEST(Arch, RangesAreOrdered) {
+  for (const ArchProfile &Profile : table11Profiles()) {
+    EXPECT_LE(Profile.MulHigh.Low, Profile.MulHigh.High) << Profile.Name;
+    EXPECT_LE(Profile.Divide.Low, Profile.Divide.High) << Profile.Name;
+    EXPECT_GT(Profile.MulHigh.Low, 0) << Profile.Name;
+    EXPECT_EQ(Profile.SimpleOpCycles, 1) << Profile.Name;
+    EXPECT_GE(Profile.Year, 1985);
+    EXPECT_LE(Profile.Year, 1993);
+  }
+}
+
+TEST(Arch, KnownRowValues) {
+  const ArchProfile &Pentium = profileByName("Intel Pentium");
+  EXPECT_EQ(Pentium.mulCycles(), 10);
+  EXPECT_EQ(Pentium.divCycles(), 46);
+  EXPECT_EQ(Pentium.WordBits, 32);
+
+  const ArchProfile &Alpha = profileByName("DEC Alpha 21064");
+  EXPECT_EQ(Alpha.WordBits, 64);
+  EXPECT_EQ(Alpha.mulCycles(), 23);
+  EXPECT_FALSE(Alpha.HasDivide); // 200-cycle software divide.
+  EXPECT_EQ(Alpha.Divide.Kind, CostKind::Software);
+
+  const ArchProfile &Viking = profileByName("SPARC Viking");
+  EXPECT_EQ(Viking.mulCycles(), 5);
+  EXPECT_EQ(Viking.divCycles(), 19);
+}
+
+TEST(Arch, CycleRangeFormatting) {
+  EXPECT_EQ((CycleRange{9, 38, CostKind::Hardware}).toString(), "9-38");
+  EXPECT_EQ((CycleRange{45, 45, CostKind::Software}).toString(), "45s");
+  EXPECT_EQ((CycleRange{3, 3, CostKind::ViaFp}).toString(), "3F");
+  EXPECT_EQ((CycleRange{12, 12, CostKind::Pipelined}).toString(), "12P");
+  EXPECT_EQ((CycleRange{76, 90, CostKind::Hardware}).toString(), "76-90");
+}
+
+TEST(Arch, MulDivGapGrowsOverTime) {
+  // §1: "the discrepancy between multiplication and division timing has
+  // been growing." Compare the earliest and latest 32-bit designs.
+  const ArchProfile &Early = profileByName("Motorola MC68020"); // 1985
+  const ArchProfile &Late = profileByName("Intel Pentium");     // 1993
+  const double EarlyRatio = Early.divCycles() / Early.mulCycles();
+  const double LateRatio = Late.divCycles() / Late.mulCycles();
+  EXPECT_GT(LateRatio, EarlyRatio);
+}
+
+} // namespace

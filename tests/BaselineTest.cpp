@@ -1,0 +1,197 @@
+//===- tests/BaselineTest.cpp - Alverson [1] baseline + §2 conventions ----===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DivCodeGen.h"
+#include "core/AlversonDivider.h"
+#include "core/Divider.h"
+#include "core/RemModSemantics.h"
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x6121d95a3c2e40f7ull);
+  return Generator;
+}
+
+//===----------------------------------------------------------------------===//
+// Alverson baseline.
+//===----------------------------------------------------------------------===//
+
+TEST(AlversonBaseline, Exhaustive8) {
+  for (uint32_t D = 1; D < 256; ++D) {
+    const AlversonDivider<uint8_t> Divider(static_cast<uint8_t>(D));
+    for (uint32_t N = 0; N < 256; ++N) {
+      ASSERT_EQ(Divider.divide(static_cast<uint8_t>(N)), N / D)
+          << "n=" << N << " d=" << D;
+      ASSERT_EQ(Divider.remainder(static_cast<uint8_t>(N)), N % D)
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(AlversonBaseline, CodeGenExhaustive8) {
+  for (uint32_t D = 1; D < 256; ++D) {
+    const ir::Program P = codegen::genUnsignedDivAlverson(8, D);
+    for (uint32_t N = 0; N < 256; ++N)
+      ASSERT_EQ(ir::run(P, {N})[0], N / D) << "n=" << N << " d=" << D;
+  }
+}
+
+TEST(AlversonBaseline, Random64) {
+  for (int I = 0; I < 500; ++I) {
+    uint64_t D = rng()() >> (rng()() % 64);
+    if (D == 0)
+      D = 1;
+    const AlversonDivider<uint64_t> Divider(D);
+    const UnsignedDivider<uint64_t> Reference(D);
+    for (int J = 0; J < 100; ++J) {
+      const uint64_t N = rng()();
+      ASSERT_EQ(Divider.divide(N), N / D) << "n=" << N << " d=" << D;
+      // The paper's runtime form (Figure 4.1) and Alverson's reciprocal
+      // coincide at run time; the codegen-level sequences differ.
+      ASSERT_EQ(Divider.divide(N), Reference.divide(N));
+    }
+  }
+}
+
+TEST(AlversonBaseline, GmWinsOnSequenceLength) {
+  // What CHOOSE_MULTIPLIER buys: census over all 16-bit divisors of
+  // the generated operation counts (Figure 4.2 vs the Alverson form).
+  long GmOps = 0, AlversonOps = 0;
+  int GmShorter = 0, AlversonShorter = 0;
+  for (uint32_t D = 2; D <= 0xffff; ++D) {
+    const int Gm = codegen::genUnsignedDiv(16, D).operationCount();
+    const int Al = codegen::genUnsignedDivAlverson(16, D).operationCount();
+    GmOps += Gm;
+    AlversonOps += Al;
+    GmShorter += Gm < Al;
+    AlversonShorter += Al < Gm;
+    // Never worse.
+    ASSERT_LE(Gm, Al) << "d=" << D;
+  }
+  EXPECT_EQ(AlversonShorter, 0);
+  EXPECT_GT(GmShorter, 40000); // The majority of divisors get shorter code.
+  EXPECT_LT(GmOps, AlversonOps);
+}
+
+TEST(AlversonBaseline, DivideBy10ShowsTheDifference) {
+  // d = 10 at 32 bits: Figure 4.2 fits the multiplier in a word (one
+  // MULUH + one SRL); Alverson pays the three extra operations.
+  const ir::Program Gm = codegen::genUnsignedDiv(32, 10);
+  const ir::Program Al = codegen::genUnsignedDivAlverson(32, 10);
+  EXPECT_EQ(Gm.operationCount(), 3);  // const + muluh + srl.
+  EXPECT_EQ(Al.operationCount(), 6);  // const + muluh + sub + srl + add + srl.
+  for (int I = 0; I < 10000; ++I) {
+    const uint64_t N = rng()() & 0xffffffffull;
+    ASSERT_EQ(ir::run(Gm, {N})[0], ir::run(Al, {N})[0]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// §2 remainder conventions.
+//===----------------------------------------------------------------------===//
+
+int64_t refFloorDiv(int64_t N, int64_t D) {
+  const int64_t Quotient = N / D;
+  if (N % D != 0 && ((N % D < 0) != (D < 0)))
+    return Quotient - 1;
+  return Quotient;
+}
+
+TEST(RemModSemantics, AllConventionsExhaustive8) {
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const ConventionDivider<int8_t> Trunc(
+        static_cast<int8_t>(D), RemainderConvention::Truncated);
+    const ConventionDivider<int8_t> Floor(
+        static_cast<int8_t>(D), RemainderConvention::Floored);
+    const ConventionDivider<int8_t> Euclid(
+        static_cast<int8_t>(D), RemainderConvention::Euclidean);
+    for (int N = -128; N < 128; ++N) {
+      if (N == -128 && D == -1)
+        continue;
+      // Truncated: C semantics.
+      EXPECT_EQ(Trunc.quotient(static_cast<int8_t>(N)),
+                static_cast<int8_t>(N / D));
+      EXPECT_EQ(Trunc.remainder(static_cast<int8_t>(N)),
+                static_cast<int8_t>(N % D));
+      // Floored: Fortran MODULO / Ada mod.
+      EXPECT_EQ(Floor.quotient(static_cast<int8_t>(N)),
+                static_cast<int8_t>(refFloorDiv(N, D)));
+      const int FloorRem = N - D * static_cast<int>(refFloorDiv(N, D));
+      EXPECT_EQ(Floor.remainder(static_cast<int8_t>(N)),
+                static_cast<int8_t>(FloorRem));
+      // Euclidean [Boute]: remainder in [0, |d|).
+      auto [Quotient, Remainder] = Euclid.quotRem(static_cast<int8_t>(N));
+      EXPECT_GE(Remainder, 0) << "n=" << N << " d=" << D;
+      EXPECT_LT(Remainder, D < 0 ? -D : D) << "n=" << N << " d=" << D;
+      EXPECT_EQ(static_cast<int8_t>(Quotient * D + Remainder),
+                static_cast<int8_t>(N))
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(RemModSemantics, DefinitionalIdentities) {
+  // The §2 definitions: rem = n - d*TRUNC(n/d), mod = n - d*floor(n/d);
+  // the conventions agree exactly when signs agree or division is exact.
+  for (int I = 0; I < 20000; ++I) {
+    int64_t D = static_cast<int64_t>(rng()()) >> (rng()() % 63);
+    if (D == 0)
+      D = 7;
+    const int64_t N = static_cast<int64_t>(rng()()) >> (rng()() % 63);
+    if (N == std::numeric_limits<int64_t>::min() && D == -1)
+      continue;
+    const ConventionDivider<int64_t> Trunc(D,
+                                           RemainderConvention::Truncated);
+    const ConventionDivider<int64_t> Floor(D,
+                                           RemainderConvention::Floored);
+    ASSERT_EQ(Trunc.remainder(N), N - D * (N / D));
+    ASSERT_EQ(Floor.remainder(N), N - D * refFloorDiv(N, D));
+    if ((N < 0) == (D < 0) || N % D == 0) {
+      ASSERT_EQ(Trunc.quotient(N), Floor.quotient(N));
+      ASSERT_EQ(Trunc.remainder(N), Floor.remainder(N));
+    }
+  }
+}
+
+TEST(RemModSemantics, ReconstructionInvariantAllConventions) {
+  for (RemainderConvention Convention :
+       {RemainderConvention::Truncated, RemainderConvention::Floored,
+        RemainderConvention::Euclidean}) {
+    for (int I = 0; I < 5000; ++I) {
+      int32_t D = static_cast<int32_t>(rng()()) >> (rng()() % 31);
+      if (D == 0)
+        D = -11;
+      const int32_t N = static_cast<int32_t>(rng()());
+      if (N == std::numeric_limits<int32_t>::min() && D == -1)
+        continue;
+      const ConventionDivider<int32_t> Divider(D, Convention);
+      auto [Quotient, Remainder] = Divider.quotRem(N);
+      // n = q*d + r in wrapping arithmetic, and |r| < |d|.
+      ASSERT_EQ(static_cast<int32_t>(
+                    static_cast<uint32_t>(Quotient) *
+                        static_cast<uint32_t>(D) +
+                    static_cast<uint32_t>(Remainder)),
+                N);
+      const int64_t AbsD = D < 0 ? -static_cast<int64_t>(D) : D;
+      ASSERT_LT(static_cast<int64_t>(Remainder < 0 ? -Remainder
+                                                   : Remainder),
+                AbsD);
+    }
+  }
+}
+
+} // namespace

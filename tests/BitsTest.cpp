@@ -1,0 +1,99 @@
+//===- tests/BitsTest.cpp - Bit scanning and logarithm tests --------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ops/Bits.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+TEST(Bits, CountLeadingZeros64MatchesStd) {
+  EXPECT_EQ(countLeadingZeros64(0), 64);
+  for (int Bit = 0; Bit < 64; ++Bit) {
+    const uint64_t Value = uint64_t{1} << Bit;
+    EXPECT_EQ(countLeadingZeros64(Value), std::countl_zero(Value));
+    EXPECT_EQ(countLeadingZeros64(Value | 1), std::countl_zero(Value | 1));
+  }
+  std::mt19937_64 Rng(1);
+  for (int Iteration = 0; Iteration < 10000; ++Iteration) {
+    const uint64_t Value = Rng();
+    EXPECT_EQ(countLeadingZeros64(Value), std::countl_zero(Value));
+  }
+}
+
+TEST(Bits, CountTrailingZeros64MatchesStd) {
+  EXPECT_EQ(countTrailingZeros64(0), 64);
+  std::mt19937_64 Rng(2);
+  for (int Iteration = 0; Iteration < 10000; ++Iteration) {
+    const uint64_t Value = Rng();
+    EXPECT_EQ(countTrailingZeros64(Value), std::countr_zero(Value));
+  }
+}
+
+TEST(Bits, PopCount64MatchesStd) {
+  std::mt19937_64 Rng(3);
+  EXPECT_EQ(popCount64(0), 0);
+  EXPECT_EQ(popCount64(~uint64_t{0}), 64);
+  for (int Iteration = 0; Iteration < 10000; ++Iteration) {
+    const uint64_t Value = Rng();
+    EXPECT_EQ(popCount64(Value), std::popcount(Value));
+  }
+}
+
+TEST(Bits, NarrowWidthLeadingZeros) {
+  EXPECT_EQ(countLeadingZeros<uint8_t>(0), 8);
+  EXPECT_EQ(countLeadingZeros<uint8_t>(1), 7);
+  EXPECT_EQ(countLeadingZeros<uint8_t>(0x80), 0);
+  EXPECT_EQ(countLeadingZeros<uint16_t>(0x8000), 0);
+  EXPECT_EQ(countLeadingZeros<uint16_t>(1), 15);
+  for (unsigned Value = 1; Value < 256; ++Value)
+    EXPECT_EQ(countLeadingZeros<uint8_t>(static_cast<uint8_t>(Value)),
+              std::countl_zero(static_cast<uint8_t>(Value)));
+}
+
+TEST(Bits, FloorAndCeilLog2Exhaustive16) {
+  // The paper's LDZ identities, validated against the direct definition.
+  for (uint32_t Value = 1; Value <= 0xffff; ++Value) {
+    int Floor = 0;
+    while ((uint32_t{1} << (Floor + 1)) <= Value)
+      ++Floor;
+    const int Ceil = (uint32_t{1} << Floor) == Value ? Floor : Floor + 1;
+    EXPECT_EQ(floorLog2<uint16_t>(static_cast<uint16_t>(Value)), Floor)
+        << Value;
+    EXPECT_EQ(ceilLog2<uint16_t>(static_cast<uint16_t>(Value)), Ceil)
+        << Value;
+  }
+}
+
+TEST(Bits, Log2SixtyFourBitBoundaries) {
+  EXPECT_EQ(floorLog2<uint64_t>(1), 0);
+  EXPECT_EQ(ceilLog2<uint64_t>(1), 0);
+  EXPECT_EQ(floorLog2<uint64_t>(~uint64_t{0}), 63);
+  EXPECT_EQ(ceilLog2<uint64_t>(~uint64_t{0}), 64);
+  EXPECT_EQ(floorLog2<uint64_t>(uint64_t{1} << 63), 63);
+  EXPECT_EQ(ceilLog2<uint64_t>(uint64_t{1} << 63), 63);
+  EXPECT_EQ(ceilLog2<uint64_t>((uint64_t{1} << 63) + 1), 64);
+}
+
+TEST(Bits, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2<uint32_t>(0));
+  for (int Bit = 0; Bit < 32; ++Bit) {
+    EXPECT_TRUE(isPowerOf2<uint32_t>(uint32_t{1} << Bit));
+    if (Bit >= 2) {
+      EXPECT_FALSE(isPowerOf2<uint32_t>((uint32_t{1} << Bit) + 1));
+    }
+  }
+  EXPECT_TRUE(isPowerOf2<uint64_t>(uint64_t{1} << 63));
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- tests/CapabilityCodeGenTest.cpp - §3 MULUH/MULSH conversion --------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code generation for machines with only one multiply-high flavor —
+/// the POWER/RIOS I case ("5 (signed only)" in Table 1.1). Every
+/// division kind must still be exactly right when the missing
+/// instruction is synthesized via the §3 identity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DivCodeGen.h"
+
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::codegen;
+using namespace gmdiv::ir;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x1f4864d7d69ca4f3ull);
+  return Generator;
+}
+
+int64_t signExtend(uint64_t Value, int Bits) {
+  const uint64_t SignBit = uint64_t{1} << (Bits - 1);
+  const uint64_t Mask =
+      Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+  return static_cast<int64_t>(((Value & Mask) ^ SignBit) - SignBit);
+}
+
+void expectNoOpcode(const Program &P, Opcode Op) {
+  for (const Instr &I : P.instrs())
+    ASSERT_NE(I.Op, Op);
+}
+
+TEST(CapabilityCodeGen, UnsignedSignedOnlyExhaustive8) {
+  GenOptions Power;
+  Power.MulHigh = MulHighCapability::SignedOnly;
+  for (uint32_t D = 1; D < 256; ++D) {
+    const Program P = genUnsignedDiv(8, D, Power);
+    expectNoOpcode(P, Opcode::MulUH);
+    for (uint32_t N = 0; N < 256; ++N)
+      ASSERT_EQ(run(P, {N})[0], N / D) << "n=" << N << " d=" << D;
+  }
+}
+
+TEST(CapabilityCodeGen, SignedUnsignedOnlyExhaustive8) {
+  GenOptions UnsignedOnly;
+  UnsignedOnly.MulHigh = MulHighCapability::UnsignedOnly;
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const Program P = genSignedDiv(8, D, UnsignedOnly);
+    expectNoOpcode(P, Opcode::MulSH);
+    for (int N = -128; N < 128; ++N) {
+      if (N == -128 && D == -1)
+        continue;
+      const uint64_t Raw = run(P, {static_cast<uint64_t>(N) & 0xff})[0];
+      ASSERT_EQ(signExtend(Raw, 8), N / D) << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(CapabilityCodeGen, FloorSignedOnlyExhaustive8) {
+  GenOptions Power;
+  Power.MulHigh = MulHighCapability::SignedOnly;
+  for (int D = 1; D < 128; ++D) {
+    const Program P = genFloorDiv(8, D, Power);
+    expectNoOpcode(P, Opcode::MulUH);
+    for (int N = -128; N < 128; ++N) {
+      const uint64_t Raw = run(P, {static_cast<uint64_t>(N) & 0xff})[0];
+      int64_t Expected = N / D;
+      if (N % D != 0 && N < 0)
+        --Expected;
+      ASSERT_EQ(signExtend(Raw, 8), Expected) << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(CapabilityCodeGen, UnsignedSignedOnlyGallery16) {
+  GenOptions Power;
+  Power.MulHigh = MulHighCapability::SignedOnly;
+  for (uint32_t D : {3u, 7u, 10u, 14u, 641u, 32769u, 65535u}) {
+    const Program P = genUnsignedDiv(16, D, Power);
+    expectNoOpcode(P, Opcode::MulUH);
+    for (uint32_t N = 0; N <= 0xffff; ++N)
+      ASSERT_EQ(run(P, {N})[0], N / D) << "n=" << N << " d=" << D;
+  }
+}
+
+TEST(CapabilityCodeGen, Random32And64BothDirections) {
+  for (int Bits : {32, 64}) {
+    const uint64_t Mask =
+        Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+    for (int I = 0; I < 200; ++I) {
+      uint64_t D = (rng()() >> (rng()() % Bits)) & Mask;
+      if (D == 0)
+        D = 3;
+      GenOptions Power;
+      Power.MulHigh = MulHighCapability::SignedOnly;
+      const Program PU = genUnsignedDiv(Bits, D, Power);
+      GenOptions UOnly;
+      UOnly.MulHigh = MulHighCapability::UnsignedOnly;
+      const int64_t SD = signExtend(D, Bits) == 0
+                             ? 3
+                             : signExtend(D, Bits);
+      const Program PS = genSignedDiv(Bits, SD, UOnly);
+      for (int J = 0; J < 50; ++J) {
+        const uint64_t N = rng()() & Mask;
+        ASSERT_EQ(run(PU, {N})[0], N / D)
+            << "bits=" << Bits << " n=" << N << " d=" << D;
+        const int64_t SN = signExtend(N, Bits);
+        if (SN == signExtend(uint64_t{1} << (Bits - 1), Bits) && SD == -1)
+          continue;
+        ASSERT_EQ(signExtend(run(PS, {N})[0], Bits), SN / SD)
+            << "bits=" << Bits << " n=" << SN << " d=" << SD;
+      }
+    }
+  }
+}
+
+TEST(CapabilityCodeGen, IdentityEmittersMatchDirectOpcodes) {
+  // emitMulUHCapability/emitMulSHCapability against the direct opcode,
+  // over random operands at every width.
+  for (int Bits : {8, 16, 32, 64}) {
+    const uint64_t Mask =
+        Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+    Builder Direct(Bits, 2), ViaIdentity(Bits, 2);
+    {
+      const int X = Direct.arg(0), Y = Direct.arg(1);
+      Direct.markResult(Direct.mulUH(X, Y), "uh");
+      Direct.markResult(Direct.mulSH(X, Y), "sh");
+    }
+    {
+      const int X = ViaIdentity.arg(0), Y = ViaIdentity.arg(1);
+      ViaIdentity.markResult(
+          emitMulUHCapability(ViaIdentity, X, Y,
+                              MulHighCapability::SignedOnly),
+          "uh");
+      ViaIdentity.markResult(
+          emitMulSHCapability(ViaIdentity, X, Y,
+                              MulHighCapability::UnsignedOnly),
+          "sh");
+    }
+    const Program PDirect = Direct.take();
+    const Program PIdentity = ViaIdentity.take();
+    for (int J = 0; J < 2000; ++J) {
+      const std::vector<uint64_t> Args = {rng()() & Mask, rng()() & Mask};
+      ASSERT_EQ(run(PDirect, Args), run(PIdentity, Args))
+          << "bits=" << Bits;
+    }
+  }
+}
+
+TEST(CapabilityCodeGen, CostOfIdentityIsThreeExtraOps) {
+  // §3's identity costs two ANDs + two XSIGNs + two adds in general;
+  // with a constant multiplier of known sign at most 3 extra simple ops.
+  const Program Plain = genUnsignedDiv(32, 10);
+  GenOptions Power;
+  Power.MulHigh = MulHighCapability::SignedOnly;
+  const Program Synth = genUnsignedDiv(32, 10, Power);
+  EXPECT_LE(Synth.operationCount(), Plain.operationCount() + 4);
+}
+
+} // namespace

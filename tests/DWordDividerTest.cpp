@@ -1,0 +1,141 @@
+//===- tests/DWordDividerTest.cpp - Figure 8.1 tests ----------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DWordDivider.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0xbe5466cf34e90c6cull);
+  return Generator;
+}
+
+TEST(DWordDivider, Exhaustive8) {
+  // Every divisor; every dividend below d * 2^8 (the quotient-fits
+  // precondition). That is sum(d * 256) ≈ 8.3M divisions.
+  for (uint32_t D = 1; D < 256; ++D) {
+    const DWordDivider<uint8_t> Divider(static_cast<uint8_t>(D));
+    const uint32_t Limit = D << 8;
+    for (uint32_t N = 0; N < Limit; ++N) {
+      auto [Quotient, Remainder] =
+          Divider.divRem(static_cast<uint16_t>(N));
+      ASSERT_EQ(Quotient, N / D) << "n=" << N << " d=" << D;
+      ASSERT_EQ(Remainder, N % D) << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(DWordDivider, Random16) {
+  for (int I = 0; I < 2000; ++I) {
+    uint16_t D = static_cast<uint16_t>(rng()() >> (rng()() % 16));
+    if (D == 0)
+      D = 1;
+    const DWordDivider<uint16_t> Divider(D);
+    const uint32_t Limit = static_cast<uint32_t>(D) << 16;
+    for (int J = 0; J < 500; ++J) {
+      const uint32_t N = static_cast<uint32_t>(rng()()) % Limit;
+      auto [Quotient, Remainder] = Divider.divRem(N);
+      ASSERT_EQ(Quotient, N / D) << "n=" << N << " d=" << D;
+      ASSERT_EQ(Remainder, N % D) << "n=" << N << " d=" << D;
+    }
+    // The largest admissible dividend.
+    auto [Quotient, Remainder] = Divider.divRem(Limit - 1);
+    ASSERT_EQ(Quotient, (Limit - 1) / D);
+    ASSERT_EQ(Remainder, (Limit - 1) % D);
+  }
+}
+
+TEST(DWordDivider, Random32) {
+  for (int I = 0; I < 2000; ++I) {
+    uint32_t D = static_cast<uint32_t>(rng()() >> (rng()() % 32));
+    if (D == 0)
+      D = 1;
+    const DWordDivider<uint32_t> Divider(D);
+    const uint64_t Limit = static_cast<uint64_t>(D) << 32;
+    for (int J = 0; J < 500; ++J) {
+      const uint64_t N = rng()() % Limit;
+      auto [Quotient, Remainder] = Divider.divRem(N);
+      ASSERT_EQ(Quotient, static_cast<uint32_t>(N / D))
+          << "n=" << N << " d=" << D;
+      ASSERT_EQ(Remainder, static_cast<uint32_t>(N % D))
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(DWordDivider, Random64AgainstUInt128Reference) {
+  for (int I = 0; I < 500; ++I) {
+    uint64_t D = rng()() >> (rng()() % 64);
+    if (D == 0)
+      D = 1;
+    const DWordDivider<uint64_t> Divider(D);
+    for (int J = 0; J < 200; ++J) {
+      // n uniform in [0, d * 2^64): high word < d.
+      const uint64_t High = D == 1 ? 0 : rng()() % D;
+      const uint64_t Low = rng()();
+      const UInt128 N = UInt128::fromHalves(High, Low);
+      auto [Quotient, Remainder] = Divider.divRem(N);
+      auto [RefQ, RefR] = UInt128::divMod(N, UInt128(D));
+      ASSERT_EQ(Quotient, RefQ.low64())
+          << "n=" << N.toString() << " d=" << D;
+      ASSERT_EQ(Remainder, RefR.low64())
+          << "n=" << N.toString() << " d=" << D;
+    }
+  }
+}
+
+TEST(DWordDivider, BoundaryDivisors64) {
+  for (uint64_t D : {uint64_t{1}, uint64_t{2}, uint64_t{3},
+                     uint64_t{1} << 32, (uint64_t{1} << 63) - 1,
+                     uint64_t{1} << 63, (uint64_t{1} << 63) + 1,
+                     ~uint64_t{0} - 1, ~uint64_t{0}}) {
+    const DWordDivider<uint64_t> Divider(D);
+    // Max admissible dividend: d * 2^64 - 1.
+    const UInt128 Max =
+        UInt128::fromHalves(D - 1, ~uint64_t{0});
+    auto [Quotient, Remainder] = Divider.divRem(Max);
+    auto [RefQ, RefR] = UInt128::divMod(Max, UInt128(D));
+    EXPECT_EQ(Quotient, RefQ.low64()) << "d=" << D;
+    EXPECT_EQ(Remainder, RefR.low64()) << "d=" << D;
+    // Smallest dividends.
+    for (uint64_t Low : {uint64_t{0}, uint64_t{1}, D - 1, D}) {
+      auto [Q2, R2] = Divider.divRem(UInt128(Low));
+      EXPECT_EQ(Q2, D == 0 ? 0 : Low / D);
+      EXPECT_EQ(R2, Low % D);
+    }
+  }
+}
+
+TEST(DWordDivider, KnuthStylePrimitiveUse) {
+  // §8's motivation: the udword/uword step of multi-precision division.
+  // Divide a 256-bit number (as four 64-bit limbs) by an invariant word
+  // divisor using the Figure 8.1 kernel limb by limb, and check against
+  // schoolbook long division done with UInt128.
+  const uint64_t D = 0x9e3779b97f4a7c15ull;
+  const DWordDivider<uint64_t> Divider(D);
+  uint64_t Limbs[4] = {rng()(), rng()(), rng()(), rng()() % D};
+  // Long division, most significant limb first (Limbs[3] < D already).
+  uint64_t Remainder = Limbs[3];
+  for (int I = 2; I >= 0; --I) {
+    const UInt128 Chunk = UInt128::fromHalves(Remainder, Limbs[I]);
+    auto [Q, R] = Divider.divRem(Chunk);
+    Remainder = R;
+    auto [RefQ, RefR] = UInt128::divMod(Chunk, UInt128(D));
+    ASSERT_EQ(Q, RefQ.low64());
+    ASSERT_EQ(R, RefR.low64());
+  }
+  EXPECT_LT(Remainder, D);
+}
+
+} // namespace

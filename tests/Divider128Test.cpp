@@ -1,0 +1,273 @@
+//===- tests/Divider128Test.cpp - N = 128 instantiation tests -------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's derivations are for an arbitrary N-bit two's complement
+/// machine. Instantiating at N = 128 — one size beyond any host type,
+/// with UInt256 as the doubleword — exercises that generality and uses
+/// our independently validated 128-bit division as the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ChooseMultiplier.h"
+#include "core/Divider.h"
+#include "core/ExactDiv.h"
+#include "wideint/UInt256.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x1a2b3c4d5e6f7081ull);
+  return Generator;
+}
+
+UInt128 randomU128() {
+  const int Len = 1 + static_cast<int>(rng()() % 128);
+  UInt128 Value = UInt128::fromHalves(rng()(), rng()());
+  if (Len < 128)
+    Value = Value & (UInt128::pow2(Len) - UInt128(1));
+  return Value | UInt128(1); // Avoid zero where a divisor is needed.
+}
+
+TEST(UInt256, MulFullAgainstUInt128Pieces) {
+  for (int I = 0; I < 20000; ++I) {
+    const uint64_t A = rng()(), B = rng()();
+    // 64x64 through the 128 path must equal mulFull64.
+    const UInt256 Product =
+        UInt256::mulFull128(UInt128(A), UInt128(B));
+    EXPECT_TRUE(Product.high128().isZero());
+    EXPECT_TRUE(Product.low128() == UInt128::mulFull64(A, B));
+  }
+  // (2^127)^2 = 2^254.
+  const UInt256 Square =
+      UInt256::mulFull128(UInt128::pow2(127), UInt128::pow2(127));
+  EXPECT_TRUE(Square == UInt256::pow2(254));
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1.
+  const UInt128 Max = UInt128::max();
+  const UInt256 MaxSquare = UInt256::mulFull128(Max, Max);
+  const UInt256 Expected = UInt256::fromHalves(
+      Max - UInt128(1), UInt128(1));
+  EXPECT_TRUE(MaxSquare == Expected);
+}
+
+TEST(UInt256, ShiftAndCompareEdges) {
+  const UInt256 One(UInt128(1));
+  EXPECT_TRUE((One << 128) == UInt256::fromHalves(UInt128(1), UInt128(0)));
+  EXPECT_TRUE((One << 255) == UInt256::pow2(255));
+  EXPECT_TRUE((UInt256::pow2(255) >> 255) == One);
+  EXPECT_TRUE((UInt256::pow2(128) >> 128) == One);
+  const UInt256 Mixed = UInt256::fromHalves(
+      UInt128::fromHalves(0x0123456789abcdefull, 0xfedcba9876543210ull),
+      UInt128::fromHalves(0xdeadbeefcafebabeull, 0x1122334455667788ull));
+  // Round-trip shifts preserve the surviving low bits.
+  for (int Count : {1, 63, 64, 65, 127, 128, 129, 200}) {
+    const UInt256 Masked = (Mixed << Count) >> Count;
+    EXPECT_TRUE(Masked == Mixed - ((Mixed >> (256 - Count)) << (256 - Count)))
+        << Count;
+  }
+  EXPECT_EQ(UInt256::pow2(200).bitLength(), 201);
+  EXPECT_EQ(UInt256().bitLength(), 0);
+  EXPECT_TRUE(UInt256::pow2(128) > UInt256(UInt128::max()));
+  EXPECT_EQ(UInt256::pow2(130).toString(),
+            "1361129467683753853853498429727072845824");
+}
+
+TEST(UInt256, DivModReconstruction) {
+  for (int I = 0; I < 2000; ++I) {
+    const UInt256 A = UInt256::fromHalves(randomU128(), randomU128());
+    const UInt256 B =
+        rng()() & 1 ? UInt256(randomU128())
+                    : UInt256::fromHalves(UInt128(rng()() & 0xffff),
+                                          randomU128());
+    auto [Quotient, Remainder] = UInt256::divMod(A, B);
+    EXPECT_TRUE(Quotient * B + Remainder == A);
+    EXPECT_TRUE(Remainder < B);
+  }
+}
+
+TEST(UInt256, DivModPow2Full) {
+  for (int Exponent : {0, 1, 63, 64, 127, 128, 200, 255, 256}) {
+    const UInt256 D(randomU128() | UInt128(2)); // > 1.
+    auto [Quotient, Remainder] = UInt256::divModPow2(Exponent, D);
+    if (Exponent < 256) {
+      EXPECT_TRUE(Quotient * D + Remainder == UInt256::pow2(Exponent));
+    } else {
+      // q*d + r == 2^256: verify mod 2^256 (wraps to zero) and r < d.
+      EXPECT_TRUE((Quotient * D + Remainder).isZero());
+      EXPECT_FALSE(Quotient.isZero());
+    }
+    EXPECT_TRUE(Remainder < D);
+  }
+}
+
+TEST(Divider128, UnsignedDividerAgainstUInt128Oracle) {
+  for (int I = 0; I < 300; ++I) {
+    const UInt128 D = randomU128();
+    const UnsignedDivider<UInt128> Divider(D);
+    for (int J = 0; J < 50; ++J) {
+      const UInt128 N = UInt128::fromHalves(rng()(), rng()());
+      auto [RefQ, RefR] = UInt128::divMod(N, D);
+      ASSERT_TRUE(Divider.divide(N) == RefQ)
+          << "n=" << N.toString() << " d=" << D.toString();
+      ASSERT_TRUE(Divider.remainder(N) == RefR)
+          << "n=" << N.toString() << " d=" << D.toString();
+    }
+  }
+}
+
+TEST(Divider128, BoundaryDivisors) {
+  for (const UInt128 &D :
+       {UInt128(1), UInt128(2), UInt128(3), UInt128(10),
+        UInt128::pow2(64), UInt128::pow2(64) + UInt128(1),
+        UInt128::pow2(127) - UInt128(1), UInt128::pow2(127),
+        UInt128::pow2(127) + UInt128(1), UInt128::max() - UInt128(1),
+        UInt128::max()}) {
+    const UnsignedDivider<UInt128> Divider(D);
+    for (const UInt128 &N :
+         {UInt128(0), UInt128(1), D - UInt128(1), D, D + UInt128(1),
+          UInt128::max() - UInt128(1), UInt128::max(),
+          UInt128::pow2(127)}) {
+      auto [RefQ, RefR] = UInt128::divMod(N, D);
+      ASSERT_TRUE(Divider.divide(N) == RefQ)
+          << "n=" << N.toString() << " d=" << D.toString();
+    }
+  }
+}
+
+TEST(Divider128, ChooseMultiplierRareDivisor) {
+  // 2^128 + 1 = 59649589127497217 * 5704689200685129054721: the N = 128
+  // analog of 641 / 274177 — the reduced multiplier is odd with zero
+  // final shift.
+  const UInt128 D(59649589127497217ull);
+  const MultiplierInfo<UInt128> Info = chooseMultiplier<UInt128>(D, 128);
+  EXPECT_EQ(Info.ShiftPost, 0);
+  EXPECT_TRUE(Info.fitsInWord());
+  // m * d == 2^128 + 1.
+  const UInt256 Product =
+      UInt256::mulFull128(Info.wordMultiplier(), D);
+  EXPECT_TRUE(Product ==
+              UInt256::pow2(128) + UInt256(UInt128(1)));
+}
+
+TEST(Divider128, ExactDividerAndDivisibility) {
+  for (int I = 0; I < 200; ++I) {
+    const UInt128 D = randomU128();
+    const ExactUnsignedDivider<UInt128> Divider(D);
+    const UInt128 QMax = UInt128::max() / D;
+    for (int J = 0; J < 30; ++J) {
+      const UInt128 Raw = UInt128::fromHalves(rng()(), rng()());
+      const UInt128 Q =
+          D == UInt128(1)
+              ? Raw // QMax + 1 would wrap; any quotient is valid.
+              : UInt128::divMod(Raw, QMax + UInt128(1)).second;
+      const UInt128 Multiple = Q * D;
+      ASSERT_TRUE(Divider.divideExact(Multiple) == Q)
+          << "d=" << D.toString();
+      ASSERT_TRUE(Divider.isDivisible(Multiple));
+      const UInt128 N = UInt128::fromHalves(rng()(), rng()());
+      ASSERT_EQ(Divider.isDivisible(N),
+                UInt128::divMod(N, D).second.isZero())
+          << "n=" << N.toString() << " d=" << D.toString();
+    }
+  }
+}
+
+Int128 randomS128() {
+  return Int128::fromBits(UInt128::fromHalves(rng()(), rng()()));
+}
+
+TEST(Divider128, SignedDividerAgainstInt128Oracle) {
+  for (int I = 0; I < 300; ++I) {
+    Int128 D = randomS128();
+    // Shrink some divisors so small magnitudes get coverage too.
+    if (rng()() & 1)
+      D = D >> static_cast<int>(rng()() % 120);
+    if (D.isZero())
+      D = Int128(-7);
+    const SignedDivider<Int128> Divider(D);
+    for (int J = 0; J < 50; ++J) {
+      const Int128 N = randomS128();
+      if (N == Int128::min() && D == Int128(-1))
+        continue;
+      auto [RefQ, RefR] = Int128::divMod(N, D);
+      ASSERT_TRUE(Divider.divide(N) == RefQ)
+          << "n=" << N.toString() << " d=" << D.toString();
+      ASSERT_TRUE(Divider.remainder(N) == RefR)
+          << "n=" << N.toString() << " d=" << D.toString();
+    }
+  }
+}
+
+TEST(Divider128, SignedBoundaryCases) {
+  for (const Int128 &D :
+       {Int128(1), Int128(-1), Int128(2), Int128(-2), Int128(3),
+        Int128(-3), Int128(10), Int128(-10), Int128::max(),
+        Int128::fromBits(UInt128::pow2(100)), Int128::min()}) {
+    const SignedDivider<Int128> Divider(D);
+    for (const Int128 &N :
+         {Int128(0), Int128(1), Int128(-1), D, Int128(0) - D,
+          Int128::max(), Int128::min(),
+          Int128::min() + Int128(1)}) {
+      if (N == Int128::min() && D == Int128(-1))
+        continue;
+      auto [RefQ, RefR] = Int128::divMod(N, D);
+      ASSERT_TRUE(Divider.divide(N) == RefQ)
+          << "n=" << N.toString() << " d=" << D.toString();
+    }
+  }
+  // The overflow case wraps, Figure 5.1-style.
+  const SignedDivider<Int128> ByMinusOne(Int128(-1));
+  EXPECT_TRUE(ByMinusOne.divide(Int128::min()) == Int128::min());
+}
+
+TEST(Divider128, FloorAndGeneralFloor) {
+  for (int I = 0; I < 200; ++I) {
+    Int128 D = randomS128() >> static_cast<int>(rng()() % 120);
+    if (D.isZero())
+      D = Int128(9);
+    const FloorDivider<Int128> Floor(D);
+    const GeneralFloorDivider<Int128> General(D);
+    for (int J = 0; J < 30; ++J) {
+      const Int128 N = randomS128();
+      if (N == Int128::min() && D == Int128(-1))
+        continue;
+      auto [QT, RT] = Int128::divMod(N, D);
+      Int128 Want = QT;
+      if (!RT.isZero() && (RT.isNegative() != D.isNegative()))
+        Want = Want - Int128(1);
+      ASSERT_TRUE(Floor.divide(N) == Want)
+          << "n=" << N.toString() << " d=" << D.toString();
+      ASSERT_TRUE(General.divide(N) == Want)
+          << "n=" << N.toString() << " d=" << D.toString();
+      ASSERT_TRUE(General.modulo(N) == N - D * Want)
+          << "n=" << N.toString() << " d=" << D.toString();
+    }
+  }
+}
+
+TEST(Divider128, RadixConversion128) {
+  // The Figure 11.1 workload at N = 128: digits of 2^128 - 1.
+  const UnsignedDivider<UInt128> By10(UInt128(10));
+  UInt128 Value = UInt128::max();
+  std::string Digits;
+  while (!Value.isZero()) {
+    auto [Quotient, Remainder] = std::pair<UInt128, UInt128>(
+        By10.divide(Value), By10.remainder(Value));
+    Digits.insert(Digits.begin(),
+                  static_cast<char>('0' + Remainder.low64()));
+    Value = Quotient;
+  }
+  EXPECT_EQ(Digits, "340282366920938463463374607431768211455");
+}
+
+} // namespace

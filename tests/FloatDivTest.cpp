@@ -1,0 +1,180 @@
+//===- tests/FloatDivTest.cpp - §7 floating-point division tests ----------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §7 claims exactness "regardless of the rounding modes used to compute
+/// q_est" — so every test here runs under all four IEEE rounding modes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/FloatDiv.h"
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cstdint>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+const int RoundingModes[] = {FE_TONEAREST, FE_UPWARD, FE_DOWNWARD,
+                             FE_TOWARDZERO};
+
+class RoundingModeGuard {
+public:
+  explicit RoundingModeGuard(int Mode) : Saved(std::fegetround()) {
+    std::fesetround(Mode);
+  }
+  ~RoundingModeGuard() { std::fesetround(Saved); }
+
+private:
+  int Saved;
+};
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x3f84d5b5b5470917ull);
+  return Generator;
+}
+
+TEST(FloatDivider, UnsignedExhaustive16AllRoundingModes) {
+  for (int Mode : RoundingModes) {
+    RoundingModeGuard Guard(Mode);
+    for (uint32_t D : {1u, 2u, 3u, 7u, 10u, 100u, 255u, 256u, 32767u,
+                       65535u}) {
+      const FloatDivider<uint16_t> Divider(static_cast<uint16_t>(D));
+      for (uint32_t N = 0; N <= 0xffff; ++N) {
+        ASSERT_EQ(Divider.divide(static_cast<uint16_t>(N)), N / D)
+            << "mode=" << Mode << " n=" << N << " d=" << D;
+        ASSERT_EQ(Divider.divideViaReciprocal(static_cast<uint16_t>(N)),
+                  N / D)
+            << "mode=" << Mode << " n=" << N << " d=" << D;
+      }
+    }
+  }
+}
+
+TEST(FloatDivider, SignedExhaustive16AllRoundingModes) {
+  for (int Mode : RoundingModes) {
+    RoundingModeGuard Guard(Mode);
+    for (int D : {1, -1, 3, -3, 7, 10, -10, 32767, -32768}) {
+      const FloatDivider<int16_t> Divider(static_cast<int16_t>(D));
+      for (int N = -32768; N <= 32767; ++N) {
+        const int Expected = N / D; // int arithmetic: no UB for these.
+        ASSERT_EQ(Divider.divide(static_cast<int16_t>(N)),
+                  static_cast<int16_t>(Expected))
+            << "mode=" << Mode << " n=" << N << " d=" << D;
+        ASSERT_EQ(Divider.divideViaReciprocal(static_cast<int16_t>(N)),
+                  static_cast<int16_t>(Expected))
+            << "mode=" << Mode << " n=" << N << " d=" << D;
+      }
+    }
+  }
+}
+
+TEST(FloatDivider, Random32AllRoundingModes) {
+  for (int Mode : RoundingModes) {
+    RoundingModeGuard Guard(Mode);
+    for (int I = 0; I < 300; ++I) {
+      uint32_t D = static_cast<uint32_t>(rng()() >> (rng()() % 32));
+      if (D == 0)
+        D = 1;
+      const FloatDivider<uint32_t> Divider(D);
+      for (int J = 0; J < 300; ++J) {
+        const uint32_t N = static_cast<uint32_t>(rng()());
+        ASSERT_EQ(Divider.divide(N), N / D)
+            << "mode=" << Mode << " n=" << N << " d=" << D;
+        ASSERT_EQ(Divider.divideViaReciprocal(N), N / D)
+            << "mode=" << Mode << " n=" << N << " d=" << D;
+      }
+    }
+  }
+}
+
+TEST(FloatDivider, SignedRandom32AllRoundingModes) {
+  for (int Mode : RoundingModes) {
+    RoundingModeGuard Guard(Mode);
+    for (int I = 0; I < 300; ++I) {
+      int32_t D = static_cast<int32_t>(rng()()) >> (rng()() % 31);
+      if (D == 0)
+        D = -7;
+      const FloatDivider<int32_t> Divider(D);
+      for (int J = 0; J < 300; ++J) {
+        const int32_t N = static_cast<int32_t>(rng()());
+        if (N == std::numeric_limits<int32_t>::min() && D == -1)
+          continue;
+        const int32_t Expected =
+            static_cast<int32_t>(static_cast<int64_t>(N) / D);
+        ASSERT_EQ(Divider.divide(N), Expected)
+            << "mode=" << Mode << " n=" << N << " d=" << D;
+      }
+    }
+  }
+}
+
+TEST(FloatDivider, WorstCaseNearMultiples) {
+  // The proof's tight spot: dividends just below/above exact multiples,
+  // where a one-ulp error in q_est would cross an integer.
+  for (int Mode : RoundingModes) {
+    RoundingModeGuard Guard(Mode);
+    for (uint32_t D : {3u, 7u, 641u, 0x7fffffffu, 0x80000001u, 0xffffffffu}) {
+      const FloatDivider<uint32_t> Divider(D);
+      for (uint64_t Q = 0; Q < 64; ++Q) {
+        const uint64_t Base = Q * D;
+        for (int64_t Offset = -2; Offset <= 2; ++Offset) {
+          const int64_t N64 = static_cast<int64_t>(Base) + Offset;
+          if (N64 < 0 || N64 > 0xffffffffll)
+            continue;
+          const uint32_t N = static_cast<uint32_t>(N64);
+          ASSERT_EQ(Divider.divide(N), N / D)
+              << "mode=" << Mode << " n=" << N << " d=" << D;
+        }
+      }
+      // Largest dividends.
+      for (uint32_t N = 0xffffffffu; N > 0xffffffffu - 64; --N)
+        ASSERT_EQ(Divider.divide(N), N / D) << "mode=" << Mode;
+    }
+  }
+}
+
+TEST(FloatDivider, NaiveReciprocalFailsUnderDirectedRounding) {
+  // Documents the boundary of §7's guarantee: with TWO roundings
+  // (reciprocal then product) the estimate can land at 1 - 2^-53, a
+  // representable value below the true quotient — the theorem's
+  // "no representable number strictly between (1-2^-F)q and q" argument
+  // only covers a single rounding. The fixup variant must still be exact.
+  RoundingModeGuard Guard(FE_DOWNWARD);
+  int NaiveFailures = 0;
+  for (uint32_t D = 2; D <= 4096; ++D) {
+    // volatile blocks compile-time folding of 1/d, which would otherwise
+    // happen under the compiler's round-to-nearest.
+    volatile uint32_t DRuntime = D;
+    const FloatDivider<uint32_t> Divider(DRuntime);
+    for (uint32_t Q = 1; Q <= 8; ++Q) {
+      const uint32_t N = Q * D;
+      if (Divider.divideViaReciprocalNoFixup(N) != Q)
+        ++NaiveFailures;
+      ASSERT_EQ(Divider.divideViaReciprocal(N), Q)
+          << "fixup variant must stay exact, d=" << D;
+      ASSERT_EQ(Divider.divide(N), Q)
+          << "single rounding must stay exact, d=" << D;
+    }
+  }
+  EXPECT_GT(NaiveFailures, 0)
+      << "expected the documented two-rounding failures";
+}
+
+TEST(FloatDivider, RemainderMatches) {
+  const FloatDivider<int32_t> Divider(-7);
+  EXPECT_EQ(Divider.remainder(10), 3);
+  EXPECT_EQ(Divider.remainder(-10), -3);
+  const FloatDivider<uint32_t> UDivider(10);
+  EXPECT_EQ(UDivider.remainder(123), 3u);
+}
+
+} // namespace

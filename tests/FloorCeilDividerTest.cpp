@@ -1,0 +1,186 @@
+//===- tests/FloorCeilDividerTest.cpp - §6 floor/ceil tests ---------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Divider.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x452821e638d01377ull);
+  return Generator;
+}
+
+/// Reference floor division in wide arithmetic.
+int64_t refFloorDiv(int64_t N, int64_t D) {
+  const int64_t Quotient = N / D;
+  const int64_t Remainder = N % D;
+  if (Remainder != 0 && ((Remainder < 0) != (D < 0)))
+    return Quotient - 1;
+  return Quotient;
+}
+
+/// Reference ceiling division in wide arithmetic.
+int64_t refCeilDiv(int64_t N, int64_t D) {
+  const int64_t Quotient = N / D;
+  const int64_t Remainder = N % D;
+  if (Remainder != 0 && ((Remainder < 0) == (D < 0)))
+    return Quotient + 1;
+  return Quotient;
+}
+
+TEST(FloorDivider, Exhaustive8) {
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const FloorDivider<int8_t> Divider(static_cast<int8_t>(D));
+    for (int N = -128; N < 128; ++N) {
+      if (N == -128 && D == -1)
+        continue; // Overflow case.
+      EXPECT_EQ(Divider.divide(static_cast<int8_t>(N)),
+                static_cast<int8_t>(refFloorDiv(N, D)))
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(FloorDivider, ModuloHasDivisorSignExhaustive8) {
+  // Fortran MODULO / Ada mod semantics (§2).
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const FloorDivider<int8_t> Divider(static_cast<int8_t>(D));
+    for (int N = -128; N < 128; ++N) {
+      if (N == -128 && D == -1)
+        continue;
+      const int Expected = N - D * static_cast<int>(refFloorDiv(N, D));
+      EXPECT_EQ(Divider.modulo(static_cast<int8_t>(N)),
+                static_cast<int8_t>(Expected))
+          << "n=" << N << " d=" << D;
+      if (Expected != 0) {
+        EXPECT_EQ(Expected < 0, D < 0) << "n=" << N << " d=" << D;
+      }
+    }
+  }
+}
+
+TEST(CeilDivider, Exhaustive8) {
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const CeilDivider<int8_t> Divider(static_cast<int8_t>(D));
+    for (int N = -128; N < 128; ++N) {
+      if (N == -128 && D == -1)
+        continue;
+      EXPECT_EQ(Divider.divide(static_cast<int8_t>(N)),
+                static_cast<int8_t>(refCeilDiv(N, D)))
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(FloorDivider, AllDividends16ForInterestingDivisors) {
+  for (int D : {1, 2, 3, 5, 7, 10, 100, 255, 4096, 32767, -1, -3, -10,
+                -32768}) {
+    const FloorDivider<int16_t> Divider(static_cast<int16_t>(D));
+    for (int N = -32768; N <= 32767; ++N) {
+      if (N == -32768 && D == -1)
+        continue;
+      ASSERT_EQ(Divider.divide(static_cast<int16_t>(N)),
+                static_cast<int16_t>(refFloorDiv(N, D)))
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+template <typename SWord> void checkFloorCeilRandom(int Count) {
+  using UWord = std::make_unsigned_t<SWord>;
+  constexpr SWord Min = std::numeric_limits<SWord>::min();
+  for (int I = 0; I < Count; ++I) {
+    SWord D = static_cast<SWord>(
+        static_cast<UWord>(rng()() >> (rng()() % (sizeof(SWord) * 8))));
+    if (D == 0)
+      D = 7;
+    const FloorDivider<SWord> Floor(D);
+    const CeilDivider<SWord> Ceil(D);
+    for (int J = 0; J < 100; ++J) {
+      const SWord N = static_cast<SWord>(
+          static_cast<UWord>(rng()() >> (rng()() % (sizeof(SWord) * 8))));
+      if (N == Min && D == -1)
+        continue;
+      ASSERT_EQ(Floor.divide(N),
+                static_cast<SWord>(refFloorDiv(N, D)))
+          << "n=" << static_cast<int64_t>(N)
+          << " d=" << static_cast<int64_t>(D);
+      ASSERT_EQ(Ceil.divide(N), static_cast<SWord>(refCeilDiv(N, D)))
+          << "n=" << static_cast<int64_t>(N)
+          << " d=" << static_cast<int64_t>(D);
+    }
+  }
+}
+
+TEST(FloorCeilDivider, Random16) { checkFloorCeilRandom<int16_t>(2000); }
+TEST(FloorCeilDivider, Random32) { checkFloorCeilRandom<int32_t>(2000); }
+
+TEST(FloorCeilDivider, Random64) {
+  for (int I = 0; I < 2000; ++I) {
+    int64_t D = static_cast<int64_t>(rng()()) >> (rng()() % 63);
+    if (D == 0)
+      D = 10;
+    const FloorDivider<int64_t> Floor(D);
+    const CeilDivider<int64_t> Ceil(D);
+    for (int J = 0; J < 100; ++J) {
+      const int64_t N = static_cast<int64_t>(rng()()) >> (rng()() % 63);
+      if (N == std::numeric_limits<int64_t>::min() && D == -1)
+        continue;
+      ASSERT_EQ(Floor.divide(N), refFloorDiv(N, D))
+          << "n=" << N << " d=" << D;
+      ASSERT_EQ(Ceil.divide(N), refCeilDiv(N, D)) << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(FloorDivider, PaperMod10Example) {
+  // §6's worked example: nonnegative remainder r = n mod 10 for signed n.
+  const FloorDivider<int32_t> By10(10);
+  EXPECT_EQ(By10.modulo(123), 3);
+  EXPECT_EQ(By10.modulo(-123), 7);
+  EXPECT_EQ(By10.modulo(-1), 9);
+  EXPECT_EQ(By10.modulo(0), 0);
+  EXPECT_EQ(By10.divide(-1), -1);
+  EXPECT_EQ(By10.divide(-10), -1);
+  EXPECT_EQ(By10.divide(-11), -2);
+  EXPECT_EQ(By10.modulo(std::numeric_limits<int32_t>::min()), 2);
+}
+
+TEST(FloorDivider, PowerOfTwoUsesPlainSra) {
+  // §6: "SRA floors by powers of two" — floor(n / 2^k) == n >> k.
+  for (int Bit = 0; Bit < 31; ++Bit) {
+    const FloorDivider<int32_t> Divider(int32_t{1} << Bit);
+    for (int J = 0; J < 1000; ++J) {
+      const int32_t N = static_cast<int32_t>(rng()());
+      ASSERT_EQ(Divider.divide(N), N >> Bit);
+    }
+  }
+}
+
+TEST(FloorDivider, IntMinDividend) {
+  constexpr int32_t Min32 = std::numeric_limits<int32_t>::min();
+  for (int32_t D : {2, 3, 7, 10, 100, 65536, 2147483647, -2, -3, -10}) {
+    const FloorDivider<int32_t> Divider(D);
+    ASSERT_EQ(Divider.divide(Min32), refFloorDiv(Min32, D)) << "d=" << D;
+  }
+}
+
+} // namespace

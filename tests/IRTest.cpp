@@ -1,0 +1,77 @@
+//===- tests/IRTest.cpp - IR structure tests ------------------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <gtest/gtest.h>
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+namespace {
+
+TEST(IR, OpcodePredicates) {
+  EXPECT_TRUE(opcodeIsLeaf(Opcode::Arg));
+  EXPECT_TRUE(opcodeIsLeaf(Opcode::Const));
+  EXPECT_FALSE(opcodeIsLeaf(Opcode::Add));
+
+  EXPECT_TRUE(opcodeIsUnary(Opcode::Neg));
+  EXPECT_TRUE(opcodeIsUnary(Opcode::Not));
+  EXPECT_TRUE(opcodeIsUnary(Opcode::Xsign));
+  EXPECT_TRUE(opcodeIsUnary(Opcode::Sll));
+  EXPECT_TRUE(opcodeIsUnary(Opcode::Srl));
+  EXPECT_TRUE(opcodeIsUnary(Opcode::Sra));
+  EXPECT_TRUE(opcodeIsUnary(Opcode::Ror));
+  EXPECT_FALSE(opcodeIsUnary(Opcode::Add));
+  EXPECT_FALSE(opcodeIsUnary(Opcode::MulUH));
+
+  EXPECT_TRUE(opcodeHasImmOperand(Opcode::Sll));
+  EXPECT_TRUE(opcodeHasImmOperand(Opcode::Srl));
+  EXPECT_TRUE(opcodeHasImmOperand(Opcode::Sra));
+  EXPECT_TRUE(opcodeHasImmOperand(Opcode::Ror));
+  EXPECT_FALSE(opcodeHasImmOperand(Opcode::Add));
+  EXPECT_FALSE(opcodeHasImmOperand(Opcode::Const));
+}
+
+TEST(IR, OpcodeNames) {
+  EXPECT_STREQ(opcodeName(Opcode::MulUH), "muluh");
+  EXPECT_STREQ(opcodeName(Opcode::MulSH), "mulsh");
+  EXPECT_STREQ(opcodeName(Opcode::MulL), "mull");
+  EXPECT_STREQ(opcodeName(Opcode::Xsign), "xsign");
+  EXPECT_STREQ(opcodeName(Opcode::Eor), "eor");
+  EXPECT_STREQ(opcodeName(Opcode::SltU), "sltu");
+}
+
+TEST(IR, ProgramAppendAndResults) {
+  Program P(32, 1);
+  Instr Arg;
+  Arg.Op = Opcode::Arg;
+  Arg.Imm = 0;
+  const int N = P.append(Arg);
+  Instr C;
+  C.Op = Opcode::Const;
+  C.Imm = 10;
+  const int Ten = P.append(C);
+  Instr Mul;
+  Mul.Op = Opcode::MulUH;
+  Mul.Lhs = N;
+  Mul.Rhs = Ten;
+  const int Product = P.append(Mul);
+  P.markResult(Product, "q");
+
+  EXPECT_EQ(P.size(), 3);
+  EXPECT_EQ(P.numArgs(), 1);
+  EXPECT_EQ(P.wordBits(), 32);
+  EXPECT_EQ(P.results().size(), 1u);
+  EXPECT_EQ(P.results()[0], Product);
+  EXPECT_EQ(P.resultNames()[0], "q");
+  // Arg does not count as a machine operation; Const and MulUH do.
+  EXPECT_EQ(P.operationCount(), 2);
+  P.verify();
+}
+
+} // namespace

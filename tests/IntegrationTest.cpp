@@ -1,0 +1,166 @@
+//===- tests/IntegrationTest.cpp - Cross-module workloads -----------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end scenarios spanning several modules: the Figure 11.1 radix
+/// converter against snprintf, the generated-IR radix converter against
+/// the library dividers, the §9 strength-reduced loop, and a prime-
+/// modulus hash table (the §11 "hashing" workload).
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DivCodeGen.h"
+#include "core/Divider.h"
+#include "core/DWordDivider.h"
+#include "core/ExactDiv.h"
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x6c9e6e748a1e7e85ull);
+  return Generator;
+}
+
+/// Figure 11.1's decimal() routine, with the divider substituted for the
+/// hardware divide.
+std::string decimalViaDivider(uint32_t Value) {
+  static const UnsignedDivider<uint32_t> By10(10);
+  char Buffer[16];
+  char *Cursor = Buffer + sizeof(Buffer) - 1;
+  *Cursor = '\0';
+  do {
+    auto [Quotient, Remainder] = By10.divRem(Value);
+    *--Cursor = static_cast<char>('0' + Remainder);
+    Value = Quotient;
+  } while (Value != 0);
+  return std::string(Cursor);
+}
+
+TEST(Integration, RadixConversionMatchesSnprintf) {
+  char Expected[16];
+  for (uint64_t Value : {0ull, 1ull, 9ull, 10ull, 12345ull, 99999999ull,
+                         4294967295ull, 2147483648ull}) {
+    std::snprintf(Expected, sizeof(Expected), "%u",
+                  static_cast<uint32_t>(Value));
+    EXPECT_EQ(decimalViaDivider(static_cast<uint32_t>(Value)), Expected);
+  }
+  for (int I = 0; I < 200000; ++I) {
+    const uint32_t Value = static_cast<uint32_t>(rng()());
+    std::snprintf(Expected, sizeof(Expected), "%u", Value);
+    ASSERT_EQ(decimalViaDivider(Value), Expected);
+  }
+}
+
+TEST(Integration, GeneratedCodeRadixConversion) {
+  // Drive the compiled-constant sequence (Figure 4.2 output, as GCC
+  // would emit for Figure 11.1) through the interpreter digit by digit.
+  const ir::Program DivRem = codegen::genUnsignedDivRem(32, 10);
+  for (int I = 0; I < 2000; ++I) {
+    const uint32_t Start = static_cast<uint32_t>(rng()());
+    uint32_t Value = Start;
+    std::string Digits;
+    do {
+      const std::vector<uint64_t> QR = ir::run(DivRem, {Value});
+      Digits.insert(Digits.begin(),
+                    static_cast<char>('0' + QR[1]));
+      Value = static_cast<uint32_t>(QR[0]);
+    } while (Value != 0);
+    char Expected[16];
+    std::snprintf(Expected, sizeof(Expected), "%u", Start);
+    ASSERT_EQ(Digits, Expected);
+  }
+}
+
+TEST(Integration, StrengthReducedDivisibilityLoop) {
+  // §9's closing example, built from library pieces this time: find all
+  // multiples of 100 in a range without any divide or multiply in the
+  // loop body.
+  const ExactSignedDivider<int32_t> By100(100);
+  int Count = 0;
+  for (int32_t I = -50000; I <= 50000; ++I) {
+    if (By100.isDivisible(I))
+      ++Count;
+  }
+  EXPECT_EQ(Count, 1001);
+}
+
+TEST(Integration, HashTableWithPrimeModulus) {
+  // §11: "benchmarks that involve hashing show improvements up to about
+  // 30%" — division by an invariant prime table size is the kernel.
+  // Verify an open-addressing table built on the divider behaves exactly
+  // like one built on the hardware %.
+  const uint64_t TableSize = 1009; // prime
+  const UnsignedDivider<uint64_t> BySize(TableSize);
+  std::vector<uint64_t> DividerTable(TableSize, ~uint64_t{0});
+  std::vector<uint64_t> HardwareTable(TableSize, ~uint64_t{0});
+  for (int I = 0; I < 700; ++I) {
+    const uint64_t Key = rng()();
+    // Insert with linear probing, once per implementation.
+    uint64_t SlotA = BySize.remainder(Key);
+    while (DividerTable[SlotA] != ~uint64_t{0})
+      SlotA = SlotA + 1 == TableSize ? 0 : SlotA + 1;
+    DividerTable[SlotA] = Key;
+    uint64_t SlotB = Key % TableSize;
+    while (HardwareTable[SlotB] != ~uint64_t{0})
+      SlotB = SlotB + 1 == TableSize ? 0 : SlotB + 1;
+    HardwareTable[SlotB] = Key;
+  }
+  EXPECT_EQ(DividerTable, HardwareTable);
+}
+
+TEST(Integration, MultiPrecisionDecimalPrinting) {
+  // Print a 128-bit value in decimal using only the §8 kernel (divide
+  // the running remainder chunk by 10^19 word by word) — the classic
+  // multi-precision use the paper cites from Knuth.
+  const UInt128 Value = UInt128::fromHalves(0x0123456789abcdefull,
+                                            0xfedcba9876543210ull);
+  // Reference via UInt128's own toString (tested against __int128).
+  const std::string Expected = Value.toString();
+  // Long division by 10 using DWordDivider on (remainder, limb) chunks.
+  const DWordDivider<uint64_t> By10(10);
+  uint64_t Limbs[2] = {Value.low64(), Value.high64()};
+  std::string Digits;
+  bool NonZero = true;
+  while (NonZero) {
+    uint64_t Remainder = 0;
+    for (int I = 1; I >= 0; --I) {
+      auto [Q, R] = By10.divRem(UInt128::fromHalves(Remainder, Limbs[I]));
+      Limbs[I] = Q;
+      Remainder = R;
+    }
+    Digits.insert(Digits.begin(), static_cast<char>('0' + Remainder));
+    NonZero = (Limbs[0] | Limbs[1]) != 0;
+  }
+  EXPECT_EQ(Digits, Expected);
+}
+
+TEST(Integration, DividerAgreesWithGeneratedCodeEverywhere) {
+  // The runtime divider (Figure 4.1) and the constant-divisor generator
+  // (Figure 4.2) may pick different sequences; they must still agree on
+  // every quotient. Exhaustive at 16 bits for a divisor mix.
+  for (uint32_t D : {3u, 7u, 10u, 14u, 641u, 32768u}) {
+    const UnsignedDivider<uint16_t> Divider(static_cast<uint16_t>(D));
+    const ir::Program P = codegen::genUnsignedDiv(16, D);
+    for (uint32_t N = 0; N <= 0xffff; ++N)
+      ASSERT_EQ(static_cast<uint64_t>(
+                    Divider.divide(static_cast<uint16_t>(N))),
+                ir::run(P, {N})[0])
+          << "n=" << N << " d=" << D;
+  }
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/InterpTest.cpp - IR interpreter tests ------------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+
+#include "ir/Builder.h"
+#include "ops/Ops.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0xd1310ba698dfb5acull);
+  return Generator;
+}
+
+/// evalOp must agree with the ops/ layer primitives at every width.
+template <typename UWord> void checkEvalOpAgainstOps(int Iterations) {
+  using T = WordTraits<UWord>;
+  using SWord = typename T::SWord;
+  constexpr int Bits = T::Bits;
+  for (int I = 0; I < Iterations; ++I) {
+    const UWord A = static_cast<UWord>(rng()());
+    const UWord B = static_cast<UWord>(rng()());
+    const int Sh = static_cast<int>(rng()() % Bits);
+    const uint64_t A64 = static_cast<uint64_t>(A);
+    const uint64_t B64 = static_cast<uint64_t>(B);
+    EXPECT_EQ(evalOp(Opcode::Add, Bits, A64, B64, 0),
+              static_cast<uint64_t>(static_cast<UWord>(A + B)));
+    EXPECT_EQ(evalOp(Opcode::Sub, Bits, A64, B64, 0),
+              static_cast<uint64_t>(static_cast<UWord>(A - B)));
+    EXPECT_EQ(evalOp(Opcode::MulL, Bits, A64, B64, 0),
+              static_cast<uint64_t>(mulL(A, B)));
+    EXPECT_EQ(evalOp(Opcode::MulUH, Bits, A64, B64, 0),
+              static_cast<uint64_t>(mulUH(A, B)));
+    EXPECT_EQ(evalOp(Opcode::MulSH, Bits, A64, B64, 0),
+              static_cast<uint64_t>(static_cast<UWord>(
+                  mulSH(static_cast<SWord>(A), static_cast<SWord>(B)))));
+    EXPECT_EQ(evalOp(Opcode::Srl, Bits, A64, 0, Sh),
+              static_cast<uint64_t>(srl(A, Sh)));
+    EXPECT_EQ(evalOp(Opcode::Sll, Bits, A64, 0, Sh),
+              static_cast<uint64_t>(sll(A, Sh)));
+    EXPECT_EQ(evalOp(Opcode::Sra, Bits, A64, 0, Sh),
+              static_cast<uint64_t>(
+                  static_cast<UWord>(sra(static_cast<SWord>(A), Sh))));
+    EXPECT_EQ(evalOp(Opcode::Xsign, Bits, A64, 0, 0),
+              static_cast<uint64_t>(
+                  static_cast<UWord>(xsign(static_cast<SWord>(A)))));
+    EXPECT_EQ(evalOp(Opcode::Not, Bits, A64, 0, 0),
+              static_cast<uint64_t>(static_cast<UWord>(~A)));
+    EXPECT_EQ(evalOp(Opcode::SltU, Bits, A64, B64, 0), A < B ? 1u : 0u);
+    EXPECT_EQ(evalOp(Opcode::SltS, Bits, A64, B64, 0),
+              static_cast<SWord>(A) < static_cast<SWord>(B) ? 1u : 0u);
+    // Rotate: double rotation by Sh and Bits-Sh is the identity.
+    const uint64_t Once = evalOp(Opcode::Ror, Bits, A64, 0, Sh);
+    const uint64_t Back =
+        evalOp(Opcode::Ror, Bits, Once, 0, (Bits - Sh) % Bits);
+    EXPECT_EQ(Back, A64 & (Bits == 64 ? ~uint64_t{0}
+                                      : (uint64_t{1} << Bits) - 1));
+  }
+}
+
+TEST(Interp, EvalOpMatchesOps8) { checkEvalOpAgainstOps<uint8_t>(3000); }
+TEST(Interp, EvalOpMatchesOps16) { checkEvalOpAgainstOps<uint16_t>(3000); }
+TEST(Interp, EvalOpMatchesOps32) { checkEvalOpAgainstOps<uint32_t>(3000); }
+TEST(Interp, EvalOpMatchesOps64) { checkEvalOpAgainstOps<uint64_t>(3000); }
+
+TEST(Interp, RunsWholeProgram) {
+  // q = (n * 3) >> 1 at 16 bits.
+  Builder B(16, 1);
+  const int N = B.arg(0);
+  const int Tripled = B.add(B.sll(N, 1), N);
+  B.markResult(B.srl(Tripled, 1), "q");
+  const Program P = B.take();
+  EXPECT_EQ(run(P, {10})[0], 15u);
+  EXPECT_EQ(run(P, {0xffff})[0], ((0xffffu * 3) & 0xffffu) >> 1);
+}
+
+TEST(Interp, ArgsMaskedToWidth) {
+  Builder B(8, 1);
+  const int N = B.arg(0);
+  B.markResult(N, "n");
+  const Program P = B.take();
+  EXPECT_EQ(run(P, {0x1ff})[0], 0xffu);
+}
+
+TEST(Interp, RunValueInspectsIntermediates) {
+  Builder B(32, 1);
+  const int N = B.arg(0);
+  const int Doubled = B.sll(N, 1);
+  const int Result = B.add(Doubled, B.constant(5));
+  B.markResult(Result, "r");
+  const Program P = B.take();
+  EXPECT_EQ(runValue(P, {21}, Doubled), 42u);
+  EXPECT_EQ(runValue(P, {21}, Result), 47u);
+}
+
+TEST(Interp, MultipleResultsInOrder) {
+  Builder B(32, 1);
+  const int N = B.arg(0);
+  const int Q = B.srl(N, 2);
+  const int R = B.and_(N, B.constant(3));
+  B.markResult(Q, "q");
+  B.markResult(R, "r");
+  const Program P = B.take();
+  const std::vector<uint64_t> Results = run(P, {30});
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Results[0], 7u);
+  EXPECT_EQ(Results[1], 2u);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===- tests/ModArithTest.cpp - Number theory tests -----------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numtheory/ModArith.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x13198a2e03707344ull);
+  return Generator;
+}
+
+TEST(ModArith, Gcd64MatchesStd) {
+  for (int Iteration = 0; Iteration < 10000; ++Iteration) {
+    const uint64_t A = rng()() >> (rng()() % 64);
+    const uint64_t B = rng()() >> (rng()() % 64);
+    EXPECT_EQ(gcd64(A, B), std::gcd(A, B));
+  }
+  EXPECT_EQ(gcd64(0, 5), 5u);
+  EXPECT_EQ(gcd64(5, 0), 5u);
+  EXPECT_EQ(gcd64(12, 18), 6u);
+}
+
+TEST(ModArith, ExtendedGcdBezoutProperty) {
+  for (int Iteration = 0; Iteration < 5000; ++Iteration) {
+    uint64_t A = rng()() >> (rng()() % 64);
+    uint64_t B = rng()() >> (rng()() % 64);
+    if (A == 0 && B == 0)
+      A = 1;
+    const ExtendedGcd128 Result = extendedGcd(UInt128(A), UInt128(B));
+    EXPECT_EQ(Result.G, UInt128(std::gcd(A, B)));
+    // X*A + Y*B == G in wrapped 128-bit arithmetic (exact here because
+    // the coefficients are small).
+    const Int128 Combination =
+        Result.X * Int128::fromBits(UInt128(A)) +
+        Result.Y * Int128::fromBits(UInt128(B));
+    EXPECT_EQ(Combination, Int128::fromBits(Result.G));
+  }
+}
+
+TEST(ModArith, ExtendedGcdAgainstPow2Modulus) {
+  // The §9 use case: gcd(d_odd, 2^N) = 1 with a usable inverse.
+  for (uint64_t D : {uint64_t{1}, uint64_t{3}, uint64_t{25}, uint64_t{625},
+                     uint64_t{0xccccccccccccccccull | 1}, ~uint64_t{0}}) {
+    const ExtendedGcd128 Result = extendedGcd(UInt128(D), UInt128::pow2(64));
+    EXPECT_EQ(Result.G, UInt128(1)) << D;
+  }
+}
+
+template <typename UWord> void checkInversesExhaustive() {
+  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  const uint64_t Count = uint64_t{1} << Bits;
+  for (uint64_t Odd = 1; Odd < Count; Odd += 2) {
+    const UWord Value = static_cast<UWord>(Odd);
+    const UWord Newton = modInverseNewton(Value);
+    const UWord Euclid = modInverseEuclid(Value);
+    EXPECT_EQ(Newton, Euclid) << "d=" << Odd;
+    EXPECT_EQ(static_cast<UWord>(Newton * Value), 1) << "d=" << Odd;
+  }
+}
+
+TEST(ModArith, InversesExhaustive8) { checkInversesExhaustive<uint8_t>(); }
+TEST(ModArith, InversesExhaustive16) { checkInversesExhaustive<uint16_t>(); }
+
+template <typename UWord> void checkInversesRandom(int Iterations) {
+  for (int Iteration = 0; Iteration < Iterations; ++Iteration) {
+    const UWord Value = static_cast<UWord>(rng()() | 1);
+    const UWord Newton = modInverseNewton(Value);
+    EXPECT_EQ(Newton, modInverseEuclid(Value));
+    EXPECT_EQ(static_cast<UWord>(Newton * Value), 1);
+  }
+}
+
+TEST(ModArith, InversesRandom32) { checkInversesRandom<uint32_t>(20000); }
+TEST(ModArith, InversesRandom64) { checkInversesRandom<uint64_t>(20000); }
+
+TEST(ModArith, PaperExampleInverseOf25) {
+  // §9: "To test whether a signed 32-bit value is divisible by 100, let
+  // d_inv = (19 * 2^32 + 1) / 25" — the inverse of 25 mod 2^32.
+  const uint32_t Expected =
+      static_cast<uint32_t>((19ull * (uint64_t{1} << 32) + 1) / 25);
+  EXPECT_EQ(modInverseNewton<uint32_t>(25), Expected);
+  EXPECT_EQ(Expected * 25u, 1u);
+}
+
+TEST(ModArith, NewtonIterationCountMatchesPaper) {
+  // (9.2) doubles the valid exponent per step starting from 3 bits, so
+  // ⌈log2(N/3)⌉ iterations suffice. Check convergence is no slower: the
+  // loop in modInverseNewton runs while precision < N with precision
+  // doubling from 3 — 2 steps at N=8, 3 at N=16, 4 at N=32, 5 at N=64.
+  // This is implicitly covered by the correctness tests; here we verify
+  // the claimed starting precision: d * d == 1 mod 8 for all odd d.
+  for (unsigned D = 1; D < 256; D += 2)
+    EXPECT_EQ((D * D) & 7u, 1u);
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/MulByConstTest.cpp - Shift/add multiply synthesis tests ------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MulByConst.h"
+
+#include "ir/Interp.h"
+#include "ops/Bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::codegen;
+using namespace gmdiv::ir;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0xb8e1afed6a267e96ull);
+  return Generator;
+}
+
+uint64_t maskFor(int Bits) {
+  return Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+}
+
+/// Emits the synthesized sequence and checks it equals C*x mod 2^N over
+/// sweeps; also confirms no multiply instruction appears.
+void checkSynthesis(uint64_t C, int Bits) {
+  Builder B(Bits, 1);
+  const int X = B.arg(0);
+  const int Product = emitMulByConst(B, X, C);
+  B.markResult(Product, "p");
+  const Program P = B.take();
+  for (const Instr &I : P.instrs()) {
+    ASSERT_NE(I.Op, Opcode::MulL) << "c=" << C;
+    ASSERT_NE(I.Op, Opcode::MulUH) << "c=" << C;
+    ASSERT_NE(I.Op, Opcode::MulSH) << "c=" << C;
+  }
+  const uint64_t Mask = maskFor(Bits);
+  for (int J = 0; J < 200; ++J) {
+    const uint64_t X0 = rng()() & Mask;
+    ASSERT_EQ(run(P, {X0})[0], (C * X0) & Mask)
+        << "c=" << C << " x=" << X0 << " bits=" << Bits;
+  }
+  for (uint64_t X0 : {uint64_t{0}, uint64_t{1}, Mask, Mask - 1, Mask >> 1})
+    ASSERT_EQ(run(P, {X0})[0], (C * X0) & Mask) << "c=" << C;
+}
+
+TEST(MulByConst, Exhaustive8BitConstants) {
+  for (uint64_t C = 0; C < 256; ++C)
+    checkSynthesis(C, 8);
+}
+
+TEST(MulByConst, Exhaustive16BitConstants) {
+  for (uint64_t C = 0; C <= 0xffff; ++C) {
+    Builder B(16, 1);
+    const int X = B.arg(0);
+    B.markResult(emitMulByConst(B, X, C), "p");
+    const Program P = B.take();
+    // Two probes per constant keep this fast; correctness depth comes
+    // from the 8-bit exhaustive and the random 32/64 tests.
+    for (uint64_t X0 : {uint64_t{0xabcd}, uint64_t{0x00ff}})
+      ASSERT_EQ(run(P, {X0})[0], (C * X0) & 0xffff) << "c=" << C;
+  }
+}
+
+TEST(MulByConst, Random32And64) {
+  for (int Bits : {32, 64}) {
+    for (int I = 0; I < 300; ++I) {
+      const uint64_t C = rng()() & maskFor(Bits);
+      checkSynthesis(C >> (rng()() % Bits), Bits);
+    }
+  }
+}
+
+TEST(MulByConst, MagicMultipliersDecomposeCheaply) {
+  // §11: "multipliers for small constant divisors have regular binary
+  // patterns" — the paper's Alpha column expands the multiply by
+  // (2^34+1)/5 = 0xCCCCCCCD into roughly nine shifts/adds/subtracts
+  // (4*[(2^16+1)*(2^8+1)*(4*[4*(4*0-x)+x]-x)]+x). Our planner must find
+  // a decomposition in the same ballpark — short enough to beat the
+  // 23-cycle Alpha multiply — and it must compute the right product.
+  const uint64_t MagicFor10 = ((uint64_t{1} << 34) + 1) / 5;
+  const int Cost = mulByConstCost(MagicFor10, 64);
+  EXPECT_LE(Cost, 12) << "must beat the Alpha's 23-cycle multiply";
+  checkSynthesis(MagicFor10, 64);
+  // Regularity also shows at 32 bits for the truncated 0xCCCCCCCD.
+  EXPECT_LE(mulByConstCost(0xcccccccdull, 32), 12);
+}
+
+TEST(MulByConst, TrivialPlans) {
+  EXPECT_EQ(mulByConstCost(0, 32), 0);
+  EXPECT_EQ(mulByConstCost(1, 32), 0);
+  EXPECT_EQ(mulByConstCost(2, 32), 1);  // one shift
+  EXPECT_EQ(mulByConstCost(3, 32), 2);  // shift + add
+  EXPECT_EQ(mulByConstCost(4, 32), 1);
+  EXPECT_EQ(mulByConstCost(5, 32), 2);
+  EXPECT_EQ(mulByConstCost(10, 32), 3); // (x<<2 + x) << 1
+  EXPECT_LE(mulByConstCost(255, 32), 2); // (x<<8) - x
+  EXPECT_LE(mulByConstCost(257, 32), 2); // (x<<8) + x
+}
+
+TEST(MulByConst, AllOnesIsNegation) {
+  // c = 2^N - 1: c+1 wraps to zero, so the plan is 0 - x (one op).
+  EXPECT_EQ(mulByConstCost(0xffffffffull, 32), 1);
+  checkSynthesis(0xffffffffull, 32);
+  EXPECT_EQ(mulByConstCost(~uint64_t{0}, 64), 1);
+}
+
+TEST(MulByConst, CostNeverExceedsBinaryMethod) {
+  // The binary method costs at most popcount + number-of-shift-groups;
+  // the planner must never do worse than ~2*popcount.
+  for (int I = 0; I < 2000; ++I) {
+    const uint64_t C = rng()();
+    const int Cost = mulByConstCost(C, 64);
+    EXPECT_LE(Cost, 2 * popCount64(C) + 1) << "c=" << C;
+  }
+}
+
+TEST(MulByConst, ShouldExpandMultiplyThresholds) {
+  // x*10 costs 3 simple ops: expand on a 23-cycle-multiply Alpha, keep
+  // the multiply on a 3-cycle-multiply MC88110.
+  EXPECT_TRUE(shouldExpandMultiply(10, 64, 23));
+  EXPECT_FALSE(shouldExpandMultiply(10, 64, 3));
+}
+
+} // namespace

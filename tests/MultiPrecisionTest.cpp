@@ -1,0 +1,114 @@
+//===- tests/MultiPrecisionTest.cpp - §8 applied API tests ----------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiPrecision.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::multiprecision;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x5ad4f10ce2b98d37ull);
+  return Generator;
+}
+
+TEST(MultiPrecision, DecimalMatchesUInt128Formatting) {
+  for (int I = 0; I < 5000; ++I) {
+    const UInt128 Value = UInt128::fromHalves(rng()(), rng()());
+    const std::vector<uint64_t> Limbs = {Value.low64(), Value.high64()};
+    ASSERT_EQ(toDecimalString(Limbs), Value.toString());
+  }
+  EXPECT_EQ(toDecimalString({}), "0");
+  EXPECT_EQ(toDecimalString({0, 0, 0}), "0");
+  EXPECT_EQ(toDecimalString({1}), "1");
+  EXPECT_EQ(toDecimalString({10000000000000000000ull}),
+            "10000000000000000000");
+  EXPECT_EQ(toDecimalString({0, 1}), "18446744073709551616"); // 2^64.
+}
+
+TEST(MultiPrecision, RoundTripThroughStrings) {
+  for (int I = 0; I < 2000; ++I) {
+    const int LimbCount = 1 + static_cast<int>(rng()() % 8);
+    std::vector<uint64_t> Limbs;
+    for (int L = 0; L < LimbCount; ++L)
+      Limbs.push_back(rng()());
+    const std::string Text = toDecimalString(Limbs);
+    const std::vector<uint64_t> Parsed = fromDecimalString(Text);
+    // Compare after trimming leading-zero limbs.
+    std::vector<uint64_t> Trimmed = Limbs;
+    while (!Trimmed.empty() && Trimmed.back() == 0)
+      Trimmed.pop_back();
+    ASSERT_EQ(Parsed, Trimmed) << Text;
+  }
+  EXPECT_TRUE(fromDecimalString("0").empty());
+  EXPECT_EQ(fromDecimalString("340282366920938463463374607431768211456"),
+            (std::vector<uint64_t>{0, 0, 1})); // 2^128.
+}
+
+TEST(MultiPrecision, DivModAgainstUInt128) {
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t D = rng()() >> (rng()() % 64);
+    if (D == 0)
+      D = 7;
+    const DWordDivider<uint64_t> ByD(D);
+    const UInt128 Value = UInt128::fromHalves(rng()(), rng()());
+    std::vector<uint64_t> Limbs = {Value.low64(), Value.high64()};
+    const uint64_t Remainder = divModInPlace(Limbs, ByD);
+    auto [RefQ, RefR] = UInt128::divMod(Value, UInt128(D));
+    ASSERT_EQ(Remainder, RefR.low64()) << "d=" << D;
+    ASSERT_EQ(Limbs[0], RefQ.low64()) << "d=" << D;
+    ASSERT_EQ(Limbs[1], RefQ.high64()) << "d=" << D;
+  }
+}
+
+TEST(MultiPrecision, ModWithoutMutation) {
+  const DWordDivider<uint64_t> By97(97);
+  const std::vector<uint64_t> Limbs = {0x0123456789abcdefull,
+                                       0xfedcba9876543210ull,
+                                       0xdeadbeefcafebabeull};
+  const std::vector<uint64_t> Copy = Limbs;
+  const uint64_t Remainder = mod(Limbs, By97);
+  EXPECT_EQ(Limbs, Copy);
+  // Cross-check against repeated in-place division.
+  std::vector<uint64_t> Scratch = Copy;
+  EXPECT_EQ(divModInPlace(Scratch, By97), Remainder);
+}
+
+TEST(MultiPrecision, KnownBigFactorial) {
+  // 40! = 815915283247897734345611269596115894272000000000 — built by
+  // repeated mulAdd, rendered by repeated Figure 8.1 division.
+  std::vector<uint64_t> Limbs = {1};
+  for (uint64_t K = 2; K <= 40; ++K)
+    mulAddInPlace(Limbs, K, 0);
+  EXPECT_EQ(toDecimalString(Limbs),
+            "815915283247897734345611269596115894272000000000");
+  // And 40! mod 1e9+7, cross-checked by modular reduction step by step.
+  const DWordDivider<uint64_t> ByPrime(1000000007ull);
+  uint64_t Expected = 1;
+  for (uint64_t K = 2; K <= 40; ++K)
+    Expected = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Expected) * K) % 1000000007ull);
+  EXPECT_EQ(mod(Limbs, ByPrime), Expected);
+}
+
+TEST(MultiPrecision, LargeValueStress) {
+  // A 4096-bit value: 64 limbs; divide down to zero by 10^19, counting
+  // digits, and compare the digit count against the round trip.
+  std::vector<uint64_t> Limbs(64);
+  for (uint64_t &Limb : Limbs)
+    Limb = rng()() | 1;
+  const std::string Text = toDecimalString(Limbs);
+  EXPECT_GT(Text.size(), 1200u); // 4096 bits ~ 1233 decimal digits.
+  EXPECT_EQ(fromDecimalString(Text), Limbs);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/OpsTest.cpp - Table 3.1 primitive operation tests ------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the machine model: MULUH/MULSH against wide reference
+/// products, the §3 identities (SRA from SRL, MULUH <-> MULSH), XSIGN,
+/// and the doubleword helpers that back CHOOSE_MULTIPLIER.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ops/Ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x243f6a8885a308d3ull);
+  return Generator;
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive 8-bit checks against arithmetic done at 32-bit width.
+//===----------------------------------------------------------------------===//
+
+TEST(Ops, MulPrimitivesExhaustive8) {
+  for (unsigned X = 0; X < 256; ++X) {
+    for (unsigned Y = 0; Y < 256; ++Y) {
+      const uint8_t UX = static_cast<uint8_t>(X);
+      const uint8_t UY = static_cast<uint8_t>(Y);
+      const unsigned Product = X * Y;
+      EXPECT_EQ(mulL(UX, UY), static_cast<uint8_t>(Product));
+      EXPECT_EQ(mulUH(UX, UY), static_cast<uint8_t>(Product >> 8));
+      const int SX = static_cast<int8_t>(UX);
+      const int SY = static_cast<int8_t>(UY);
+      const int SProduct = SX * SY;
+      EXPECT_EQ(mulSH(static_cast<int8_t>(SX), static_cast<int8_t>(SY)),
+                static_cast<int8_t>(SProduct >> 8));
+    }
+  }
+}
+
+TEST(Ops, ShiftsAndXsignExhaustive8) {
+  for (unsigned X = 0; X < 256; ++X) {
+    const uint8_t UX = static_cast<uint8_t>(X);
+    const int8_t SX = static_cast<int8_t>(UX);
+    EXPECT_EQ(xsign(SX), SX < 0 ? -1 : 0);
+    for (int Shift = 0; Shift < 8; ++Shift) {
+      EXPECT_EQ(sll(UX, Shift), static_cast<uint8_t>(X << Shift));
+      EXPECT_EQ(srl(UX, Shift), static_cast<uint8_t>(X >> Shift));
+      // Reference SRA via sign-extended 32-bit arithmetic.
+      EXPECT_EQ(sra(SX, Shift),
+                static_cast<int8_t>(static_cast<int>(SX) >> Shift));
+    }
+    EXPECT_EQ(sllWide(UX, 8), 0);
+    EXPECT_EQ(srlWide(UX, 8), 0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// §3 identities, exhaustively at 8 bits and randomized at 32/64 bits.
+//===----------------------------------------------------------------------===//
+
+TEST(Ops, MulHighConversionIdentityExhaustive8) {
+  for (unsigned X = 0; X < 256; ++X) {
+    for (unsigned Y = 0; Y < 256; ++Y) {
+      const uint8_t UX = static_cast<uint8_t>(X);
+      const uint8_t UY = static_cast<uint8_t>(Y);
+      EXPECT_EQ(mulUHFromMulSH(UX, UY), mulUH(UX, UY));
+      EXPECT_EQ(mulSHFromMulUH(static_cast<int8_t>(UX),
+                               static_cast<int8_t>(UY)),
+                mulSH(static_cast<int8_t>(UX), static_cast<int8_t>(UY)));
+    }
+  }
+}
+
+template <typename UWord> void checkMulIdentitiesRandom(int Iterations) {
+  using SWord = typename WordTraits<UWord>::SWord;
+  for (int Iteration = 0; Iteration < Iterations; ++Iteration) {
+    const UWord X = static_cast<UWord>(rng()());
+    const UWord Y = static_cast<UWord>(rng()());
+    EXPECT_EQ(mulUHFromMulSH(X, Y), mulUH(X, Y));
+    EXPECT_EQ(mulSHFromMulUH(static_cast<SWord>(X), static_cast<SWord>(Y)),
+              mulSH(static_cast<SWord>(X), static_cast<SWord>(Y)));
+  }
+}
+
+TEST(Ops, MulHighConversionIdentityRandom16) {
+  checkMulIdentitiesRandom<uint16_t>(20000);
+}
+TEST(Ops, MulHighConversionIdentityRandom32) {
+  checkMulIdentitiesRandom<uint32_t>(20000);
+}
+TEST(Ops, MulHighConversionIdentityRandom64) {
+  checkMulIdentitiesRandom<uint64_t>(20000);
+}
+
+TEST(Ops, MulSH64MatchesCompilerInt128) {
+#ifdef __SIZEOF_INT128__
+  for (int Iteration = 0; Iteration < 20000; ++Iteration) {
+    const int64_t X = static_cast<int64_t>(rng()());
+    const int64_t Y = static_cast<int64_t>(rng()());
+    const __int128 Product = static_cast<__int128>(X) * Y;
+    EXPECT_EQ(mulSH(X, Y), static_cast<int64_t>(Product >> 64));
+    EXPECT_EQ(
+        mulUH(static_cast<uint64_t>(X), static_cast<uint64_t>(Y)),
+        static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(static_cast<uint64_t>(X)) *
+             static_cast<unsigned __int128>(static_cast<uint64_t>(Y))) >>
+            64));
+  }
+#else
+  GTEST_SKIP() << "no compiler __int128 to compare against";
+#endif
+}
+
+TEST(Ops, FastPathMatchesPortableAtAllWidths) {
+  // The __int128 fast path for 64-bit MULUH/MULSH must agree with the
+  // portable UInt128 route bit for bit.
+  for (int Iteration = 0; Iteration < 50000; ++Iteration) {
+    const uint64_t X = rng()();
+    const uint64_t Y = rng()();
+    EXPECT_EQ(mulUH(X, Y), mulUHPortable(X, Y));
+    EXPECT_EQ(mulSH(static_cast<int64_t>(X), static_cast<int64_t>(Y)),
+              mulSHPortable(static_cast<int64_t>(X),
+                            static_cast<int64_t>(Y)));
+  }
+  for (uint64_t X : {uint64_t{0}, uint64_t{1}, ~uint64_t{0},
+                     uint64_t{1} << 63, (uint64_t{1} << 63) - 1})
+    for (uint64_t Y : {uint64_t{0}, uint64_t{1}, ~uint64_t{0},
+                       uint64_t{1} << 63}) {
+      EXPECT_EQ(mulUH(X, Y), mulUHPortable(X, Y));
+      EXPECT_EQ(mulSH(static_cast<int64_t>(X), static_cast<int64_t>(Y)),
+                mulSHPortable(static_cast<int64_t>(X),
+                              static_cast<int64_t>(Y)));
+    }
+}
+
+TEST(Ops, SraViaSrlIdentityMatchesReference) {
+  // SRA(x, n) = SRL(x + 2^(N-1), n) - 2^(N-1-n) is how sra() is
+  // implemented; cross-check against the compiler's arithmetic shift.
+  for (int Iteration = 0; Iteration < 20000; ++Iteration) {
+    const int64_t X = static_cast<int64_t>(rng()());
+    const int Shift = static_cast<int>(rng()() % 64);
+    EXPECT_EQ(sra(X, Shift), X >> Shift);
+    const int32_t X32 = static_cast<int32_t>(X);
+    EXPECT_EQ(sra(X32, Shift % 32), X32 >> (Shift % 32));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Doubleword helpers.
+//===----------------------------------------------------------------------===//
+
+template <typename UWord> void checkUdDivModPow2() {
+  using T = WordTraits<UWord>;
+  constexpr int Bits = T::Bits;
+  for (int Exponent = 0; Exponent <= 2 * Bits; ++Exponent) {
+    for (uint64_t D : {1ull, 2ull, 3ull, 7ull, 10ull, 255ull}) {
+      if (Exponent == 2 * Bits && D == 1)
+        continue; // Quotient would not fit; documented precondition.
+      const UWord DWord = static_cast<UWord>(D);
+      if (DWord == 0 || static_cast<uint64_t>(DWord) != D)
+        continue;
+      auto [Quotient, Remainder] =
+          T::udDivModPow2(Exponent, T::udFromWord(DWord));
+      // q*d + r must equal 2^Exponent; verify modulo 2^(2N) plus the
+      // remainder range, which pins the value uniquely.
+      using UDWord = typename T::UDWord;
+      const UDWord Reconstructed = static_cast<UDWord>(
+          Quotient * T::udFromWord(DWord) + Remainder);
+      UDWord Expected;
+      if (Exponent < 2 * Bits)
+        Expected = T::udPow2(Exponent);
+      else
+        Expected = static_cast<UDWord>(T::udFromWord(UWord{0}));
+      EXPECT_TRUE(Reconstructed == Expected)
+          << "width=" << Bits << " exp=" << Exponent << " d=" << D;
+      EXPECT_TRUE(Remainder < T::udFromWord(DWord));
+    }
+  }
+}
+
+TEST(Ops, UdDivModPow2AllWidths) {
+  checkUdDivModPow2<uint8_t>();
+  checkUdDivModPow2<uint16_t>();
+  checkUdDivModPow2<uint32_t>();
+  checkUdDivModPow2<uint64_t>();
+}
+
+TEST(Ops, WordTraitsHalves) {
+  using T8 = WordTraits<uint8_t>;
+  EXPECT_EQ(T8::udHigh(static_cast<uint16_t>(0xabcd)), 0xab);
+  EXPECT_EQ(T8::udLow(static_cast<uint16_t>(0xabcd)), 0xcd);
+  using T64 = WordTraits<uint64_t>;
+  const UInt128 Wide = UInt128::fromHalves(7, 9);
+  EXPECT_EQ(T64::udHigh(Wide), 7u);
+  EXPECT_EQ(T64::udLow(Wide), 9u);
+  EXPECT_EQ(T64::sdHigh(Int128(-1)), -1);
+  EXPECT_EQ(T64::sdLow(Int128(-1)), ~uint64_t{0});
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+//===- tests/ParserTest.cpp - IR parser and round-trip tests --------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "codegen/DivCodeGen.h"
+#include "ir/AsmPrinter.h"
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::ir;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x9c30d5392af26013ull);
+  return Generator;
+}
+
+TEST(Parser, ParsesHandWrittenListing) {
+  const std::string Text = R"(
+    ; divide by 10, the canonical sequence
+    t1 = const 0xcccccccd
+    t2 = muluh n0, t1
+    t3 = srl t2, 3
+    => q: t3
+  )";
+  const ParseResult Result = parseProgram(Text, 32, 1);
+  ASSERT_TRUE(Result.ok()) << Result.Error << " at line "
+                           << Result.ErrorLine;
+  const Program &P = *Result.Parsed;
+  EXPECT_EQ(run(P, {12345})[0], 1234u);
+  EXPECT_EQ(run(P, {4294967295ull})[0], 429496729u);
+}
+
+TEST(Parser, MaterializesElidedArguments) {
+  // The printer elides bare arg loads; "n1" appearing as an operand must
+  // create the Arg instruction.
+  const ParseResult Result = parseProgram("t2 = add n0, n1\n=> s: t2",
+                                          16, 2);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_EQ(run(*Result.Parsed, {7, 8})[0], 15u);
+}
+
+TEST(Parser, ReportsErrorsWithLineNumbers) {
+  const ParseResult Bad1 = parseProgram("t1 = bogus n0", 32, 1);
+  EXPECT_FALSE(Bad1.ok());
+  EXPECT_EQ(Bad1.ErrorLine, 1);
+  EXPECT_NE(Bad1.Error.find("bogus"), std::string::npos);
+
+  const ParseResult Bad2 =
+      parseProgram("t1 = srl n0, 3\nt2 = add t1, tX", 32, 1);
+  EXPECT_FALSE(Bad2.ok());
+  EXPECT_EQ(Bad2.ErrorLine, 2);
+
+  const ParseResult Bad3 = parseProgram("t1 = srl n0, 99", 32, 1);
+  EXPECT_FALSE(Bad3.ok());
+  EXPECT_NE(Bad3.Error.find("shift"), std::string::npos);
+
+  const ParseResult Bad4 = parseProgram("t1 = arg 5", 32, 2);
+  EXPECT_FALSE(Bad4.ok());
+}
+
+TEST(Parser, RoundTripsGeneratedSequences) {
+  // print -> parse -> must compute identical results for every
+  // generator output in the gallery.
+  for (int Bits : {8, 16, 32, 64}) {
+    const uint64_t Mask =
+        Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+    for (uint64_t D : {3ull, 7ull, 10ull, 14ull, 100ull}) {
+      for (const Program &P :
+           {codegen::genUnsignedDivRem(Bits, D),
+            codegen::genSignedDiv(Bits, static_cast<int64_t>(D)),
+            codegen::genFloorDiv(Bits, static_cast<int64_t>(D) %
+                                           ((Mask >> 1) | 1)),
+            codegen::genDivisibilityTestUnsigned(Bits, D)}) {
+        const std::string Text = formatProgram(P);
+        const ParseResult Result = parseProgram(Text, Bits, 1);
+        ASSERT_TRUE(Result.ok())
+            << Result.Error << " at line " << Result.ErrorLine
+            << "\nlisting:\n" << Text;
+        for (int J = 0; J < 200; ++J) {
+          const uint64_t N = rng()() & Mask;
+          ASSERT_EQ(run(P, {N}), run(*Result.Parsed, {N}))
+              << "bits=" << Bits << " d=" << D << "\n" << Text;
+        }
+      }
+    }
+  }
+}
+
+TEST(Parser, RoundTripsTwoArgPrograms) {
+  const Program P = codegen::genDWordDivRem(32, 1000003);
+  const std::string Text = formatProgram(P);
+  const ParseResult Result = parseProgram(Text, 32, 2);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  for (int J = 0; J < 500; ++J) {
+    const uint64_t High = rng()() % 1000003;
+    const uint64_t Low = rng()() & 0xffffffffull;
+    ASSERT_EQ(run(P, {High, Low}), run(*Result.Parsed, {High, Low}));
+  }
+}
+
+TEST(Parser, RoundTripPreservesResultNames) {
+  const Program P = codegen::genUnsignedDivRem(32, 10);
+  const ParseResult Result = parseProgram(formatProgram(P), 32, 1);
+  ASSERT_TRUE(Result.ok());
+  ASSERT_EQ(Result.Parsed->resultNames().size(), 2u);
+  EXPECT_EQ(Result.Parsed->resultNames()[0], "q");
+  EXPECT_EQ(Result.Parsed->resultNames()[1], "r");
+}
+
+TEST(Parser, AcceptsDivisionOpcodes) {
+  const ParseResult Result = parseProgram(
+      "t1 = const 100\nt2 = remu n0, t1\nt3 = divs n0, t1\n=> r: t2\n"
+      "=> q: t3",
+      32, 1);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_EQ(run(*Result.Parsed, {12345})[0], 45u);
+  EXPECT_EQ(run(*Result.Parsed, {12345})[1], 123u);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/PipelineCostTest.cpp - Critical path & register pressure -----===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the pipelined cost model (Table 1.1's 'P' footnote:
+/// "independent instructions can execute simultaneously") and the
+/// register-pressure accounting §8 does by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arch/CostModel.h"
+
+#include "codegen/DivCodeGen.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gmdiv;
+using namespace gmdiv::arch;
+
+namespace {
+
+TEST(PipelineCost, PipelinedFlagMatchesFootnotes) {
+  EXPECT_TRUE(profileByName("MIPS R3000").isPipelined());
+  EXPECT_TRUE(profileByName("MIPS R4000").isPipelined());
+  EXPECT_TRUE(profileByName("DEC Alpha 21064").isPipelined());
+  EXPECT_TRUE(profileByName("Motorola MC88110").isPipelined());
+  EXPECT_FALSE(profileByName("Intel Pentium").isPipelined());
+  EXPECT_FALSE(profileByName("Motorola MC68020").isPipelined());
+}
+
+TEST(PipelineCost, CriticalPathOfChainEqualsSum) {
+  // A pure dependence chain has no parallelism: both estimates agree.
+  ir::Builder B(32, 1);
+  int V = B.arg(0);
+  for (int I = 0; I < 5; ++I)
+    V = B.add(V, B.constant(static_cast<uint64_t>(I + 1)));
+  B.markResult(V);
+  const ir::Program P = B.take();
+  const ArchProfile &R3000 = profileByName("MIPS R3000");
+  EXPECT_EQ(estimateCriticalPathCycles(P, R3000),
+            estimateCost(P, R3000).Cycles);
+}
+
+TEST(PipelineCost, IndependentOperationsOverlap) {
+  // Two independent multiplies then one add: serial cost 2*mul+1,
+  // critical path mul+1.
+  ir::Builder B(32, 2);
+  const int X = B.arg(0);
+  const int Y = B.arg(1);
+  const int MX = B.mulUH(X, B.constant(0x55555555));
+  const int MY = B.mulUH(Y, B.constant(0x33333333));
+  B.markResult(B.add(MX, MY));
+  const ir::Program P = B.take();
+  const ArchProfile &R3000 = profileByName("MIPS R3000"); // mul = 12.
+  EXPECT_EQ(estimateCost(P, R3000).Cycles, 2 * 12 + 1);
+  EXPECT_EQ(estimateCriticalPathCycles(P, R3000), 12 + 1);
+  EXPECT_EQ(estimateEffectiveCycles(P, R3000), 12 + 1);
+  // A non-pipelined machine pays the serial sum.
+  const ArchProfile &MC68020 = profileByName("Motorola MC68020");
+  EXPECT_EQ(estimateEffectiveCycles(P, MC68020),
+            estimateCost(P, MC68020).Cycles);
+}
+
+TEST(PipelineCost, DivRemOverlapsOnPipelinedMachines) {
+  // In the radix-conversion body the remainder multiply depends on the
+  // quotient, but the final subtract's other operand (n) is free, so
+  // the critical path is shorter than the serial sum on 'P' machines.
+  const ir::Program P = codegen::genUnsignedDivRem(32, 10);
+  const ArchProfile &R3000 = profileByName("MIPS R3000");
+  EXPECT_LT(estimateCriticalPathCycles(P, R3000),
+            estimateCost(P, R3000).Cycles + 1);
+  EXPECT_GT(estimateCriticalPathCycles(P, R3000), 2 * 12.0 - 1);
+}
+
+TEST(PipelineCost, AlphaExpansionCriticalPath) {
+  // The shift/add expansion is a mostly serial chain; its critical path
+  // must still beat the 200-cycle software divide by a wide margin.
+  codegen::GenOptions Options;
+  Options.ExpandMulBelowCycles = 23;
+  const ir::Program P = codegen::genUnsignedDivRemWide(32, 64, 10, Options);
+  const ArchProfile &Alpha = profileByName("DEC Alpha 21064");
+  const double Path = estimateCriticalPathCycles(P, Alpha);
+  EXPECT_LT(Path, 2 * Alpha.divCycles() / 10);
+  EXPECT_GT(Path, 5);
+}
+
+TEST(PipelineCost, RegisterPressureSmallForDividerSequences) {
+  // Figure 4.1's quotient sequence needs only a handful of live values;
+  // the paper's §8 kernel quotes five registers of precomputed state.
+  const ir::Program Simple = codegen::genUnsignedDiv(32, 10);
+  EXPECT_LE(registerPressure(Simple), 4);
+  const ir::Program Long = codegen::genUnsignedDiv(32, 7);
+  EXPECT_LE(registerPressure(Long), 5);
+  const ir::Program DivRem = codegen::genUnsignedDivRem(32, 10);
+  EXPECT_LE(registerPressure(DivRem), 6);
+}
+
+TEST(PipelineCost, RegisterPressureCountsOverlap) {
+  // Three values alive at once.
+  ir::Builder B(32, 2);
+  const int X = B.arg(0);
+  const int Y = B.arg(1);
+  const int Sum = B.add(X, Y);
+  const int Diff = B.sub(X, Y);
+  const int Mix = B.eor(Sum, Diff);
+  B.markResult(B.add(Mix, X));
+  const ir::Program P = B.take();
+  EXPECT_GE(registerPressure(P), 3);
+  EXPECT_LE(registerPressure(P), 5);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/RemainderTestCodeGenTest.cpp - §9 remainder tests ------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DivCodeGen.h"
+
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::codegen;
+using namespace gmdiv::ir;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x2b3a1c5d7e9f0a1bull);
+  return Generator;
+}
+
+TEST(RemainderTestCodeGen, UnsignedExhaustive8) {
+  // Every divisor, every remainder target, every dividend: the test
+  // must be exactly (n % d == r) without ever computing a remainder.
+  for (uint32_t D = 1; D < 256; ++D) {
+    for (uint32_t R = 0; R < D; ++R) {
+      const Program P = genRemainderTestUnsigned(8, D, R);
+      for (const Instr &I : P.instrs()) {
+        ASSERT_NE(I.Op, Opcode::MulUH);
+        ASSERT_NE(I.Op, Opcode::MulSH);
+      }
+      for (uint32_t N = 0; N < 256; ++N)
+        ASSERT_EQ(run(P, {N})[0], N % D == R ? 1u : 0u)
+            << "n=" << N << " d=" << D << " r=" << R;
+    }
+  }
+}
+
+TEST(RemainderTestCodeGen, Unsigned16Gallery) {
+  for (uint32_t D : {3u, 6u, 100u, 256u, 1000u}) {
+    for (uint32_t R : {0u, 1u, 2u, D - 1}) {
+      if (R >= D)
+        continue;
+      const Program P = genRemainderTestUnsigned(16, D, R);
+      for (uint32_t N = 0; N <= 0xffff; ++N)
+        ASSERT_EQ(run(P, {N})[0], N % D == R ? 1u : 0u)
+            << "n=" << N << " d=" << D << " r=" << R;
+    }
+  }
+}
+
+TEST(RemainderTestCodeGen, UnsignedRandom64) {
+  for (int I = 0; I < 200; ++I) {
+    uint64_t D = rng()() >> (rng()() % 64);
+    if (D < 2)
+      D = 2;
+    const uint64_t R = rng()() % D;
+    const Program P = genRemainderTestUnsigned(64, D, R);
+    for (int J = 0; J < 100; ++J) {
+      const uint64_t N = rng()();
+      ASSERT_EQ(run(P, {N})[0], N % D == R ? 1u : 0u)
+          << "n=" << N << " d=" << D << " r=" << R;
+    }
+    // Exact hits.
+    const uint64_t QRange = (~uint64_t{0} - R) / D;
+    const uint64_t Q = QRange == 0 ? 0 : rng()() % QRange;
+    ASSERT_EQ(run(P, {Q * D + R})[0], 1u);
+  }
+}
+
+TEST(RemainderTestCodeGen, SignedExhaustive8) {
+  // 1 <= r < d, d >= 2 not a power of two; matches only nonnegative n
+  // (the C rem carries the dividend's sign).
+  for (int D = 3; D < 128; ++D) {
+    if ((D & (D - 1)) == 0)
+      continue;
+    for (int R = 1; R < D; ++R) {
+      const Program P = genRemainderTestSigned(8, D, R);
+      for (int N = -128; N < 128; ++N) {
+        const bool Expected = N >= 0 && N % D == R;
+        ASSERT_EQ(run(P, {static_cast<uint64_t>(N) & 0xff})[0],
+                  Expected ? 1u : 0u)
+            << "n=" << N << " d=" << D << " r=" << R;
+      }
+    }
+  }
+}
+
+TEST(RemainderTestCodeGen, SignedPaperStyle100) {
+  // The §9 example family: i rem 100 == r for a sweep of r at 32 bits.
+  for (int64_t R : {1ll, 25ll, 50ll, 99ll}) {
+    const Program P = genRemainderTestSigned(32, 100, R);
+    for (int I = 0; I < 100000; ++I) {
+      const int32_t N = static_cast<int32_t>(rng()());
+      const bool Expected = N >= 0 && N % 100 == R;
+      ASSERT_EQ(run(P, {static_cast<uint64_t>(N) & 0xffffffffull})[0],
+                Expected ? 1u : 0u)
+          << "n=" << N << " r=" << R;
+    }
+  }
+}
+
+} // namespace

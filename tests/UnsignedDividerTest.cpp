@@ -1,0 +1,200 @@
+//===- tests/UnsignedDividerTest.cpp - Figure 4.1 tests -------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Divider.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+using namespace gmdiv;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0xa4093822299f31d0ull);
+  return Generator;
+}
+
+TEST(UnsignedDivider, Exhaustive8) {
+  // Every divisor against every dividend: 255 * 256 = 65280 quotients.
+  for (unsigned D = 1; D < 256; ++D) {
+    const UnsignedDivider<uint8_t> Divider(static_cast<uint8_t>(D));
+    for (unsigned N = 0; N < 256; ++N) {
+      EXPECT_EQ(Divider.divide(static_cast<uint8_t>(N)), N / D)
+          << "n=" << N << " d=" << D;
+      EXPECT_EQ(Divider.remainder(static_cast<uint8_t>(N)), N % D)
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(UnsignedDivider, AllDivisors16WithStructuredDividends) {
+  // All 65535 divisors; dividends probe quotient boundaries: around 0,
+  // around multiples of d, and the extremes.
+  for (uint32_t D = 1; D <= 0xffff; ++D) {
+    const UnsignedDivider<uint16_t> Divider(static_cast<uint16_t>(D));
+    const uint32_t Probe[] = {0,         1,          D - 1, D,
+                              D + 1,     2 * D - 1,  2 * D, 0x7fffu,
+                              0x8000u,   0xffffu - D, 0xfffeu, 0xffffu};
+    for (uint32_t N : Probe) {
+      if (N > 0xffffu)
+        continue;
+      EXPECT_EQ(Divider.divide(static_cast<uint16_t>(N)), N / D)
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(UnsignedDivider, AllDividends16ForInterestingDivisors) {
+  // The paper's divisor gallery: small odds, evens needing pre-shift
+  // thinking, powers of two, the rare divisor 641, and near-2^16 values.
+  for (uint32_t D : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 10u, 11u, 12u, 14u, 25u,
+                     100u, 125u, 128u, 641u, 1000u, 32767u, 32768u, 32769u,
+                     65534u, 65535u}) {
+    const UnsignedDivider<uint16_t> Divider(static_cast<uint16_t>(D));
+    for (uint32_t N = 0; N <= 0xffff; ++N)
+      ASSERT_EQ(Divider.divide(static_cast<uint16_t>(N)), N / D)
+          << "n=" << N << " d=" << D;
+  }
+}
+
+template <typename UWord>
+void checkRandomDivisors(int DivisorCount, int DividendCount) {
+  for (int I = 0; I < DivisorCount; ++I) {
+    UWord D = static_cast<UWord>(rng()() >> (rng()() % (sizeof(UWord) * 8)));
+    if (D == 0)
+      D = 1;
+    const UnsignedDivider<UWord> Divider(D);
+    const UWord Max = static_cast<UWord>(~UWord{0});
+    // Boundary dividends first.
+    const UWord Boundary[] = {
+        UWord{0}, UWord{1}, D, static_cast<UWord>(D - 1),
+        static_cast<UWord>(D + 1), static_cast<UWord>(Max - 1), Max,
+        static_cast<UWord>(Max / 2), static_cast<UWord>(Max / 2 + 1),
+        static_cast<UWord>(Max - D)};
+    for (UWord N : Boundary)
+      ASSERT_EQ(Divider.divide(N), static_cast<UWord>(N / D))
+          << "n=" << static_cast<uint64_t>(N)
+          << " d=" << static_cast<uint64_t>(D);
+    for (int J = 0; J < DividendCount; ++J) {
+      const UWord N =
+          static_cast<UWord>(rng()() >> (rng()() % (sizeof(UWord) * 8)));
+      ASSERT_EQ(Divider.divide(N), static_cast<UWord>(N / D))
+          << "n=" << static_cast<uint64_t>(N)
+          << " d=" << static_cast<uint64_t>(D);
+    }
+  }
+}
+
+TEST(UnsignedDivider, Random32) { checkRandomDivisors<uint32_t>(2000, 200); }
+TEST(UnsignedDivider, Random64) { checkRandomDivisors<uint64_t>(2000, 200); }
+
+TEST(UnsignedDivider, PowersOfTwo64) {
+  for (int Bit = 0; Bit < 64; ++Bit) {
+    const uint64_t D = uint64_t{1} << Bit;
+    const UnsignedDivider<uint64_t> Divider(D);
+    for (int J = 0; J < 1000; ++J) {
+      const uint64_t N = rng()();
+      ASSERT_EQ(Divider.divide(N), N / D) << "bit=" << Bit;
+    }
+    ASSERT_EQ(Divider.divide(~uint64_t{0}), ~uint64_t{0} >> Bit);
+  }
+}
+
+TEST(UnsignedDivider, DivRemConsistent) {
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t D = rng()() >> (rng()() % 64);
+    if (D == 0)
+      D = 1;
+    const UnsignedDivider<uint64_t> Divider(D);
+    const uint64_t N = rng()();
+    auto [Quotient, Remainder] = Divider.divRem(N);
+    EXPECT_EQ(Quotient, N / D);
+    EXPECT_EQ(Remainder, N % D);
+    EXPECT_EQ(Quotient * D + Remainder, N);
+    EXPECT_LT(Remainder, D);
+  }
+}
+
+TEST(UnsignedDivider, DivideCeil) {
+  for (unsigned D = 1; D < 256; ++D) {
+    const UnsignedDivider<uint8_t> Divider(static_cast<uint8_t>(D));
+    for (unsigned N = 0; N < 256; ++N) {
+      const unsigned Expected = (N + D - 1) / D;
+      EXPECT_EQ(Divider.divideCeil(static_cast<uint8_t>(N)), Expected)
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(UnsignedDivider, DescribeShowsTheState) {
+  const UnsignedDivider<uint32_t> By10(10);
+  const std::string Text = By10.describe();
+  EXPECT_NE(Text.find("n/10 at N=32"), std::string::npos) << Text;
+  // The runtime form keeps the unreduced multiplier: m' = m - 2^N with
+  // m = floor(2^36/10) + 1, i.e. 0x9999999a (Figure 4.2's *reduced*
+  // 0xcccccccd appears only in constant-divisor codegen).
+  EXPECT_NE(Text.find("0x9999999a"), std::string::npos) << Text;
+  const UnsignedDivider<uint8_t> By3(3);
+  EXPECT_NE(By3.describe().find("n/3 at N=8"), std::string::npos);
+}
+
+TEST(UnsignedDivider, PaperRadixConversionDigits) {
+  // Figure 11.1's workload: peel decimal digits off a full 32-bit value.
+  const UnsignedDivider<uint32_t> By10(10);
+  uint32_t Value = 4294967295u;
+  std::vector<int> Digits;
+  while (Value != 0) {
+    auto [Quotient, Remainder] = By10.divRem(Value);
+    Digits.push_back(static_cast<int>(Remainder));
+    Value = Quotient;
+  }
+  const std::vector<int> Expected = {5, 9, 2, 7, 6, 9, 4, 9, 2, 4};
+  EXPECT_EQ(Digits, Expected); // 4294967295 read least digit first.
+}
+
+TEST(UnsignedDivider, PaperCautionNaiveFormOverflows) {
+  // §4 CAUTION: "Conceptually q is SRL(n + t1, l)... Do not compute q
+  // this way, since n + t1 may overflow N bits." Demonstrate the naive
+  // form actually failing where the paper's split form is right.
+  const uint32_t D = 7;
+  const uint64_t M = ((uint64_t{1} << 35) + 3) / 7; // m for d = 7.
+  const uint32_t MPrime = static_cast<uint32_t>(M); // m - 2^32.
+  int NaiveFailures = 0;
+  for (uint64_t N = 0xfffffff0ull; N <= 0xffffffffull; ++N) {
+    const uint32_t N32 = static_cast<uint32_t>(N);
+    const uint32_t T1 = static_cast<uint32_t>(
+        (static_cast<uint64_t>(MPrime) * N32) >> 32);
+    // Naive: SRL(n + t1, 3) with the add wrapping at 32 bits.
+    const uint32_t Naive = static_cast<uint32_t>(N32 + T1) >> 3;
+    // Paper: SRL(t1 + SRL(n - t1, 1), 2).
+    const uint32_t Split = (T1 + ((N32 - T1) >> 1)) >> 2;
+    ASSERT_EQ(Split, N32 / D) << N32;
+    NaiveFailures += Naive != N32 / D;
+  }
+  EXPECT_GT(NaiveFailures, 0)
+      << "expected the documented overflow failure";
+}
+
+TEST(UnsignedDivider, RareDivisors) {
+  // 641 divides 2^32+1; 274177 divides 2^64+1 (zero final shift cases).
+  const UnsignedDivider<uint32_t> By641(641);
+  for (int I = 0; I < 100000; ++I) {
+    const uint32_t N = static_cast<uint32_t>(rng()());
+    ASSERT_EQ(By641.divide(N), N / 641);
+  }
+  const UnsignedDivider<uint64_t> By274177(274177);
+  for (int I = 0; I < 100000; ++I) {
+    const uint64_t N = rng()();
+    ASSERT_EQ(By274177.divide(N), N / 274177);
+  }
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/WideDivCodeGenTest.cpp - Wide-register division tests --------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Table 11.1 Alpha scenario: an OpBits-wide unsigned division
+/// compiled for a wider machine, where the full product fits a register
+/// and the multiply can be strength-reduced to shifts and adds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DivCodeGen.h"
+
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gmdiv;
+using namespace gmdiv::codegen;
+using namespace gmdiv::ir;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Generator(0xba7c9045f12c7f99ull);
+  return Generator;
+}
+
+TEST(WideDivCodeGen, EightOnSixteenExhaustive) {
+  for (uint32_t D = 1; D < 256; ++D) {
+    const Program P = genUnsignedDivWide(8, 16, D);
+    for (uint32_t N = 0; N < 256; ++N)
+      ASSERT_EQ(run(P, {N})[0], N / D) << "n=" << N << " d=" << D;
+  }
+}
+
+TEST(WideDivCodeGen, EightOnSixtyFourExhaustive) {
+  for (uint32_t D = 1; D < 256; ++D) {
+    const Program P = genUnsignedDivWide(8, 64, D);
+    for (uint32_t N = 0; N < 256; ++N)
+      ASSERT_EQ(run(P, {N})[0], N / D) << "n=" << N << " d=" << D;
+  }
+}
+
+TEST(WideDivCodeGen, SixteenOnThirtyTwoAllDivisors) {
+  for (uint32_t D = 1; D <= 0xffff; ++D) {
+    const Program P = genUnsignedDivWide(16, 32, D);
+    const uint32_t Probe[] = {0, 1, D, D - 1, 3 * D + 2, 0x7fff, 0x8000,
+                              0xffff};
+    for (uint32_t N : Probe) {
+      if (N > 0xffff)
+        continue;
+      ASSERT_EQ(run(P, {N})[0], N / D) << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(WideDivCodeGen, ThirtyTwoOnSixtyFourRandom) {
+  for (int I = 0; I < 1000; ++I) {
+    uint32_t D = static_cast<uint32_t>(rng()() >> (rng()() % 32));
+    if (D == 0)
+      D = 1;
+    const Program P = genUnsignedDivWide(32, 64, D);
+    for (int J = 0; J < 100; ++J) {
+      const uint32_t N = static_cast<uint32_t>(rng()());
+      ASSERT_EQ(run(P, {N})[0], N / D) << "n=" << N << " d=" << D;
+    }
+    ASSERT_EQ(run(P, {0xffffffffull})[0], 0xffffffffu / D);
+  }
+}
+
+TEST(WideDivCodeGen, ThirtyTwoOnSixtyFourAllDividendsForGallery) {
+  for (uint32_t D : {7u, 10u, 14u, 641u}) {
+    const Program P = genUnsignedDivWide(32, 64, D);
+    // Dense sweep over the low range plus strided coverage of the rest.
+    for (uint64_t N = 0; N <= 0xffffull; ++N)
+      ASSERT_EQ(run(P, {N})[0], N / D);
+    for (uint64_t N = 0; N <= 0xffffffffull; N += 65521) // prime stride
+      ASSERT_EQ(run(P, {N})[0], N / D);
+  }
+}
+
+TEST(WideDivCodeGen, AlphaStyleExpansionIsMultiplyFree) {
+  // Table 11.1's Alpha column: with a 23-cycle multiply, x/10 expands
+  // into shifts and adds; the generated code must contain no multiply
+  // yet still divide correctly.
+  GenOptions Options;
+  Options.ExpandMulBelowCycles = 23; // Alpha 21064 mulq latency.
+  const Program P = genUnsignedDivRemWide(32, 64, 10, Options);
+  for (const Instr &I : P.instrs()) {
+    ASSERT_NE(I.Op, Opcode::MulL);
+    ASSERT_NE(I.Op, Opcode::MulUH);
+    ASSERT_NE(I.Op, Opcode::MulSH);
+  }
+  for (int J = 0; J < 10000; ++J) {
+    const uint32_t N = static_cast<uint32_t>(rng()());
+    const std::vector<uint64_t> Results = run(P, {N});
+    ASSERT_EQ(Results[0], N / 10u);
+    ASSERT_EQ(Results[1], N % 10u);
+  }
+}
+
+TEST(WideDivCodeGen, ExpansionRespectsThreshold) {
+  // With a fast multiplier (3 cycles) the multiply must be kept.
+  GenOptions Options;
+  Options.ExpandMulBelowCycles = 3;
+  const Program P = genUnsignedDivWide(32, 64, 10, Options);
+  bool SawMultiply = false;
+  for (const Instr &I : P.instrs())
+    SawMultiply |= I.Op == Opcode::MulL || I.Op == Opcode::MulUH;
+  EXPECT_TRUE(SawMultiply);
+}
+
+//===----------------------------------------------------------------------===//
+// Signed wide form.
+//===----------------------------------------------------------------------===//
+
+int64_t signExtendTo64(uint64_t Value, int Bits) {
+  const uint64_t SignBit = uint64_t{1} << (Bits - 1);
+  const uint64_t Mask =
+      Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+  return static_cast<int64_t>(((Value & Mask) ^ SignBit) - SignBit);
+}
+
+TEST(WideDivCodeGen, SignedEightOnSixtyFourExhaustive) {
+  for (int D = -128; D < 128; ++D) {
+    if (D == 0)
+      continue;
+    const Program P = genSignedDivWide(8, 64, D);
+    for (int N = -128; N < 128; ++N) {
+      if (N == -128 && D == -1)
+        continue;
+      const uint64_t Arg = static_cast<uint64_t>(static_cast<int64_t>(N));
+      ASSERT_EQ(static_cast<int64_t>(run(P, {Arg})[0]), N / D)
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(WideDivCodeGen, SignedSixteenOnThirtyTwoGallery) {
+  for (int D : {3, -3, 7, 10, -10, 4096, -4096, 32767, -32768}) {
+    const Program P = genSignedDivWide(16, 32, D);
+    for (int N = -32768; N <= 32767; ++N) {
+      if (N == -32768 && D == -1)
+        continue;
+      const uint64_t Arg =
+          static_cast<uint64_t>(static_cast<int64_t>(N)) & 0xffffffffull;
+      ASSERT_EQ(signExtendTo64(run(P, {Arg})[0], 32), N / D)
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(WideDivCodeGen, SignedThirtyTwoOnSixtyFourRandom) {
+  for (int I = 0; I < 500; ++I) {
+    int32_t D = static_cast<int32_t>(rng()()) >> (rng()() % 31);
+    if (D == 0)
+      D = -7;
+    const Program P = genSignedDivWide(32, 64, D);
+    for (int J = 0; J < 200; ++J) {
+      const int32_t N = static_cast<int32_t>(rng()());
+      if (N == std::numeric_limits<int32_t>::min() && D == -1)
+        continue;
+      const uint64_t Arg = static_cast<uint64_t>(static_cast<int64_t>(N));
+      ASSERT_EQ(static_cast<int64_t>(run(P, {Arg})[0]),
+                static_cast<int64_t>(N) / D)
+          << "n=" << N << " d=" << D;
+    }
+    // The corner dividends.
+    for (int32_t N : {std::numeric_limits<int32_t>::min(),
+                      std::numeric_limits<int32_t>::max(), 0, -1, 1}) {
+      if (N == std::numeric_limits<int32_t>::min() && D == -1)
+        continue;
+      const uint64_t Arg = static_cast<uint64_t>(static_cast<int64_t>(N));
+      ASSERT_EQ(static_cast<int64_t>(run(P, {Arg})[0]),
+                static_cast<int64_t>(N) / D)
+          << "n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(WideDivCodeGen, SignedWideIsShorterThanNativeSigned) {
+  // The wide trick folds MULSH + SRA into MULL + SRA and needs no long
+  // path, so it beats the same division done at machine width.
+  const Program Wide = genSignedDivWide(32, 64, 7);
+  const Program Native = genSignedDiv(64, 7);
+  EXPECT_LE(Wide.operationCount(), Native.operationCount());
+  bool HasMulSH = false;
+  for (const Instr &I : Wide.instrs())
+    HasMulSH |= I.Op == Opcode::MulSH;
+  EXPECT_FALSE(HasMulSH);
+}
+
+TEST(WideDivCodeGen, PowerOfTwoStaysAShift) {
+  const Program P = genUnsignedDivWide(32, 64, 64);
+  EXPECT_LE(P.operationCount(), 1);
+}
+
+} // namespace

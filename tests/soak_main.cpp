@@ -1,0 +1,153 @@
+//===- tests/soak_main.cpp - Long-running randomized cross-check ----------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// Not a gtest: an open-ended soak harness for release qualification.
+// Runs randomized differential checks across every divider class and
+// the code generators until the requested duration elapses, printing a
+// progress line per round. Any mismatch aborts with the reproducing
+// seed. Usage:
+//
+//   soak [seconds] [seed]       (defaults: 10 seconds, random seed)
+//
+// CTest runs a 2-second smoke; CI or a release manager can run hours.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DivCodeGen.h"
+#include "codegen/DivisionLowering.h"
+#include "core/Divider.h"
+#include "core/DWordDivider.h"
+#include "core/ExactDiv.h"
+#include "ir/Interp.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+using namespace gmdiv;
+
+namespace {
+
+uint64_t Seed;
+std::mt19937_64 Rng;
+
+[[noreturn]] void fail(const char *What, uint64_t N, uint64_t D) {
+  std::fprintf(stderr,
+               "MISMATCH in %s: n=%llu d=%llu (seed %llu)\n", What,
+               static_cast<unsigned long long>(N),
+               static_cast<unsigned long long>(D),
+               static_cast<unsigned long long>(Seed));
+  std::exit(1);
+}
+
+template <typename UWord> void soakUnsignedRound() {
+  UWord D = static_cast<UWord>(Rng() >> (Rng() % (sizeof(UWord) * 8)));
+  if (D == 0)
+    D = 1;
+  const UnsignedDivider<UWord> Divider(D);
+  const ExactUnsignedDivider<UWord> Exact(D);
+  for (int J = 0; J < 4096; ++J) {
+    const UWord N = static_cast<UWord>(Rng());
+    if (Divider.divide(N) != static_cast<UWord>(N / D))
+      fail("UnsignedDivider", N, D);
+    if (Exact.isDivisible(N) != (N % D == 0))
+      fail("isDivisible", N, D);
+  }
+}
+
+template <typename SWord> void soakSignedRound() {
+  using UWord = std::make_unsigned_t<SWord>;
+  SWord D = static_cast<SWord>(
+      static_cast<UWord>(Rng() >> (Rng() % (sizeof(SWord) * 8))));
+  if (D == 0)
+    D = -3;
+  const SignedDivider<SWord> Trunc(D);
+  const FloorDivider<SWord> Floor(D);
+  constexpr SWord Min = std::numeric_limits<SWord>::min();
+  for (int J = 0; J < 4096; ++J) {
+    const SWord N = static_cast<SWord>(static_cast<UWord>(Rng()));
+    if (N == Min && D == -1)
+      continue;
+    const int64_t Want = static_cast<int64_t>(N) / static_cast<int64_t>(D);
+    if (Trunc.divide(N) != static_cast<SWord>(Want))
+      fail("SignedDivider", static_cast<uint64_t>(N),
+           static_cast<uint64_t>(D));
+    int64_t WantFloor = Want;
+    const int64_t Rem =
+        static_cast<int64_t>(N) % static_cast<int64_t>(D);
+    if (Rem != 0 && ((Rem < 0) != (D < 0)))
+      --WantFloor;
+    if (Floor.divide(N) != static_cast<SWord>(WantFloor))
+      fail("FloorDivider", static_cast<uint64_t>(N),
+           static_cast<uint64_t>(D));
+  }
+}
+
+void soakCodegenRound() {
+  const int Bits = 8 << (Rng() % 4);
+  const uint64_t Mask =
+      Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+  uint64_t D = Rng() & Mask;
+  if (D == 0)
+    D = 3;
+  const ir::Program P = codegen::genUnsignedDivRem(Bits, D);
+  for (int J = 0; J < 512; ++J) {
+    const uint64_t N = Rng() & Mask;
+    const std::vector<uint64_t> QR = ir::run(P, {N});
+    if (QR[0] != N / D || QR[1] != N % D)
+      fail("genUnsignedDivRem", N, D);
+  }
+}
+
+void soakDWordRound() {
+  uint64_t D = Rng() >> (Rng() % 64);
+  if (D == 0)
+    D = 1;
+  const DWordDivider<uint64_t> Divider(D);
+  for (int J = 0; J < 1024; ++J) {
+    const uint64_t High = D == 1 ? 0 : Rng() % D;
+    const uint64_t Low = Rng();
+    auto [Q, R] = Divider.divRem(UInt128::fromHalves(High, Low));
+    auto [RefQ, RefR] =
+        UInt128::divMod(UInt128::fromHalves(High, Low), UInt128(D));
+    if (Q != RefQ.low64() || R != RefR.low64())
+      fail("DWordDivider", Low, D);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const double Seconds = Argc > 1 ? std::atof(Argv[1]) : 10.0;
+  Seed = Argc > 2 ? std::strtoull(Argv[2], nullptr, 0)
+                  : std::random_device{}();
+  Rng.seed(Seed);
+  std::printf("soak: %.1f seconds, seed %llu\n", Seconds,
+              static_cast<unsigned long long>(Seed));
+  const auto Start = std::chrono::steady_clock::now();
+  uint64_t Rounds = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+             .count() < Seconds) {
+    soakUnsignedRound<uint8_t>();
+    soakUnsignedRound<uint16_t>();
+    soakUnsignedRound<uint32_t>();
+    soakUnsignedRound<uint64_t>();
+    soakSignedRound<int8_t>();
+    soakSignedRound<int16_t>();
+    soakSignedRound<int32_t>();
+    soakSignedRound<int64_t>();
+    soakCodegenRound();
+    soakDWordRound();
+    ++Rounds;
+  }
+  std::printf("soak: %llu rounds clean (~%llu checks)\n",
+              static_cast<unsigned long long>(Rounds),
+              static_cast<unsigned long long>(Rounds * 8 * 4096ull));
+  return 0;
+}
