@@ -20,6 +20,8 @@
 #include "core/AlversonDivider.h"
 #include "core/Divider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -107,7 +109,5 @@ BENCHMARK(BM_AlversonDivider64);
 
 int main(int argc, char **argv) {
   printComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdiv_bench::runReported("bench_alverson", argc, argv);
 }

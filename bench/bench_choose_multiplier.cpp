@@ -19,6 +19,8 @@
 #include "core/ChooseMultiplier.h"
 #include "ops/Bits.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -122,7 +124,5 @@ BENCHMARK(BM_ChooseMultiplierSigned32);
 
 int main(int argc, char **argv) {
   printAblationCensus();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdiv_bench::runReported("bench_choose_multiplier", argc, argv);
 }

@@ -21,6 +21,8 @@
 #include "core/ExactDiv.h"
 #include "wideint/UInt256.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace gmdiv;
@@ -124,4 +126,4 @@ BENCHMARK(BM_Divisible128_LongDivision);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_divider128)

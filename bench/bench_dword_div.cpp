@@ -15,6 +15,8 @@
 
 #include "core/DWordDivider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace gmdiv;
@@ -154,4 +156,4 @@ BENCHMARK(BM_MultiPrecisionDecimal_LongDivision);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_dword_div)

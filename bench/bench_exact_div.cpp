@@ -13,6 +13,8 @@
 
 #include "core/ExactDiv.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace gmdiv;
@@ -117,4 +119,4 @@ BENCHMARK(BM_Loop100_StrengthReduced);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_exact_div)

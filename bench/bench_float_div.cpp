@@ -16,6 +16,8 @@
 #include "core/Divider.h"
 #include "core/FloatDiv.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace gmdiv;
@@ -91,4 +93,4 @@ BENCHMARK(BM_SignedIntegerHardware);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_float_div)

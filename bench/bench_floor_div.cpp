@@ -14,6 +14,8 @@
 
 #include "core/Divider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace gmdiv;
@@ -89,4 +91,4 @@ BENCHMARK(BM_CeilDivider32);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_floor_div)

@@ -16,6 +16,8 @@
 
 #include "core/Divider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -116,4 +118,4 @@ BENCHMARK(BM_BareReduction_Divider);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_hashing)

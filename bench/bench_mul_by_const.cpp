@@ -17,6 +17,8 @@
 #include "codegen/MulByConst.h"
 #include "core/ChooseMultiplier.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -112,7 +114,5 @@ BENCHMARK(BM_MulBy10_ShiftAdd);
 
 int main(int argc, char **argv) {
   printDecisionTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdiv_bench::runReported("bench_mul_by_const", argc, argv);
 }

@@ -22,6 +22,8 @@
 #include "core/Divider.h"
 #include "ir/Builder.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -140,7 +142,5 @@ BENCHMARK(BM_HardwareThroughputStream);
 
 int main(int argc, char **argv) {
   printModelTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdiv_bench::runReported("bench_pipeline", argc, argv);
 }

@@ -1,0 +1,62 @@
+//===- bench/bench_report.h - Shared bench entry point ----------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bench binary funnels through runReported(), which defaults
+/// --benchmark_out to BENCH_<name>.json (JSON format) in the current
+/// directory. The stdout table stays human-readable while each run
+/// leaves a machine-readable report for CI to archive and diff.
+/// Explicit --benchmark_out on the command line wins over the default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_BENCH_REPORT_H
+#define GMDIV_BENCH_REPORT_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gmdiv_bench {
+
+inline int runReported(const char *Name, int argc, char **argv) {
+  bool HasOut = false;
+  bool HasOutFormat = false;
+  for (int Index = 1; Index < argc; ++Index) {
+    if (std::strncmp(argv[Index], "--benchmark_out=", 16) == 0)
+      HasOut = true;
+    if (std::strncmp(argv[Index], "--benchmark_out_format=", 23) == 0)
+      HasOutFormat = true;
+  }
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutArg = std::string("--benchmark_out=BENCH_") + Name + ".json";
+  std::string OutFormatArg = "--benchmark_out_format=json";
+  if (!HasOut)
+    Args.push_back(OutArg.data());
+  if (!HasOut && !HasOutFormat)
+    Args.push_back(OutFormatArg.data());
+  int ArgCount = static_cast<int>(Args.size());
+  benchmark::Initialize(&ArgCount, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(ArgCount, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace gmdiv_bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that routes through
+/// runReported(). NAME becomes the BENCH_<NAME>.json report filename.
+#define GMDIV_BENCH_MAIN(NAME)                                               \
+  int main(int argc, char **argv) {                                          \
+    return ::gmdiv_bench::runReported(#NAME, argc, argv);                    \
+  }
+
+#endif // GMDIV_BENCH_REPORT_H

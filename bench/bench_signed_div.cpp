@@ -13,6 +13,8 @@
 
 #include "core/Divider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace gmdiv;
@@ -84,4 +86,4 @@ BENCHMARK(BM_SignedDividerXlSet)
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_signed_div)

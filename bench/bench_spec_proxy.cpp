@@ -23,6 +23,8 @@
 
 #include "core/Divider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -128,4 +130,4 @@ BENCHMARK(BM_DivisionRich_Divider);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_spec_proxy)

@@ -26,6 +26,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_report.h"
+
 #include "arch/CostModel.h"
 #include "arch/Target.h"
 #include "codegen/DivCodeGen.h"
@@ -87,7 +89,7 @@ void printFor(const char *ArchName, const ir::Program &P,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Table 11.1: generated code for the radix-conversion "
               "loop body ===\n");
   std::printf("(q = x / 10, r = x %% 10, unsigned 32-bit x; verified over "
@@ -120,5 +122,5 @@ int main() {
               "Table 11.1 columns do; POWER, whose multiply is signed-"
               "only,\nsynthesizes MULUH with the §3 identity "
               "corrections.\n");
-  return 0;
+  return gmdiv_bench::runReported("bench_table_11_1", argc, argv);
 }

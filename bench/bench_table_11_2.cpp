@@ -25,6 +25,8 @@
 #include "codegen/DivCodeGen.h"
 #include "core/Divider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -169,7 +171,5 @@ void printSimulatedTable() {
 
 int main(int argc, char **argv) {
   printSimulatedTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdiv_bench::runReported("bench_table_11_2", argc, argv);
 }

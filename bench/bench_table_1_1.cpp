@@ -16,6 +16,8 @@
 
 #include "arch/Arch.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -95,7 +97,5 @@ BENCHMARK(BM_HostDiv64);
 
 int main(int argc, char **argv) {
   printPaperTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gmdiv_bench::runReported("bench_table_1_1", argc, argv);
 }

@@ -16,6 +16,8 @@
 
 #include "core/Divider.h"
 
+#include "bench_report.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace gmdiv;
@@ -132,4 +134,4 @@ BENCHMARK(BM_DividerSetup32);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GMDIV_BENCH_MAIN(bench_unsigned_div)

@@ -8,16 +8,17 @@
 // Usage: codegen_explorer [divisor] [width] [signed|unsigned|floor]
 //
 // Shows what a compiler armed with the paper's algorithms would emit for
-// division by the given constant: the CHOOSE_MULTIPLIER outputs, the
-// optimized sequence, and its estimated cost and speedup on each CPU of
-// Table 1.1.
+// division by the given constant: which paper case fired (taken from the
+// generator's own remark stream, so the explanation can never drift from
+// the generated code), the optimized sequence, and its estimated cost
+// and speedup on each CPU of Table 1.1.
 //
 //===----------------------------------------------------------------------===//
 
 #include "arch/CostModel.h"
 #include "codegen/DivCodeGen.h"
-#include "core/ChooseMultiplier.h"
 #include "ir/AsmPrinter.h"
+#include "telemetry/Remarks.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,31 +39,12 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  // CHOOSE_MULTIPLIER(d, prec) outputs (for the unsigned case).
-  if (Divisor > 0) {
-    const int Prec = std::strcmp(Mode, "unsigned") == 0 ? Width : Width - 1;
-    if (Width == 32) {
-      const MultiplierInfo<uint32_t> Info = chooseMultiplier<uint32_t>(
-          static_cast<uint32_t>(Divisor), Prec);
-      std::printf("CHOOSE_MULTIPLIER(%lld, %d): m = %llu%s, sh_post = %d, "
-                  "l = %d\n\n",
-                  static_cast<long long>(Divisor), Prec,
-                  static_cast<unsigned long long>(Info.Multiplier),
-                  Info.fitsInWord() ? "" : " (>= 2^N: long sequence)",
-                  Info.ShiftPost, Info.Log2Ceil);
-    } else if (Width == 64) {
-      const MultiplierInfo<uint64_t> Info = chooseMultiplier<uint64_t>(
-          static_cast<uint64_t>(Divisor), Prec);
-      std::printf("CHOOSE_MULTIPLIER(%lld, %d): m = %s%s, sh_post = %d, "
-                  "l = %d\n\n",
-                  static_cast<long long>(Divisor), Prec,
-                  Info.Multiplier.toString().c_str(),
-                  Info.fitsInWord() ? "" : " (>= 2^N: long sequence)",
-                  Info.ShiftPost, Info.Log2Ceil);
-    }
-  }
-
+  // Collect the generator's remarks: each gen* entry point reports the
+  // paper figure/case it selected plus the chosen magic constants, so
+  // there is nothing to re-derive here.
+  telemetry::CollectingRemarkSink Remarks;
   ir::Program P = [&] {
+    telemetry::ScopedRemarkSink Guard(&Remarks);
     if (std::strcmp(Mode, "signed") == 0)
       return codegen::genSignedDivRem(Width, Divisor);
     if (std::strcmp(Mode, "floor") == 0)
@@ -71,7 +53,10 @@ int main(int Argc, char **Argv) {
                                       static_cast<uint64_t>(Divisor));
   }();
 
-  std::printf("generated %d-bit %s division by %lld:\n%s\n", Width, Mode,
+  for (const telemetry::Remark &R : Remarks.remarks())
+    std::printf("%s\n", R.message().c_str());
+
+  std::printf("\ngenerated %d-bit %s division by %lld:\n%s\n", Width, Mode,
               static_cast<long long>(Divisor),
               ir::formatProgram(P).c_str());
 

@@ -18,6 +18,13 @@
 //                                        from stdin, run the §10 pass,
 //                                        print the result.
 //
+// Global telemetry flags (usable with any command; both write stderr so
+// stdout stays a clean IR/assembly listing):
+//
+//   --remarks=json|text   stream one remark per generated sequence.
+//   --stats               print the counter registry as one JSON line
+//                         after the command finishes.
+//
 //===----------------------------------------------------------------------===//
 
 #include "arch/Target.h"
@@ -28,14 +35,18 @@
 #include "ir/AsmPrinter.h"
 #include "ir/Parser.h"
 #include "ops/Bits.h"
+#include "telemetry/Remarks.h"
+#include "telemetry/Stats.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace gmdiv;
 
@@ -47,7 +58,10 @@ int usage(const char *Argv0) {
                "  %s magic <d> [8|16|32|64]\n"
                "  %s codegen <d> [8|16|32|64] [u|s|floor|exact|alverson]\n"
                "  %s asm <d> [32|64] [mips|sparc|alpha|power]\n"
-               "  %s lower [width] [numargs]   (IR on stdin)\n",
+               "  %s lower [width] [numargs]   (IR on stdin)\n"
+               "global flags (telemetry, on stderr):\n"
+               "  --remarks=json|text   one remark per generated sequence\n"
+               "  --stats               counter registry as one JSON line\n",
                Argv0, Argv0, Argv0, Argv0);
   return 1;
 }
@@ -90,9 +104,8 @@ template <typename UWord> void printMagic(UWord D) {
   }
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+/// Command dispatch, after the global telemetry flags are stripped.
+int runCommand(int Argc, char **Argv) {
   if (Argc < 2)
     return usage(Argv[0]);
   const std::string Command = Argv[1];
@@ -203,4 +216,41 @@ int main(int Argc, char **Argv) {
   }
 
   return usage(Argv[0]);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool ShowStats = false;
+  std::string RemarksMode;
+  std::vector<char *> Args;
+  Args.reserve(static_cast<size_t>(Argc));
+  for (int Index = 0; Index < Argc; ++Index) {
+    if (std::strcmp(Argv[Index], "--stats") == 0) {
+      ShowStats = true;
+      continue;
+    }
+    if (std::strncmp(Argv[Index], "--remarks=", 10) == 0) {
+      RemarksMode = Argv[Index] + 10;
+      continue;
+    }
+    Args.push_back(Argv[Index]);
+  }
+
+  std::unique_ptr<telemetry::RemarkSink> Sink;
+  if (RemarksMode == "json")
+    Sink = std::make_unique<telemetry::JsonRemarkSink>(stderr);
+  else if (RemarksMode == "text")
+    Sink = std::make_unique<telemetry::TextRemarkSink>(stderr);
+  else if (!RemarksMode.empty())
+    return usage(Argv[0]);
+
+  int Result;
+  {
+    telemetry::ScopedRemarkSink Guard(Sink.get());
+    Result = runCommand(static_cast<int>(Args.size()), Args.data());
+  }
+  if (ShowStats)
+    std::fprintf(stderr, "%s\n", telemetry::statsJson().c_str());
+  return Result;
 }

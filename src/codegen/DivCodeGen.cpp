@@ -12,8 +12,12 @@
 #include "numtheory/ModArith.h"
 #include "ops/Bits.h"
 #include "ops/Ops.h"
+#include "telemetry/Remarks.h"
+#include "telemetry/Stats.h"
 
 #include <cassert>
+#include <cstdio>
+#include <initializer_list>
 
 using namespace gmdiv;
 using namespace gmdiv::codegen;
@@ -21,12 +25,64 @@ using namespace gmdiv::ir;
 
 namespace {
 
+//===----------------------------------------------------------------------===//
+// Telemetry plumbing: every emitter reports exactly one remark naming the
+// paper figure/case it selected (delegating emitters let the delegate
+// report), plus a per-branch counter. Remark construction is guarded so
+// the no-sink default allocates nothing.
+//===----------------------------------------------------------------------===//
+
+std::string hexStr(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
+
+std::string decStr(uint64_t Value) { return std::to_string(Value); }
+
+using RemarkDetail = std::pair<std::string, std::string>;
+
+void remarkCase(const char *Kind, const char *Figure, const char *CaseName,
+                int WordBits, uint64_t DivisorBits, bool IsSigned,
+                std::initializer_list<RemarkDetail> Details) {
+  if (!telemetry::remarksEnabled())
+    return;
+  telemetry::Remark R;
+  R.Pass = "codegen";
+  R.Kind = Kind;
+  R.Figure = Figure;
+  R.CaseName = CaseName;
+  R.WordBits = WordBits;
+  R.DivisorBits = DivisorBits;
+  R.IsSigned = IsSigned;
+  for (const RemarkDetail &Detail : Details)
+    R.Details.push_back(Detail);
+  telemetry::emitRemark(R);
+}
+
+void remarkRuntimeCase(const char *Kind, const char *Figure,
+                       const char *CaseName, int WordBits) {
+  if (!telemetry::remarksEnabled())
+    return;
+  telemetry::Remark R;
+  R.Pass = "codegen";
+  R.Kind = Kind;
+  R.Figure = Figure;
+  R.CaseName = CaseName;
+  R.WordBits = WordBits;
+  R.HasDivisor = false;
+  telemetry::emitRemark(R);
+}
+
 /// MULL by a constant, expanded into shifts/adds when the options say the
 /// synthesis is cheaper than the machine's multiply.
 int emitMulLConst(Builder &B, int X, uint64_t C, const GenOptions &Options) {
   if (Options.ExpandMulBelowCycles >= 0 &&
-      shouldExpandMultiply(C, B.wordBits(), Options.ExpandMulBelowCycles))
+      shouldExpandMultiply(C, B.wordBits(), Options.ExpandMulBelowCycles)) {
+    GMDIV_STAT(codegen, mull_bernstein_expanded);
     return emitMulByConst(B, X, C);
+  }
   return B.mulL(X, B.constant(C), "multiply by constant");
 }
 
@@ -112,12 +168,24 @@ int emitUnsignedDivT(Builder &B, int N, UWord D, const GenOptions &Options) {
     Info = chooseMultiplier<UWord>(DOdd, Bits - E);
   }
 
-  if (isPowerOf2(D))
+  if (isPowerOf2(D)) {
+    GMDIV_STAT(codegen, unsigned_div_pow2);
+    remarkCase("unsigned-pow2", "Figure 4.2", "power of two", Bits,
+               static_cast<uint64_t>(D), false,
+               {{"shift", decStr(static_cast<uint64_t>(floorLog2(D)))}});
     return B.srl(N, floorLog2(D), "d is a power of two");
+  }
 
   if (!Info.fitsInWord()) {
     assert(ShiftPre == 0 && "pre-shift implies a fitting multiplier");
     assert(Info.ShiftPost >= 1 && "m >= 2^N forces sh_post >= 1 for d >= 2");
+    GMDIV_STAT(codegen, unsigned_div_long_form);
+    remarkCase(
+        "unsigned-long-form", "Figure 4.2", "long form (m >= 2^N)", Bits,
+        static_cast<uint64_t>(D), false,
+        {{"m_minus_2N",
+          hexStr(static_cast<uint64_t>(Info.truncatedMultiplier()))},
+         {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
     // q = SRL(t1 + SRL(n - t1, 1), sh_post - 1), t1 = MULUH(m - 2^N, n).
     const int T1 = emitMulUHConstCap(
         B, N, static_cast<uint64_t>(Info.truncatedMultiplier()), Bits,
@@ -126,6 +194,22 @@ int emitUnsignedDivT(Builder &B, int N, UWord D, const GenOptions &Options) {
     return B.srl(B.add(T1, Avg), Info.ShiftPost - 1);
   }
 
+  if (ShiftPre > 0) {
+    GMDIV_STAT(codegen, unsigned_div_pre_shift);
+    remarkCase(
+        "unsigned-pre-shift", "Figure 4.2", "even divisor pre-shift", Bits,
+        static_cast<uint64_t>(D), false,
+        {{"sh_pre", decStr(static_cast<uint64_t>(ShiftPre))},
+         {"m", hexStr(static_cast<uint64_t>(Info.wordMultiplier()))},
+         {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
+  } else {
+    GMDIV_STAT(codegen, unsigned_div_short);
+    remarkCase(
+        "unsigned-short", "Figure 4.2", "short form (m < 2^N)", Bits,
+        static_cast<uint64_t>(D), false,
+        {{"m", hexStr(static_cast<uint64_t>(Info.wordMultiplier()))},
+         {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
+  }
   const int Shifted =
       ShiftPre > 0 ? B.srl(N, ShiftPre, "pre-shift by the even part")
                    : N;
@@ -154,15 +238,38 @@ int emitSignedDivT(Builder &B, int N, int64_t D64,
 
   int Q;
   if (AbsD == 1) {
+    GMDIV_STAT(codegen, signed_div_unit);
+    remarkCase("signed-unit", "Figure 5.2", "|d| = 1", Bits,
+               static_cast<uint64_t>(D64), true, {});
     Q = N; // q = n; the caller-visible negate below handles d = -1.
   } else if (isPowerOf2(AbsD)) {
     // q = SRA(n + SRL(SRA(n, l-1), N-l), l): add d-1 only for negative n.
     const int L = floorLog2(AbsD);
+    GMDIV_STAT(codegen, signed_div_pow2);
+    remarkCase("signed-pow2", "Figure 5.2", "|d| is a power of two", Bits,
+               static_cast<uint64_t>(D64), true,
+               {{"shift", decStr(static_cast<uint64_t>(L))}});
     const int AllSign = B.sra(N, L - 1, "sign spread over low bits");
     const int Round = B.srl(AllSign, Bits - L, "d - 1 if n < 0, else 0");
     Q = B.sra(B.add(N, Round), L);
   } else {
     const MultiplierInfo<UWord> Info = chooseMultiplier<UWord>(AbsD, Bits - 1);
+    if (Info.Multiplier < T::udPow2(Bits - 1)) {
+      GMDIV_STAT(codegen, signed_div_short);
+      remarkCase(
+          "signed-short", "Figure 5.2", "short form (m < 2^(N-1))", Bits,
+          static_cast<uint64_t>(D64), true,
+          {{"m", hexStr(static_cast<uint64_t>(Info.wordMultiplier()))},
+           {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
+    } else {
+      GMDIV_STAT(codegen, signed_div_add);
+      remarkCase(
+          "signed-add", "Figure 5.2", "add case (m >= 2^(N-1))", Bits,
+          static_cast<uint64_t>(D64), true,
+          {{"m_minus_2N",
+            hexStr(static_cast<uint64_t>(Info.truncatedMultiplier()))},
+           {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
+    }
     int Q0;
     if (Info.Multiplier < T::udPow2(Bits - 1)) {
       Q0 = emitMulSHConstCap(
@@ -197,11 +304,21 @@ int emitFloorDivT(Builder &B, int N, int64_t D64, const GenOptions &Options) {
   assert(D > 0 && "Figure 6.1 requires a positive constant divisor");
   const UWord AbsD = static_cast<UWord>(D);
 
-  if (isPowerOf2(AbsD))
+  if (isPowerOf2(AbsD)) {
+    GMDIV_STAT(codegen, floor_div_pow2);
+    remarkCase("floor-pow2", "Figure 6.1", "power of two (SRA floors)",
+               Bits, static_cast<uint64_t>(D64), true,
+               {{"shift", decStr(static_cast<uint64_t>(floorLog2(AbsD)))}});
     return B.sra(N, floorLog2(AbsD), "SRA floors by powers of two");
+  }
 
   const MultiplierInfo<UWord> Info = chooseMultiplier<UWord>(AbsD, Bits - 1);
   assert(Info.fitsInWord() && "m < 2^N guaranteed for 0 < d < 2^(N-1)");
+  GMDIV_STAT(codegen, floor_div_short);
+  remarkCase("floor-short", "Figure 6.1", "XSIGN/EOR short form", Bits,
+             static_cast<uint64_t>(D64), true,
+             {{"m", hexStr(static_cast<uint64_t>(Info.wordMultiplier()))},
+              {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
   const int NSign = B.xsign(N, "nsign = XSIGN(n)");
   const int Flipped = B.eor(NSign, N, "n if n >= 0, else -n - 1");
   const int Q0 = emitMulUHConstCap(
@@ -217,12 +334,24 @@ int emitFloorDivT(Builder &B, int N, int64_t D64, const GenOptions &Options) {
 template <typename UWord>
 int emitExactUnsignedDivT(Builder &B, int N, UWord D,
                           const GenOptions &Options) {
+  constexpr int Bits = WordTraits<UWord>::Bits;
   assert(D >= 1 && "divisor must be nonzero");
   const int E = countTrailingZeros(D);
   const UWord DOdd = srl(D, E);
-  if (DOdd == 1)
+  if (DOdd == 1) {
+    GMDIV_STAT(codegen, exact_udiv_pow2);
+    remarkCase("exact-pow2", "§9", "power of two (exact => SRL)", Bits,
+               static_cast<uint64_t>(D), false,
+               {{"e", decStr(static_cast<uint64_t>(E))}});
     return B.srl(N, E, "d is a power of two");
+  }
   const UWord Inverse = modInverseNewton(DOdd);
+  GMDIV_STAT(codegen, exact_udiv_inverse);
+  remarkCase("exact-inverse", "§9", "multiply by the odd part's inverse",
+             Bits, static_cast<uint64_t>(D), false,
+             {{"e", decStr(static_cast<uint64_t>(E))},
+              {"d_odd", decStr(static_cast<uint64_t>(DOdd))},
+              {"inverse", hexStr(static_cast<uint64_t>(Inverse))}});
   const int Product = emitMulLConst(
       B, N, static_cast<uint64_t>(Inverse), Options);
   return E == 0 ? Product : B.srl(Product, E, "shift out the even part");
@@ -232,6 +361,7 @@ template <typename UWord>
 int emitExactSignedDivT(Builder &B, int N, int64_t D64,
                         const GenOptions &Options) {
   using SWord = typename WordTraits<UWord>::SWord;
+  constexpr int Bits = WordTraits<UWord>::Bits;
   const SWord D = static_cast<SWord>(D64);
   assert(static_cast<int64_t>(D) == D64 && "divisor does not fit the width");
   assert(D != 0 && "divisor must be nonzero");
@@ -242,9 +372,19 @@ int emitExactSignedDivT(Builder &B, int N, int64_t D64,
   const UWord DOdd = srl(AbsD, E);
   int Q;
   if (DOdd == 1) {
+    GMDIV_STAT(codegen, exact_sdiv_pow2);
+    remarkCase("exact-pow2", "§9", "power of two (exact => SRA)", Bits,
+               static_cast<uint64_t>(D64), true,
+               {{"e", decStr(static_cast<uint64_t>(E))}});
     Q = E == 0 ? N : B.sra(N, E, "|d| is a power of two; exact => SRA");
   } else {
     const UWord Inverse = modInverseNewton(DOdd);
+    GMDIV_STAT(codegen, exact_sdiv_inverse);
+    remarkCase("exact-inverse", "§9", "multiply by the odd part's inverse",
+               Bits, static_cast<uint64_t>(D64), true,
+               {{"e", decStr(static_cast<uint64_t>(E))},
+                {"d_odd", decStr(static_cast<uint64_t>(DOdd))},
+                {"inverse", hexStr(static_cast<uint64_t>(Inverse))}});
     const int Product =
         emitMulLConst(B, N, static_cast<uint64_t>(Inverse), Options);
     Q = E == 0 ? Product : B.sra(Product, E, "shift out the even part");
@@ -256,12 +396,21 @@ int emitExactSignedDivT(Builder &B, int N, int64_t D64,
 
 template <typename UWord>
 int emitDivisibilityTestUnsignedT(Builder &B, int N, UWord D) {
+  constexpr int Bits = WordTraits<UWord>::Bits;
   assert(D >= 1 && "divisor must be nonzero");
-  if (D == 1)
+  if (D == 1) {
+    GMDIV_STAT(codegen, divtest_u_trivial);
+    remarkCase("divtest-trivial", "§9", "d = 1 is always divisible", Bits,
+               static_cast<uint64_t>(D), false, {});
     return B.constant(1, "everything is divisible by 1");
+  }
   const int E = countTrailingZeros(D);
   const UWord DOdd = srl(D, E);
   if (DOdd == 1) {
+    GMDIV_STAT(codegen, divtest_u_pow2);
+    remarkCase("divtest-pow2", "§9", "power of two (mask test)", Bits,
+               static_cast<uint64_t>(D), false,
+               {{"e", decStr(static_cast<uint64_t>(E))}});
     // Power of two: test the low bits.
     const int Low =
         B.and_(N, B.constant(static_cast<uint64_t>(D) - 1, "2^e - 1"));
@@ -269,6 +418,12 @@ int emitDivisibilityTestUnsignedT(Builder &B, int N, UWord D) {
   }
   const UWord Inverse = modInverseNewton(DOdd);
   const UWord QMax = static_cast<UWord>(static_cast<UWord>(~UWord{0}) / D);
+  GMDIV_STAT(codegen, divtest_u_inverse);
+  remarkCase("divtest-inverse", "§9", "inverse multiply + bound compare",
+             Bits, static_cast<uint64_t>(D), false,
+             {{"e", decStr(static_cast<uint64_t>(E))},
+              {"inverse", hexStr(static_cast<uint64_t>(Inverse))},
+              {"qmax", decStr(static_cast<uint64_t>(QMax))}});
   const int Q0 = B.mulL(B.constant(static_cast<uint64_t>(Inverse),
                                    "inverse of odd part mod 2^N"),
                         N, "q0 = MULL(d_inv, n)");
@@ -286,15 +441,21 @@ template <typename UWord>
 int emitRemainderTestUnsignedT(Builder &B, int N, UWord D, UWord R) {
   using SWord = typename WordTraits<UWord>::SWord;
   (void)sizeof(SWord);
+  constexpr int Bits = WordTraits<UWord>::Bits;
   assert(D >= 1 && "divisor must be nonzero");
   assert(R < D && "remainder target must be below the divisor");
-  if (R == 0)
+  if (R == 0) // Delegate; the divisibility test reports the remark.
     return emitDivisibilityTestUnsignedT(B, N, D);
   const int E = countTrailingZeros(D);
   const UWord DOdd = srl(D, E);
   const int Biased = B.sub(N, B.constant(static_cast<uint64_t>(R), "r"),
                            "n - r");
   if (DOdd == 1) {
+    GMDIV_STAT(codegen, remtest_u_pow2);
+    remarkCase("remtest-pow2", "§9", "power of two (mask low bits of n-r)",
+               Bits, static_cast<uint64_t>(D), false,
+               {{"r", decStr(static_cast<uint64_t>(R))},
+                {"e", decStr(static_cast<uint64_t>(E))}});
     // Power of two: n mod 2^e == r iff the low e bits of n - r are zero,
     // i.e. the low bits of n equal r.
     const int Low = B.and_(Biased,
@@ -303,6 +464,12 @@ int emitRemainderTestUnsignedT(Builder &B, int N, UWord D, UWord R) {
     return B.sltU(Low, B.constant(1), "low bits match r?");
   }
   const UWord Inverse = modInverseNewton(DOdd);
+  GMDIV_STAT(codegen, remtest_u_inverse);
+  remarkCase("remtest-inverse", "§9", "inverse multiply of n-r + bound",
+             Bits, static_cast<uint64_t>(D), false,
+             {{"r", decStr(static_cast<uint64_t>(R))},
+              {"e", decStr(static_cast<uint64_t>(E))},
+              {"inverse", hexStr(static_cast<uint64_t>(Inverse))}});
   const int Q0 = B.mulL(B.constant(static_cast<uint64_t>(Inverse),
                                    "inverse of odd part mod 2^N"),
                         Biased, "q0 = MULL(d_inv, n - r)");
@@ -330,6 +497,12 @@ int emitRemainderTestSignedT(Builder &B, int N, int64_t D64, int64_t R64) {
   assert(DOdd != 1 &&
          "power-of-two divisors: compare the low bits directly");
   const UWord Inverse = modInverseNewton(DOdd);
+  GMDIV_STAT(codegen, remtest_s_inverse);
+  remarkCase("remtest-inverse", "§9", "inverse multiply of n-r + bound",
+             WordTraits<UWord>::Bits, static_cast<uint64_t>(D64), true,
+             {{"r", decStr(static_cast<uint64_t>(R64))},
+              {"e", decStr(static_cast<uint64_t>(E))},
+              {"inverse", hexStr(static_cast<uint64_t>(Inverse))}});
   const int Biased = B.sub(N, B.constant(static_cast<uint64_t>(R), "r"),
                            "n - r");
   const int Q0 = B.mulL(B.constant(static_cast<uint64_t>(Inverse),
@@ -365,11 +538,19 @@ int emitDivisibilityTestSignedT(Builder &B, int N, int64_t D64) {
   const UWord AbsD =
       D < 0 ? static_cast<UWord>(UWord{0} - static_cast<UWord>(D))
             : static_cast<UWord>(D);
-  if (AbsD == 1)
+  if (AbsD == 1) {
+    GMDIV_STAT(codegen, divtest_s_trivial);
+    remarkCase("divtest-trivial", "§9", "|d| = 1 is always divisible",
+               Bits, static_cast<uint64_t>(D64), true, {});
     return B.constant(1, "everything is divisible by 1");
+  }
   const int E = countTrailingZeros(AbsD);
   const UWord DOdd = srl(AbsD, E);
   if (DOdd == 1) {
+    GMDIV_STAT(codegen, divtest_s_pow2);
+    remarkCase("divtest-pow2", "§9", "power of two (mask test)", Bits,
+               static_cast<uint64_t>(D64), true,
+               {{"e", decStr(static_cast<uint64_t>(E))}});
     // |d| = 2^e: §9's special case, test the low bits of n directly.
     const int Low = B.and_(
         N, B.constant(static_cast<uint64_t>(AbsD) - 1, "2^e - 1"));
@@ -383,6 +564,13 @@ int emitDivisibilityTestSignedT(Builder &B, int N, int64_t D64) {
   // test into one unsigned compare via the add-qmax trick.
   const UWord SMax = srl(static_cast<UWord>(~UWord{0}), 1);
   const UWord QMax = sll(static_cast<UWord>(SMax / AbsD), E);
+  GMDIV_STAT(codegen, divtest_s_inverse);
+  remarkCase("divtest-inverse", "§9",
+             "inverse multiply + centered interval compare", Bits,
+             static_cast<uint64_t>(D64), true,
+             {{"e", decStr(static_cast<uint64_t>(E))},
+              {"inverse", hexStr(static_cast<uint64_t>(Inverse))},
+              {"qmax", decStr(static_cast<uint64_t>(QMax))}});
   const int Centered =
       B.add(Q0, B.constant(static_cast<uint64_t>(QMax), "qmax"),
             "center the interval at qmax");
@@ -413,8 +601,19 @@ int emitUnsignedDivAlversonT(Builder &B, int N, UWord D) {
     Quotient = static_cast<UDWord>(Quotient + T::udFromWord(UWord{1}));
   const UWord FPrime =
       T::udLow(static_cast<UDWord>(Quotient - T::udPow2(Bits)));
-  if (FPrime == 0) // Power of two: the reciprocal is exactly 2^N.
+  if (FPrime == 0) { // Power of two: the reciprocal is exactly 2^N.
+    GMDIV_STAT(codegen, alverson_pow2);
+    remarkCase("alverson-pow2", "[1] ARITH-10", "power of two", Bits,
+               static_cast<uint64_t>(D), false,
+               {{"l", decStr(static_cast<uint64_t>(L))}});
     return L == 0 ? N : B.srl(N, L, "d is a power of two");
+  }
+  GMDIV_STAT(codegen, alverson_long);
+  remarkCase("alverson-long", "[1] ARITH-10",
+             "round-up reciprocal, always the long sequence", Bits,
+             static_cast<uint64_t>(D), false,
+             {{"f_minus_2N", hexStr(static_cast<uint64_t>(FPrime))},
+              {"l", decStr(static_cast<uint64_t>(L))}});
   // Always the long sequence: t1 = MULUH(f - 2^N, n);
   // q = SRL(t1 + SRL(n - t1, min(l,1)), max(l-1,0)).
   const int T1 = B.mulUH(
@@ -447,6 +646,12 @@ void emitDWordDivRemT(Builder &B, UWord D) {
   const UWord MPrime =
       T::udLow(static_cast<UDWord>(Quotient - T::udPow2(Bits)));
   const UWord DNorm = sll(D, Bits - L);
+  GMDIV_STAT(codegen, dword_divrem);
+  remarkCase("dword-divrem", "Figure 8.1", "udword by invariant uword",
+             Bits, static_cast<uint64_t>(D), false,
+             {{"m_prime", hexStr(static_cast<uint64_t>(MPrime))},
+              {"l", decStr(static_cast<uint64_t>(L))},
+              {"d_norm", hexStr(static_cast<uint64_t>(DNorm))}});
 
   const int MConst = B.constant(static_cast<uint64_t>(MPrime),
                                 "m' = floor((2^(N+l)-1)/d) - 2^N");
@@ -512,11 +717,27 @@ int emitUnsignedDivWideT(Builder &B, int N, UOp D, const GenOptions &Options) {
     Info = chooseMultiplier<UOp>(srl(D, E), OpBits - E);
   }
 
-  if (isPowerOf2(D))
+  if (isPowerOf2(D)) {
+    GMDIV_STAT(codegen, wide_unsigned_pow2);
+    remarkCase("unsigned-wide-pow2", "Figure 4.2 (wide)", "power of two",
+               OpBits, static_cast<uint64_t>(D), false,
+               {{"machine_bits",
+                 decStr(static_cast<uint64_t>(MachineBits))},
+                {"shift", decStr(static_cast<uint64_t>(floorLog2(D)))}});
     return B.srl(N, floorLog2(D), "d is a power of two");
+  }
 
   if (!Info.fitsInWord()) {
     assert(ShiftPre == 0 && "pre-shift implies a fitting multiplier");
+    GMDIV_STAT(codegen, wide_unsigned_long_form);
+    remarkCase(
+        "unsigned-wide-long-form", "Figure 4.2 (wide)",
+        "long form (m >= 2^OpBits)", OpBits, static_cast<uint64_t>(D),
+        false,
+        {{"machine_bits", decStr(static_cast<uint64_t>(MachineBits))},
+         {"m_minus_2N",
+          hexStr(static_cast<uint64_t>(Info.truncatedMultiplier()))},
+         {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
     // MULUH at operation width = full machine product, high OpBits half.
     const int T1 =
         B.srl(emitMulLConst(
@@ -527,6 +748,25 @@ int emitUnsignedDivWideT(Builder &B, int N, UOp D, const GenOptions &Options) {
     return B.srl(B.add(T1, Avg), Info.ShiftPost - 1);
   }
 
+  if (ShiftPre > 0) {
+    GMDIV_STAT(codegen, wide_unsigned_pre_shift);
+    remarkCase(
+        "unsigned-wide-pre-shift", "Figure 4.2 (wide)",
+        "even divisor pre-shift", OpBits, static_cast<uint64_t>(D), false,
+        {{"machine_bits", decStr(static_cast<uint64_t>(MachineBits))},
+         {"sh_pre", decStr(static_cast<uint64_t>(ShiftPre))},
+         {"m", hexStr(static_cast<uint64_t>(Info.wordMultiplier()))},
+         {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
+  } else {
+    GMDIV_STAT(codegen, wide_unsigned_short);
+    remarkCase(
+        "unsigned-wide-short", "Figure 4.2 (wide)",
+        "single MULL + shift (full product fits)", OpBits,
+        static_cast<uint64_t>(D), false,
+        {{"machine_bits", decStr(static_cast<uint64_t>(MachineBits))},
+         {"m", hexStr(static_cast<uint64_t>(Info.wordMultiplier()))},
+         {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
+  }
   const int Shifted =
       ShiftPre > 0 ? B.srl(N, ShiftPre, "pre-shift by the even part") : N;
   // m < 2^OpBits and n < 2^OpBits, so the full product fits the machine
@@ -554,12 +794,22 @@ int emitSignedDivWideT(Builder &B, int N, int64_t D64,
 
   int Q;
   if (AbsD == 1) {
+    GMDIV_STAT(codegen, wide_signed_unit);
+    remarkCase("signed-wide-unit", "Figure 5.2 (wide)", "|d| = 1", OpBits,
+               static_cast<uint64_t>(D64), true,
+               {{"machine_bits", decStr(static_cast<uint64_t>(MachineBits))}});
     Q = N;
   } else if (isPowerOf2(AbsD)) {
     // Figure 5.2's power-of-two path with the bias extracted from the
     // machine-wide sign spread: the low l bits of SRA(n, l-1) are d-1
     // for negative n once logically shifted down from the wide word.
     const int L = floorLog2(AbsD);
+    GMDIV_STAT(codegen, wide_signed_pow2);
+    remarkCase("signed-wide-pow2", "Figure 5.2 (wide)",
+               "|d| is a power of two", OpBits,
+               static_cast<uint64_t>(D64), true,
+               {{"machine_bits", decStr(static_cast<uint64_t>(MachineBits))},
+                {"shift", decStr(static_cast<uint64_t>(L))}});
     const int AllSign = B.sra(N, L - 1, "sign spread");
     const int Round =
         B.srl(AllSign, MachineBits - L, "d - 1 if n < 0, else 0");
@@ -567,6 +817,14 @@ int emitSignedDivWideT(Builder &B, int N, int64_t D64,
   } else {
     const MultiplierInfo<UOp> Info = chooseMultiplier<UOp>(AbsD, OpBits - 1);
     assert(Info.fitsInWord() && "m < 2^OpBits by the Figure 6.2 corollary");
+    GMDIV_STAT(codegen, wide_signed_short);
+    remarkCase(
+        "signed-wide-short", "Figure 5.2 (wide)",
+        "single MULL + SRA (signed product fits)", OpBits,
+        static_cast<uint64_t>(D64), true,
+        {{"machine_bits", decStr(static_cast<uint64_t>(MachineBits))},
+         {"m", hexStr(static_cast<uint64_t>(Info.wordMultiplier()))},
+         {"sh_post", decStr(static_cast<uint64_t>(Info.ShiftPost))}});
     // Signed product m*n fits the machine word (m < 2^OpBits,
     // |n| <= 2^(OpBits-1)), so MULL + SRA replaces MULSH + SRA.
     const int Product = emitMulLConst(
@@ -862,6 +1120,9 @@ ir::Program codegen::genDivisibilityTestSigned(int WordBits, int64_t D) {
 }
 
 ir::Program codegen::genFloorDivModRuntime(int WordBits) {
+  GMDIV_STAT(codegen, floor_divmod_runtime);
+  remarkRuntimeCase("floor-runtime", "§6 (6.1)/(6.2)",
+                    "runtime divisor floor div/mod, one DIVS", WordBits);
   Builder B(WordBits, 2);
   const int N = B.arg(0, "dividend n");
   const int D = B.arg(1, "divisor d (nonzero, unknown sign)");

@@ -9,7 +9,10 @@
 
 #include "codegen/MulByConst.h"
 #include "ir/Builder.h"
+#include "telemetry/Remarks.h"
+#include "telemetry/Stats.h"
 
+#include <string>
 #include <vector>
 
 using namespace gmdiv;
@@ -89,6 +92,43 @@ int reEmit(Builder &B, const Instr &I, int Lhs, int Rhs) {
   return Lhs;
 }
 
+/// The one lowering decision the per-divisor emitters never see: a
+/// remainder by a power of two needs no quotient at all, so the pass
+/// reports it here rather than in DivCodeGen.
+void remarkRemPow2Mask(int WordBits, uint64_t D) {
+  if (!telemetry::remarksEnabled())
+    return;
+  telemetry::Remark R;
+  R.Pass = "lowering";
+  R.Kind = "unsigned-rem-pow2-mask";
+  R.Figure = "§10";
+  R.CaseName = "remainder by a power of two is one AND";
+  R.WordBits = WordBits;
+  R.DivisorBits = D;
+  R.IsSigned = false;
+  telemetry::emitRemark(R);
+}
+
+void remarkLoweringSummary(int WordBits, const LoweringStats &S) {
+  if (!telemetry::remarksEnabled())
+    return;
+  telemetry::Remark R;
+  R.Pass = "lowering";
+  R.Kind = "summary";
+  R.Figure = "§10";
+  R.CaseName = "pass summary";
+  R.WordBits = WordBits;
+  R.HasDivisor = false;
+  R.Details = {
+      {"unsigned_divs", std::to_string(S.UnsignedDivsLowered)},
+      {"signed_divs", std::to_string(S.SignedDivsLowered)},
+      {"unsigned_rems", std::to_string(S.UnsignedRemsLowered)},
+      {"signed_rems", std::to_string(S.SignedRemsLowered)},
+      {"runtime_kept", std::to_string(S.RuntimeDivisorsKept)},
+  };
+  telemetry::emitRemark(R);
+}
+
 } // namespace
 
 Program codegen::lowerDivisions(const Program &P, const GenOptions &Options,
@@ -114,23 +154,30 @@ Program codegen::lowerDivisions(const Program &P, const GenOptions &Options,
 
     int NewIndex;
     if (!ConstDivisor) {
-      if (IsDivision)
+      if (IsDivision) {
+        GMDIV_STAT(lowering, runtime_divisor_kept);
         ++Local.RuntimeDivisorsKept;
+      }
       NewIndex = reEmit(B, I, Lhs, Rhs);
     } else {
       switch (I.Op) {
       case Opcode::DivU:
+        GMDIV_STAT(lowering, unsigned_div);
         NewIndex = emitUnsignedDiv(B, Lhs, DivisorBits, Options);
         ++Local.UnsignedDivsLowered;
         break;
       case Opcode::DivS:
+        GMDIV_STAT(lowering, signed_div);
         NewIndex = emitSignedDiv(
             B, Lhs, signExtendConst(DivisorBits, P.wordBits()), Options);
         ++Local.SignedDivsLowered;
         break;
       case Opcode::RemU: {
+        GMDIV_STAT(lowering, unsigned_rem);
         if ((DivisorBits & (DivisorBits - 1)) == 0) {
           // Power of two: one AND.
+          GMDIV_STAT(lowering, unsigned_rem_pow2_mask);
+          remarkRemPow2Mask(P.wordBits(), DivisorBits);
           NewIndex = B.and_(Lhs, B.constant(DivisorBits - 1),
                             "r = n & (2^k - 1)");
         } else {
@@ -143,6 +190,7 @@ Program codegen::lowerDivisions(const Program &P, const GenOptions &Options,
         break;
       }
       case Opcode::RemS: {
+        GMDIV_STAT(lowering, signed_rem);
         const int Q = emitSignedDiv(
             B, Lhs, signExtendConst(DivisorBits, P.wordBits()), Options);
         NewIndex = B.sub(Lhs, emitQuotientTimesDivisor(B, Q, DivisorBits,
@@ -163,6 +211,7 @@ Program codegen::lowerDivisions(const Program &P, const GenOptions &Options,
        ++ResultIndex)
     B.markResult(Remap[static_cast<size_t>(P.results()[ResultIndex])],
                  P.resultNames()[ResultIndex]);
+  remarkLoweringSummary(P.wordBits(), Local);
   if (Stats)
     *Stats = Local;
   return B.take();

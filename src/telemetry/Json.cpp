@@ -1,0 +1,363 @@
+//===- telemetry/Json.cpp - Minimal JSON emission and validation ----------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace gmdiv;
+using namespace gmdiv::telemetry;
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    const unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void json::Writer::beforeValue() {
+  if (NeedComma.empty()) {
+    assert(Out.empty() && "only one top-level value per document");
+    return;
+  }
+  if (PendingKey) {
+    PendingKey = false;
+    return; // key() already wrote the comma and the colon follows it.
+  }
+  if (NeedComma.back())
+    Out += ',';
+  NeedComma.back() = true;
+}
+
+void json::Writer::beforeContainer() { beforeValue(); }
+
+json::Writer &json::Writer::beginObject() {
+  beforeContainer();
+  Out += '{';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+json::Writer &json::Writer::endObject() {
+  assert(!NeedComma.empty() && !PendingKey && "unbalanced endObject");
+  NeedComma.pop_back();
+  Out += '}';
+  return *this;
+}
+
+json::Writer &json::Writer::beginArray() {
+  beforeContainer();
+  Out += '[';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+json::Writer &json::Writer::endArray() {
+  assert(!NeedComma.empty() && !PendingKey && "unbalanced endArray");
+  NeedComma.pop_back();
+  Out += ']';
+  return *this;
+}
+
+json::Writer &json::Writer::key(const std::string &K) {
+  assert(!NeedComma.empty() && !PendingKey && "key() outside an object");
+  if (NeedComma.back())
+    Out += ',';
+  NeedComma.back() = true;
+  Out += '"';
+  Out += escape(K);
+  Out += "\":";
+  PendingKey = true;
+  return *this;
+}
+
+json::Writer &json::Writer::value(const std::string &V) {
+  beforeValue();
+  Out += '"';
+  Out += escape(V);
+  Out += '"';
+  return *this;
+}
+
+json::Writer &json::Writer::value(const char *V) {
+  return value(std::string(V));
+}
+
+json::Writer &json::Writer::value(uint64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+  return *this;
+}
+
+json::Writer &json::Writer::value(int64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+  return *this;
+}
+
+json::Writer &json::Writer::value(double V) {
+  beforeValue();
+  if (!std::isfinite(V)) {
+    Out += "null"; // JSON has no NaN/Inf.
+    return *this;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  // %g may produce "1e+05" style output, which is valid JSON; bare "inf"
+  // is excluded above.
+  Out += Buf;
+  return *this;
+}
+
+json::Writer &json::Writer::value(bool V) {
+  beforeValue();
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+json::Writer &json::Writer::null() {
+  beforeValue();
+  Out += "null";
+  return *this;
+}
+
+std::string json::Writer::str() const {
+  assert(NeedComma.empty() && !PendingKey && "unclosed container or key");
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Validating parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent JSON validator over a character range.
+class Parser {
+public:
+  Parser(const char *Begin, const char *End) : Cur(Begin), End(End) {}
+
+  bool parseDocument() {
+    skipWs();
+    if (!parseValue())
+      return false;
+    skipWs();
+    return Cur == End;
+  }
+
+private:
+  void skipWs() {
+    while (Cur != End &&
+           (*Cur == ' ' || *Cur == '\t' || *Cur == '\n' || *Cur == '\r'))
+      ++Cur;
+  }
+
+  bool eat(char C) {
+    if (Cur == End || *Cur != C)
+      return false;
+    ++Cur;
+    return true;
+  }
+
+  bool parseLiteral(const char *Word) {
+    for (; *Word; ++Word)
+      if (!eat(*Word))
+        return false;
+    return true;
+  }
+
+  bool parseValue() {
+    if (Cur == End)
+      return false;
+    switch (*Cur) {
+    case '{':
+      return parseObject();
+    case '[':
+      return parseArray();
+    case '"':
+      return parseString();
+    case 't':
+      return parseLiteral("true");
+    case 'f':
+      return parseLiteral("false");
+    case 'n':
+      return parseLiteral("null");
+    default:
+      return parseNumber();
+    }
+  }
+
+  bool parseObject() {
+    if (!eat('{'))
+      return false;
+    skipWs();
+    if (eat('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!parseString())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return false;
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat('}'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  bool parseArray() {
+    if (!eat('['))
+      return false;
+    skipWs();
+    if (eat(']'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat(']'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  static bool isHex(char C) {
+    return (C >= '0' && C <= '9') || (C >= 'a' && C <= 'f') ||
+           (C >= 'A' && C <= 'F');
+  }
+
+  bool parseString() {
+    if (!eat('"'))
+      return false;
+    while (Cur != End) {
+      const unsigned char C = static_cast<unsigned char>(*Cur);
+      if (C == '"') {
+        ++Cur;
+        return true;
+      }
+      if (C < 0x20)
+        return false; // Raw control characters are illegal.
+      if (C == '\\') {
+        ++Cur;
+        if (Cur == End)
+          return false;
+        switch (*Cur) {
+        case '"':
+        case '\\':
+        case '/':
+        case 'b':
+        case 'f':
+        case 'n':
+        case 'r':
+        case 't':
+          ++Cur;
+          break;
+        case 'u':
+          ++Cur;
+          for (int I = 0; I < 4; ++I, ++Cur)
+            if (Cur == End || !isHex(*Cur))
+              return false;
+          break;
+        default:
+          return false;
+        }
+      } else {
+        ++Cur;
+      }
+    }
+    return false; // Unterminated.
+  }
+
+  bool parseDigits() {
+    if (Cur == End || *Cur < '0' || *Cur > '9')
+      return false;
+    while (Cur != End && *Cur >= '0' && *Cur <= '9')
+      ++Cur;
+    return true;
+  }
+
+  bool parseNumber() {
+    eat('-');
+    if (Cur == End)
+      return false;
+    if (*Cur == '0') {
+      ++Cur; // No leading zeros.
+    } else if (!parseDigits()) {
+      return false;
+    }
+    if (Cur != End && *Cur == '.') {
+      ++Cur;
+      if (!parseDigits())
+        return false;
+    }
+    if (Cur != End && (*Cur == 'e' || *Cur == 'E')) {
+      ++Cur;
+      if (Cur != End && (*Cur == '+' || *Cur == '-'))
+        ++Cur;
+      if (!parseDigits())
+        return false;
+    }
+    return true;
+  }
+
+  const char *Cur;
+  const char *End;
+};
+
+} // namespace
+
+bool json::isValid(const std::string &Text) {
+  Parser P(Text.data(), Text.data() + Text.size());
+  return P.parseDocument();
+}

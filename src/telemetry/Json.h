@@ -1,0 +1,80 @@
+//===- telemetry/Json.h - Minimal JSON emission and validation --*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependency-free JSON helpers for the telemetry layer: string escaping
+/// per RFC 8259, a small single-line writer that produces well-formed
+/// documents by construction, and a strict validating parser so tests
+/// can round-trip every emitted remark, stats dump and bench report
+/// without an external JSON library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_TELEMETRY_JSON_H
+#define GMDIV_TELEMETRY_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace telemetry {
+namespace json {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included): ", \, and control characters below 0x20 are encoded;
+/// everything else (including multi-byte UTF-8) passes through.
+std::string escape(const std::string &S);
+
+/// Builds a single-line JSON document. Usage mirrors the document
+/// structure:
+///   Writer W;
+///   W.beginObject().key("d").value(int64_t{7}).key("m").value("0x9249")
+///    .endObject();
+///   std::string Doc = W.str();
+/// The writer asserts on misuse (value without key inside an object,
+/// unbalanced begin/end), so any string it returns is valid JSON.
+class Writer {
+public:
+  Writer &beginObject();
+  Writer &endObject();
+  Writer &beginArray();
+  Writer &endArray();
+  Writer &key(const std::string &K);
+  Writer &value(const std::string &V);
+  Writer &value(const char *V);
+  Writer &value(uint64_t V);
+  Writer &value(int64_t V);
+  Writer &value(int V) { return value(static_cast<int64_t>(V)); }
+  Writer &value(double V);
+  Writer &value(bool V);
+  Writer &null();
+
+  /// The finished document. All containers must be closed.
+  std::string str() const;
+
+private:
+  void beforeValue();
+  void beforeContainer();
+
+  std::string Out;
+  /// One entry per open container: true once the first element has been
+  /// written (i.e. the next element needs a comma).
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+/// Strict validating parse of one JSON document (object, array, or any
+/// other value) with nothing but whitespace around it. Returns true iff
+/// \p Text is well-formed per RFC 8259.
+bool isValid(const std::string &Text);
+
+} // namespace json
+} // namespace telemetry
+} // namespace gmdiv
+
+#endif // GMDIV_TELEMETRY_JSON_H

@@ -1,0 +1,100 @@
+//===- telemetry/Profile.cpp - Dynamic execution profiles -----------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Profile.h"
+
+#include "ir/Interp.h"
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gmdiv;
+using namespace gmdiv::telemetry;
+using namespace gmdiv::ir;
+
+std::string ExecutionProfile::toJson() const {
+  json::Writer W;
+  W.beginObject()
+      .key("word_bits")
+      .value(static_cast<int64_t>(WordBits))
+      .key("runs")
+      .value(Runs)
+      .key("total_ops")
+      .value(TotalOps)
+      .key("ops_per_run")
+      .value(static_cast<int64_t>(OperationsPerRun))
+      .key("critical_path_depth")
+      .value(static_cast<int64_t>(CriticalPathDepth));
+  W.key("opcode_histogram").beginObject();
+  for (const auto &[Name, Count] : OpcodeHistogram)
+    W.key(Name).value(Count);
+  W.endObject().endObject();
+  return W.str();
+}
+
+ProfilingInterpreter::ProfilingInterpreter(const Program &P) : P(P) {
+  Prof.WordBits = P.wordBits();
+  Prof.OperationsPerRun = P.operationCount();
+  // Dependence-chain depth at unit latency: leaves are free, every
+  // executed op adds one level above its deepest operand.
+  std::vector<int> Depth(static_cast<size_t>(P.size()), 0);
+  for (int Index = 0; Index < P.size(); ++Index) {
+    const Instr &I = P.instr(Index);
+    if (opcodeIsLeaf(I.Op))
+      continue;
+    int OperandDepth = Depth[static_cast<size_t>(I.Lhs)];
+    if (!opcodeIsUnary(I.Op))
+      OperandDepth =
+          std::max(OperandDepth, Depth[static_cast<size_t>(I.Rhs)]);
+    Depth[static_cast<size_t>(Index)] = OperandDepth + 1;
+    Prof.CriticalPathDepth =
+        std::max(Prof.CriticalPathDepth, OperandDepth + 1);
+  }
+}
+
+std::vector<uint64_t>
+ProfilingInterpreter::run(const std::vector<uint64_t> &Args) {
+  assert(static_cast<int>(Args.size()) == P.numArgs() &&
+         "argument count mismatch");
+  const uint64_t Mask = P.wordBits() == 64
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << P.wordBits()) - 1;
+  Values.assign(static_cast<size_t>(P.size()), 0);
+  for (int Index = 0; Index < P.size(); ++Index) {
+    const Instr &I = P.instr(Index);
+    uint64_t Value;
+    switch (I.Op) {
+    case Opcode::Arg:
+      Value = Args[static_cast<size_t>(I.Imm)];
+      break;
+    case Opcode::Const:
+      Value = I.Imm;
+      // Const is an executed operation in the paper's register
+      // accounting (operationCount counts it); record it in the mix.
+      ++Prof.OpcodeHistogram[opcodeName(I.Op)];
+      ++Prof.TotalOps;
+      break;
+    default: {
+      const uint64_t A = Values[static_cast<size_t>(I.Lhs)];
+      const uint64_t B =
+          opcodeIsUnary(I.Op) ? 0 : Values[static_cast<size_t>(I.Rhs)];
+      Value = evalOp(I.Op, P.wordBits(), A, B, I.Imm);
+      ++Prof.OpcodeHistogram[opcodeName(I.Op)];
+      ++Prof.TotalOps;
+      break;
+    }
+    }
+    Values[static_cast<size_t>(Index)] = Value & Mask;
+  }
+  ++Prof.Runs;
+  std::vector<uint64_t> Results;
+  Results.reserve(P.results().size());
+  for (int ResultIndex : P.results())
+    Results.push_back(Values[static_cast<size_t>(ResultIndex)]);
+  return Results;
+}

@@ -1,0 +1,68 @@
+//===- telemetry/Profile.h - Dynamic execution profiles ---------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An instrumented wrapper around the exact N-bit interpreter: executes
+/// an ir::Program while recording the dynamic opcode histogram and the
+/// dependence-chain depth, so the static CostModel estimates (cycle
+/// counts, critical path) can be validated against the operation mix a
+/// run actually performs. Because the IR is straight-line, one run's
+/// dynamic mix equals the static one — the profile proves it, and
+/// accumulates across runs for batch workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_TELEMETRY_PROFILE_H
+#define GMDIV_TELEMETRY_PROFILE_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace telemetry {
+
+/// Accumulated dynamic statistics over every run() of one program.
+struct ExecutionProfile {
+  int WordBits = 0;
+  uint64_t Runs = 0;
+  uint64_t TotalOps = 0;     ///< Executed operations (Const counts, Arg not,
+                             ///< matching Program::operationCount).
+  int OperationsPerRun = 0;  ///< Static operation count of the program.
+  int CriticalPathDepth = 0; ///< Ops on the longest dependence chain
+                             ///< (leaves free), the unit-latency analogue
+                             ///< of CostModel's critical path.
+  std::map<std::string, uint64_t> OpcodeHistogram; ///< mnemonic -> count.
+
+  /// Single-line JSON document with all of the above.
+  std::string toJson() const;
+};
+
+/// Executes a program through ir::evalOp while profiling. The program
+/// must outlive the interpreter.
+class ProfilingInterpreter {
+public:
+  explicit ProfilingInterpreter(const ir::Program &P);
+
+  /// Same results as ir::run(P, Args), accumulating the profile.
+  std::vector<uint64_t> run(const std::vector<uint64_t> &Args);
+
+  const ExecutionProfile &profile() const { return Prof; }
+
+private:
+  const ir::Program &P;
+  ExecutionProfile Prof;
+  std::vector<uint64_t> Values; ///< Scratch, reused across runs.
+};
+
+} // namespace telemetry
+} // namespace gmdiv
+
+#endif // GMDIV_TELEMETRY_PROFILE_H

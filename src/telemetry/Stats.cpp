@@ -1,0 +1,125 @@
+//===- telemetry/Stats.cpp - Named, registry-backed counters --------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Stats.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+using namespace gmdiv;
+using namespace gmdiv::telemetry;
+
+namespace {
+
+struct Registry {
+  std::mutex Mutex;
+  std::vector<Statistic *> Stats;
+};
+
+/// Leaked singleton so counters destroyed during static teardown can
+/// still unregister safely.
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+} // namespace
+
+Statistic::Statistic(const char *Group, const char *Name,
+                     const char *Description)
+    : Group(Group), Name(Name), Description(Description) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Stats.push_back(this);
+}
+
+Statistic::~Statistic() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Stats.erase(std::remove(R.Stats.begin(), R.Stats.end(), this),
+                R.Stats.end());
+}
+
+std::vector<StatRecord> telemetry::statsSnapshot() {
+  Registry &R = registry();
+  std::map<std::pair<std::string, std::string>, StatRecord> ByName;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    for (const Statistic *S : R.Stats) {
+      StatRecord &Record = ByName[{S->group(), S->name()}];
+      if (Record.Group.empty()) {
+        Record.Group = S->group();
+        Record.Name = S->name();
+        Record.Description = S->description();
+      }
+      Record.Value += S->value();
+    }
+  }
+  std::vector<StatRecord> Out;
+  Out.reserve(ByName.size());
+  for (auto &Entry : ByName)
+    Out.push_back(std::move(Entry.second));
+  return Out;
+}
+
+void telemetry::resetStats() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (Statistic *S : R.Stats)
+    S->reset();
+}
+
+uint64_t telemetry::statValue(const std::string &Group,
+                              const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  uint64_t Total = 0;
+  for (const Statistic *S : R.Stats)
+    if (Group == S->group() && Name == S->name())
+      Total += S->value();
+  return Total;
+}
+
+std::string telemetry::statsJson() {
+  const std::vector<StatRecord> Records = statsSnapshot();
+  json::Writer W;
+  W.beginObject();
+  std::string OpenGroup;
+  bool GroupOpen = false;
+  for (const StatRecord &Record : Records) {
+    if (!GroupOpen || Record.Group != OpenGroup) {
+      if (GroupOpen)
+        W.endObject();
+      W.key(Record.Group).beginObject();
+      OpenGroup = Record.Group;
+      GroupOpen = true;
+    }
+    W.key(Record.Name).value(Record.Value);
+  }
+  if (GroupOpen)
+    W.endObject();
+  W.endObject();
+  return W.str();
+}
+
+void telemetry::printStats(std::FILE *Out) {
+  const std::vector<StatRecord> Records = statsSnapshot();
+  size_t NameWidth = 0;
+  for (const StatRecord &Record : Records)
+    NameWidth = std::max(NameWidth,
+                         Record.Group.size() + 1 + Record.Name.size());
+  std::fprintf(Out, "=== gmdiv statistics ===\n");
+  for (const StatRecord &Record : Records) {
+    const std::string Full = Record.Group + "." + Record.Name;
+    std::fprintf(Out, "%-*s %12llu\n", static_cast<int>(NameWidth),
+                 Full.c_str(),
+                 static_cast<unsigned long long>(Record.Value));
+  }
+}

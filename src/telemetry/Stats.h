@@ -1,0 +1,112 @@
+//===- telemetry/Stats.h - Named, registry-backed counters ------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-Statistic-style counters for the code generators and passes: a
+/// counter is a function-local static registered with a global registry
+/// on first use, incremented with a relaxed atomic add, and reported in
+/// bulk (text table or JSON) at end of run. This is the accounting layer
+/// behind the paper's evaluation — which Figure 4.2 / 5.2 / §9 case
+/// fired, how often, over a whole lowering run.
+///
+///   void genSomething() {
+///     GMDIV_STAT(codegen, unsigned_div_pow2);   // +1 on this path
+///   }
+///
+/// Counters compile to a single relaxed fetch_add; defining
+/// GMDIV_NO_TELEMETRY (CMake option of the same name) compiles them out
+/// entirely. The hot-path runtime dividers in core/ are deliberately
+/// not instrumented — telemetry covers the compile-time side only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_TELEMETRY_STATS_H
+#define GMDIV_TELEMETRY_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace telemetry {
+
+/// One named counter. Normally created through GMDIV_STAT (function-local
+/// static), but direct construction works too — e.g. the soak harness
+/// keeps a block of them. Registration is automatic; destruction
+/// unregisters, so scoped counters are safe.
+class Statistic {
+public:
+  Statistic(const char *Group, const char *Name,
+            const char *Description = "");
+  ~Statistic();
+  Statistic(const Statistic &) = delete;
+  Statistic &operator=(const Statistic &) = delete;
+
+  void increment(uint64_t By = 1) {
+    Count.fetch_add(By, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Count.load(std::memory_order_relaxed); }
+  void reset() { Count.store(0, std::memory_order_relaxed); }
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *description() const { return Description; }
+
+private:
+  const char *Group;
+  const char *Name;
+  const char *Description;
+  std::atomic<uint64_t> Count{0};
+};
+
+/// Snapshot row. Counters with the same (group, name) — e.g. the same
+/// GMDIV_STAT expanded in several template instantiations — are summed
+/// into one row.
+struct StatRecord {
+  std::string Group;
+  std::string Name;
+  std::string Description;
+  uint64_t Value = 0;
+};
+
+/// All registered counters, aggregated by (group, name) and sorted.
+/// Zero-valued counters are included — "this case never fired" is data.
+std::vector<StatRecord> statsSnapshot();
+
+/// Zeroes every registered counter (for tests and multi-phase tools).
+void resetStats();
+
+/// Value of one counter by name; 0 if it has never been registered.
+uint64_t statValue(const std::string &Group, const std::string &Name);
+
+/// Single-line JSON document: {"group":{"name":value,...},...}.
+std::string statsJson();
+
+/// Aligned text table, LLVM -stats style.
+void printStats(std::FILE *Out);
+
+} // namespace telemetry
+} // namespace gmdiv
+
+#ifdef GMDIV_NO_TELEMETRY
+#define GMDIV_STAT_ADD(GROUP, NAME, BY) ((void)(BY))
+#else
+#define GMDIV_STAT_ADD(GROUP, NAME, BY)                                    \
+  do {                                                                     \
+    static ::gmdiv::telemetry::Statistic GmdivStat_##GROUP##_##NAME(       \
+        #GROUP, #NAME);                                                    \
+    GmdivStat_##GROUP##_##NAME.increment(BY);                              \
+  } while (false)
+#endif
+
+/// Bumps the counter GROUP.NAME by one. GROUP and NAME are identifiers,
+/// not strings: GMDIV_STAT(codegen, unsigned_div_pow2).
+#define GMDIV_STAT(GROUP, NAME) GMDIV_STAT_ADD(GROUP, NAME, 1)
+
+#endif // GMDIV_TELEMETRY_STATS_H

@@ -18,6 +18,7 @@
 #include "codegen/DivCodeGen.h"
 
 #include "ir/Interp.h"
+#include "telemetry/Remarks.h"
 
 #include <gtest/gtest.h>
 
@@ -439,5 +440,90 @@ TEST(DivCodeGen, DivisibilityTestRandom64) {
     ASSERT_EQ(run(P, {Multiple})[0], 1u);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Telemetry remarks: each generator names the paper case it selected.
+// (Compiled out with the telemetry layer under GMDIV_NO_TELEMETRY.)
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_NO_TELEMETRY
+
+template <typename Fn>
+std::vector<telemetry::Remark> collectRemarks(Fn &&Generate) {
+  telemetry::CollectingRemarkSink Sink;
+  telemetry::ScopedRemarkSink Guard(&Sink);
+  Generate();
+  return Sink.remarks();
+}
+
+TEST(DivCodeGen, UnsignedRemarkKindMatchesDivisorClass) {
+  const struct {
+    uint64_t D;
+    const char *Kind;
+  } Cases[] = {
+      {8, "unsigned-pow2"},
+      {7, "unsigned-long-form"},    // m >= 2^32 and d odd.
+      {14, "unsigned-pre-shift"},   // even divisor rescued by SRL first.
+      {641, "unsigned-short"},      // 641 * 6700417 = 2^32 + 1: m fits.
+  };
+  for (const auto &TestCase : Cases) {
+    const auto Remarks =
+        collectRemarks([&] { genUnsignedDiv(32, TestCase.D); });
+    ASSERT_EQ(Remarks.size(), 1u) << "d=" << TestCase.D;
+    EXPECT_EQ(Remarks[0].Kind, TestCase.Kind) << "d=" << TestCase.D;
+    EXPECT_EQ(Remarks[0].Figure, "Figure 4.2");
+    EXPECT_EQ(Remarks[0].DivisorBits, TestCase.D);
+    EXPECT_FALSE(Remarks[0].IsSigned);
+    EXPECT_EQ(Remarks[0].WordBits, 32);
+  }
+}
+
+TEST(DivCodeGen, SignedFloorExactRemarkKinds) {
+  const auto Check = [](std::vector<telemetry::Remark> Remarks,
+                        const char *Kind) {
+    ASSERT_EQ(Remarks.size(), 1u) << Kind;
+    EXPECT_EQ(Remarks[0].Kind, Kind);
+  };
+  Check(collectRemarks([] { genSignedDiv(32, 1); }), "signed-unit");
+  Check(collectRemarks([] { genSignedDiv(32, -8); }), "signed-pow2");
+  Check(collectRemarks([] { genSignedDiv(32, 3); }), "signed-short");
+  Check(collectRemarks([] { genSignedDiv(32, 7); }), "signed-add");
+  Check(collectRemarks([] { genFloorDiv(32, 8); }), "floor-pow2");
+  Check(collectRemarks([] { genFloorDiv(32, 10); }), "floor-short");
+  Check(collectRemarks([] { genExactUnsignedDiv(32, 8); }), "exact-pow2");
+  Check(collectRemarks([] { genExactUnsignedDiv(32, 12); }),
+        "exact-inverse");
+  Check(collectRemarks([] { genDivisibilityTestUnsigned(32, 1); }),
+        "divtest-trivial");
+  Check(collectRemarks([] { genDivisibilityTestUnsigned(32, 8); }),
+        "divtest-pow2");
+  Check(collectRemarks([] { genDivisibilityTestUnsigned(32, 12); }),
+        "divtest-inverse");
+}
+
+TEST(DivCodeGen, EveryEntryPointEmitsExactlyOneRemark) {
+  // The exactly-one invariant: one generated sequence, one remark, for
+  // every divisor class reachable from the public entry points.
+  for (uint64_t D : {1ull, 2ull, 3ull, 7ull, 10ull, 14ull, 25ull, 641ull,
+                     0x80000000ull}) {
+    EXPECT_EQ(collectRemarks([&] { genUnsignedDivRem(32, D); }).size(), 1u)
+        << "unsigned d=" << D;
+    EXPECT_EQ(collectRemarks([&] { genFloorDivMod(
+                                 32, static_cast<int64_t>(D)); })
+                  .size(),
+              1u)
+        << "floor d=" << D;
+    if (D > 1) {
+      EXPECT_EQ(
+          collectRemarks([&] { genSignedDivRem(
+                             32, -static_cast<int64_t>(D)); })
+              .size(),
+          1u)
+          << "signed d=-" << D;
+    }
+  }
+}
+
+#endif // GMDIV_NO_TELEMETRY
 
 } // namespace

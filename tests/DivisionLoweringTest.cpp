@@ -19,6 +19,7 @@
 #include "arch/CostModel.h"
 #include "ir/Builder.h"
 #include "ir/Interp.h"
+#include "telemetry/Remarks.h"
 
 #include <gtest/gtest.h>
 
@@ -250,5 +251,52 @@ TEST(DivisionLowering, HonorsCapabilityOption) {
     ASSERT_EQ(run(Lowered, {N0})[0], N0 / 10);
   }
 }
+
+
+#ifndef GMDIV_NO_TELEMETRY
+TEST(DivisionLowering, EmitsPerSiteAndSummaryRemarks) {
+  Builder B(32, 2);
+  const int N = B.arg(0);
+  const int M = B.arg(1);
+  B.markResult(B.divU(N, B.constant(12)), "q");
+  B.markResult(B.remU(N, B.constant(8)), "r");
+  B.markResult(B.divU(N, M), "qrt"); // Runtime divisor: kept.
+  const Program Original = B.take();
+
+  telemetry::CollectingRemarkSink Sink;
+  {
+    telemetry::ScopedRemarkSink Guard(&Sink);
+    lowerDivisions(Original, GenOptions());
+  }
+
+  // One codegen remark for the d=12 divide, one pass remark for the
+  // d=8 remainder (pure AND, no generator involved), one pass summary.
+  ASSERT_EQ(Sink.remarks().size(), 3u);
+  EXPECT_EQ(Sink.remarks()[0].Pass, "codegen");
+  EXPECT_EQ(Sink.remarks()[0].Kind, "unsigned-short");
+  EXPECT_EQ(Sink.remarks()[0].DivisorBits, 12u);
+  EXPECT_EQ(Sink.remarks()[1].Pass, "lowering");
+  EXPECT_EQ(Sink.remarks()[1].Kind, "unsigned-rem-pow2-mask");
+  EXPECT_EQ(Sink.remarks()[1].DivisorBits, 8u);
+  const telemetry::Remark &Summary = Sink.remarks()[2];
+  EXPECT_EQ(Summary.Pass, "lowering");
+  EXPECT_EQ(Summary.Kind, "summary");
+  EXPECT_FALSE(Summary.HasDivisor);
+  bool SawRuntimeKept = false;
+  for (const auto &[Key, Value] : Summary.Details) {
+    if (Key == "unsigned_divs") {
+      EXPECT_EQ(Value, "1");
+    }
+    if (Key == "unsigned_rems") {
+      EXPECT_EQ(Value, "1");
+    }
+    if (Key == "runtime_kept") {
+      EXPECT_EQ(Value, "1");
+      SawRuntimeKept = true;
+    }
+  }
+  EXPECT_TRUE(SawRuntimeKept);
+}
+#endif // GMDIV_NO_TELEMETRY
 
 } // namespace

@@ -23,6 +23,8 @@
 #include "core/DWordDivider.h"
 #include "core/ExactDiv.h"
 #include "ir/Interp.h"
+#include "telemetry/Json.h"
+#include "telemetry/Stats.h"
 
 #include <chrono>
 #include <cstdio>
@@ -36,12 +38,35 @@ namespace {
 uint64_t Seed;
 std::mt19937_64 Rng;
 
+// The per-class check counters live in the telemetry registry so the
+// end-of-run summary and the counter table come from the same source.
+telemetry::Statistic UnsignedChecks("soak", "unsigned_checks");
+telemetry::Statistic SignedChecks("soak", "signed_checks");
+telemetry::Statistic CodegenChecks("soak", "codegen_checks");
+telemetry::Statistic DWordChecks("soak", "dword_checks");
+
 [[noreturn]] void fail(const char *What, uint64_t N, uint64_t D) {
   std::fprintf(stderr,
                "MISMATCH in %s: n=%llu d=%llu (seed %llu)\n", What,
                static_cast<unsigned long long>(N),
                static_cast<unsigned long long>(D),
                static_cast<unsigned long long>(Seed));
+  // Machine-readable failure record; the seed reproduces the run:
+  //   soak <seconds> <seed>
+  telemetry::json::Writer W;
+  W.beginObject()
+      .key("soak")
+      .value("mismatch")
+      .key("in")
+      .value(What)
+      .key("n")
+      .value(N)
+      .key("d")
+      .value(D)
+      .key("seed")
+      .value(Seed)
+      .endObject();
+  std::fprintf(stderr, "%s\n", W.str().c_str());
   std::exit(1);
 }
 
@@ -58,6 +83,7 @@ template <typename UWord> void soakUnsignedRound() {
     if (Exact.isDivisible(N) != (N % D == 0))
       fail("isDivisible", N, D);
   }
+  UnsignedChecks.increment(2 * 4096);
 }
 
 template <typename SWord> void soakSignedRound() {
@@ -86,6 +112,7 @@ template <typename SWord> void soakSignedRound() {
       fail("FloorDivider", static_cast<uint64_t>(N),
            static_cast<uint64_t>(D));
   }
+  SignedChecks.increment(2 * 4096);
 }
 
 void soakCodegenRound() {
@@ -102,6 +129,7 @@ void soakCodegenRound() {
     if (QR[0] != N / D || QR[1] != N % D)
       fail("genUnsignedDivRem", N, D);
   }
+  CodegenChecks.increment(512);
 }
 
 void soakDWordRound() {
@@ -118,6 +146,7 @@ void soakDWordRound() {
     if (Q != RefQ.low64() || R != RefR.low64())
       fail("DWordDivider", Low, D);
   }
+  DWordChecks.increment(1024);
 }
 
 } // namespace
@@ -146,8 +175,35 @@ int main(int Argc, char **Argv) {
     soakDWordRound();
     ++Rounds;
   }
-  std::printf("soak: %llu rounds clean (~%llu checks)\n",
+  const double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Start)
+          .count();
+  const uint64_t TotalChecks = UnsignedChecks.value() +
+                               SignedChecks.value() +
+                               CodegenChecks.value() + DWordChecks.value();
+  std::printf("soak: %llu rounds clean (%llu checks)\n",
               static_cast<unsigned long long>(Rounds),
-              static_cast<unsigned long long>(Rounds * 8 * 4096ull));
+              static_cast<unsigned long long>(TotalChecks));
+  // Structured end-of-run summary (one JSON line): the run parameters
+  // plus the per-class counters from the telemetry registry.
+  telemetry::json::Writer W;
+  W.beginObject()
+      .key("soak")
+      .value("clean")
+      .key("seed")
+      .value(Seed)
+      .key("seconds")
+      .value(Elapsed)
+      .key("rounds")
+      .value(Rounds)
+      .key("checks")
+      .value(TotalChecks);
+  W.key("counters").beginObject();
+  for (const telemetry::StatRecord &Record : telemetry::statsSnapshot())
+    if (Record.Group == "soak")
+      W.key(Record.Name).value(Record.Value);
+  W.endObject().endObject();
+  std::printf("%s\n", W.str().c_str());
   return 0;
 }
