@@ -17,6 +17,11 @@
 //   gmdiv_tool lower                     read IR with divu/divs/remu/rems
 //                                        from stdin, run the §10 pass,
 //                                        print the result.
+//   gmdiv_tool batch <d> [width] [u|s] [count]
+//                                        batch/SIMD kernels: backend
+//                                        dispatch report, self-check
+//                                        against Divider.h, throughput
+//                                        compare, break-even table.
 //
 // Global telemetry flags (usable with any command; both write stderr so
 // stdout stays a clean IR/assembly listing):
@@ -27,8 +32,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "arch/CostModel.h"
 #include "arch/Target.h"
+#include "batch/BatchDivider.h"
 #include "codegen/DivCodeGen.h"
+#include "core/Divider.h"
 #include "codegen/DivisionLowering.h"
 #include "core/ChooseMultiplier.h"
 #include "numtheory/ModArith.h"
@@ -38,6 +46,7 @@
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +55,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 using namespace gmdiv;
@@ -59,10 +69,11 @@ int usage(const char *Argv0) {
                "  %s codegen <d> [8|16|32|64] [u|s|floor|exact|alverson]\n"
                "  %s asm <d> [32|64] [mips|sparc|alpha|power]\n"
                "  %s lower [width] [numargs]   (IR on stdin)\n"
+               "  %s batch <d> [8|16|32|64] [u|s] [count]\n"
                "global flags (telemetry, on stderr):\n"
                "  --remarks=json|text   one remark per generated sequence\n"
                "  --stats               counter registry as one JSON line\n",
-               Argv0, Argv0, Argv0, Argv0);
+               Argv0, Argv0, Argv0, Argv0, Argv0);
   return 1;
 }
 
@@ -102,6 +113,95 @@ template <typename UWord> void printMagic(UWord D) {
   } else {
     std::printf("d is a power of two: divisibility is a mask test\n");
   }
+}
+
+/// The `batch` command body for one lane type: dispatch report,
+/// self-check of every available backend against the per-element
+/// dividers, a throughput comparison on the active backend, and the
+/// cost-model break-even table. Returns nonzero on any mismatch.
+template <typename T> int runBatch(T D, size_t Count) {
+  using batch::Backend;
+  std::printf("compiled backends:");
+  for (Backend B : batch::compiledBackends())
+    std::printf(" %s%s", batch::backendName(B),
+                batch::backendAvailable(B) ? ""
+                                           : " (unsupported by this CPU)");
+  std::printf("\nactive backend:   %s\n",
+              batch::backendName(batch::activeBackend()));
+
+  const batch::BatchDivider<T> Div(D);
+  std::printf("%s\n\n", Div.describe().c_str());
+
+  // Self-check: every available backend against Divider.h, on a buffer
+  // size that forces the SIMD kernels through their scalar tails.
+  using Ref = std::conditional_t<std::is_signed_v<T>, SignedDivider<T>,
+                                 UnsignedDivider<T>>;
+  const Ref Scalar(D);
+  std::vector<T> In(Count), Quot(Count), Rem(Count);
+  uint64_t State = 0x2545F4914F6CDD1Dull;
+  for (T &Value : In) {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    Value = static_cast<T>(State);
+  }
+  int Mismatches = 0;
+  for (Backend B : batch::compiledBackends()) {
+    if (!batch::backendAvailable(B))
+      continue;
+    const batch::BatchDivider<T> Pinned(D, B);
+    Pinned.divRem(In.data(), Quot.data(), Rem.data(), Count);
+    for (size_t I = 0; I < Count; ++I)
+      if (Quot[I] != Scalar.divide(In[I]) ||
+          Rem[I] != Scalar.remainder(In[I]))
+        ++Mismatches;
+    std::printf("%-6s divRem over %zu elements: %s\n",
+                batch::backendName(B), Count,
+                Mismatches ? "MISMATCH" : "matches Divider.h");
+  }
+
+  // Throughput: the active backend's array call against the same work
+  // done through the per-element divider.
+  using Clock = std::chrono::steady_clock;
+  const auto MePerSec = [&](auto &&Body) {
+    size_t Reps = 1;
+    for (;;) {
+      const auto Start = Clock::now();
+      for (size_t R = 0; R < Reps; ++R)
+        Body();
+      const double Sec =
+          std::chrono::duration<double>(Clock::now() - Start).count();
+      if (Sec >= 0.01)
+        return static_cast<double>(Count) * static_cast<double>(Reps) /
+               Sec / 1e6;
+      Reps *= 8;
+    }
+  };
+  const double ScalarMeps = MePerSec([&] {
+    for (size_t I = 0; I < Count; ++I)
+      Quot[I] = Scalar.divide(In[I]);
+  });
+  const double BatchMeps =
+      MePerSec([&] { Div.divide(In.data(), Quot.data(), Count); });
+  std::printf("\nthroughput at batch %zu: divider loop %.0f Me/s, "
+              "%s batch %.0f Me/s (%.2fx)\n",
+              Count, ScalarMeps, batch::backendName(Div.backend()),
+              BatchMeps, ScalarMeps > 0 ? BatchMeps / ScalarMeps : 0.0);
+
+  // Paper-style break-even prediction per Table 11 profile.
+  constexpr int Bits = static_cast<int>(sizeof(T) * 8);
+  std::printf("\ncost-model break-even (%d-bit lanes, 128/256-bit "
+              "vectors):\n",
+              Bits);
+  for (const arch::ArchProfile &Profile : arch::table11Profiles()) {
+    const arch::BatchCost V128 = arch::estimateBatchCost(Bits, Profile, 128);
+    const arch::BatchCost V256 = arch::estimateBatchCost(Bits, Profile, 256);
+    std::printf("  %-18s 128b: %.2fx, break-even %zu; "
+                "256b: %.2fx, break-even %zu\n",
+                Profile.Name.c_str(), V128.speedup(), V128.breakEvenBatch(),
+                V256.speedup(), V256.breakEvenBatch());
+  }
+  return Mismatches ? 1 : 0;
 }
 
 /// Command dispatch, after the global telemetry flags are stripped.
@@ -190,6 +290,38 @@ int runCommand(int Argc, char **Argv) {
     target::allocateRegisters(MF);
     std::printf("%s", target::emitAssembly(MF).c_str());
     return 0;
+  }
+
+  if (Command == "batch") {
+    if (Argc < 3)
+      return usage(Argv[0]);
+    const int64_t D = std::strtoll(Argv[2], nullptr, 0);
+    const int Width = Argc > 3 ? std::atoi(Argv[3]) : 32;
+    const std::string Kind = Argc > 4 ? Argv[4] : "u";
+    const size_t Count =
+        Argc > 5 ? std::strtoull(Argv[5], nullptr, 0) : 4099;
+    if (D == 0 || Count == 0 || (Kind != "u" && Kind != "s") ||
+        (Kind == "u" && D < 0))
+      return usage(Argv[0]);
+    switch (Width) {
+    case 8:
+      return Kind == "s" ? runBatch<int8_t>(static_cast<int8_t>(D), Count)
+                         : runBatch<uint8_t>(static_cast<uint8_t>(D), Count);
+    case 16:
+      return Kind == "s"
+                 ? runBatch<int16_t>(static_cast<int16_t>(D), Count)
+                 : runBatch<uint16_t>(static_cast<uint16_t>(D), Count);
+    case 32:
+      return Kind == "s"
+                 ? runBatch<int32_t>(static_cast<int32_t>(D), Count)
+                 : runBatch<uint32_t>(static_cast<uint32_t>(D), Count);
+    case 64:
+      return Kind == "s"
+                 ? runBatch<int64_t>(D, Count)
+                 : runBatch<uint64_t>(static_cast<uint64_t>(D), Count);
+    default:
+      return usage(Argv[0]);
+    }
   }
 
   if (Command == "lower") {

@@ -164,3 +164,68 @@ int arch::registerPressure(const ir::Program &P) {
   }
   return Peak;
 }
+
+size_t BatchCost::breakEvenBatch() const {
+  if (VectorCyclesPerElement >= ScalarCyclesPerElement)
+    return 0; // Vector path never catches up.
+  const double PerElementGain =
+      ScalarCyclesPerElement - VectorCyclesPerElement;
+  const double Batch = SetupCycles / PerElementGain;
+  size_t Result = static_cast<size_t>(Batch);
+  if (static_cast<double>(Result) < Batch)
+    ++Result;
+  return Result < 1 ? 1 : Result;
+}
+
+BatchCost arch::estimateBatchCost(int WordBits, const ArchProfile &Profile,
+                                  int VectorBits) {
+  assert((WordBits == 8 || WordBits == 16 || WordBits == 32 ||
+          WordBits == 64) &&
+         "batch kernels cover 8/16/32/64-bit lanes");
+  assert(VectorBits >= WordBits && "vector must hold at least one lane");
+  BatchCost Cost;
+  Cost.Lanes = VectorBits / WordBits;
+
+  // Scalar Figure 4.1: MULUH + {sub, srl, add, srl}.
+  Cost.ScalarCyclesPerElement = Profile.mulCycles() + 4 * Profile.SimpleOpCycles;
+
+  // Vector Figure 4.1 per vector: the same four simple ops (now on full
+  // vectors), plus the MULUH emulation priced per the kernels'
+  // instruction counts (src/batch/BatchX86Kernels.h):
+  //   16-bit  native vector mulhi               -> 1 mul + 0 fixups
+  //   8-bit   two 16-bit MULLOs + mask/combine  -> 2 mul + 4 fixups
+  //   32-bit  even/odd widening mul + combine   -> 2 mul + 4 fixups
+  //   64-bit  four widening muls + carry sums   -> 4 mul + 7 fixups
+  int VectorMuls;
+  int FixupOps;
+  switch (WordBits) {
+  case 16:
+    VectorMuls = 1;
+    FixupOps = 0;
+    break;
+  case 8:
+  case 32:
+    VectorMuls = 2;
+    FixupOps = 4;
+    break;
+  default: // 64
+    VectorMuls = 4;
+    FixupOps = 7;
+    break;
+  }
+  if (Cost.Lanes == 1) {
+    // Degenerate "vector" of one lane: the scalar loop itself.
+    Cost.VectorCyclesPerElement = Cost.ScalarCyclesPerElement;
+    Cost.SetupCycles = 0;
+    return Cost;
+  }
+  const double PerVector = VectorMuls * Profile.mulCycles() +
+                           (4 + FixupOps) * Profile.SimpleOpCycles;
+  Cost.VectorCyclesPerElement = PerVector / Cost.Lanes;
+  // Per-call overhead: broadcasting m'/shift state into vector
+  // registers, the dispatch indirection, and up to one partial vector
+  // handled by the scalar tail.
+  Cost.SetupCycles = 4 * Profile.SimpleOpCycles +
+                     (Cost.Lanes / 2.0) * Cost.ScalarCyclesPerElement;
+  return Cost;
+}

@@ -22,6 +22,8 @@
 #include "arch/Arch.h"
 #include "ir/IR.h"
 
+#include <cstddef>
+
 namespace gmdiv {
 namespace arch {
 
@@ -70,6 +72,36 @@ ir::Program scheduleForProfile(const ir::Program &P,
 /// the quantity the scheduler actually improves.
 double estimateInOrderCycles(const ir::Program &P,
                              const ArchProfile &Profile);
+
+/// Scalar-vs-vector throughput estimate for the batch kernels
+/// (src/batch): the Figure 4.1 sequence priced once per element against
+/// its vectorized form priced once per vector and amortized over the
+/// lanes. The per-width multiply counts mirror the actual kernel
+/// emulations (16-bit lanes have a native high multiply; 8/32-bit lanes
+/// need two widening multiplies, 64-bit lanes four).
+struct BatchCost {
+  double ScalarCyclesPerElement = 0; ///< One per-element sequence.
+  double VectorCyclesPerElement = 0; ///< Vector sequence / lanes.
+  int Lanes = 1;                     ///< Elements per vector.
+  double SetupCycles = 0; ///< Per-call overhead: broadcasts, dispatch, tail.
+  /// scalar/vector per-element ratio; > 1 means the vector path wins on
+  /// large batches.
+  double speedup() const {
+    return VectorCyclesPerElement > 0
+               ? ScalarCyclesPerElement / VectorCyclesPerElement
+               : 0;
+  }
+  /// Smallest batch size for which the vector path is expected to beat
+  /// the scalar loop (0 when the vector path never wins).
+  size_t breakEvenBatch() const;
+};
+
+/// Prices unsigned batch division of \p WordBits-wide lanes on
+/// \p Profile with \p VectorBits-wide vectors (e.g. 128 for SSE2/NEON,
+/// 256 for AVX2). VectorBits = WordBits prices the scalar backend
+/// against itself (Lanes = 1).
+BatchCost estimateBatchCost(int WordBits, const ArchProfile &Profile,
+                            int VectorBits);
 
 } // namespace arch
 } // namespace gmdiv

@@ -1,0 +1,121 @@
+//===- batch/BatchAVX2.cpp - 256-bit x86 backend --------------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// This TU alone is compiled with -mavx2 (see src/CMakeLists.txt), so no
+// AVX2 instruction can leak into code that runs before the dispatcher's
+// CPUID check. Only the VecOps trait lives here; the kernel bodies are
+// the shared templates in BatchX86Kernels.h. All shuffles used by the
+// kernels stay within 128-bit halves, so the in-lane semantics of the
+// AVX2 shuffle instructions match the SSE2 ones lane-for-lane.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/BatchKernels.h"
+
+#if !defined(GMDIV_FORCE_SCALAR_BATCH) && defined(__AVX2__)
+
+#include "batch/BatchX86Kernels.h"
+
+#include <immintrin.h>
+
+namespace gmdiv {
+namespace batch {
+namespace {
+
+struct Avx2Ops {
+  using V = __m256i;
+  static constexpr int VectorBytes = 32;
+
+  static V load(const void *P) {
+    return _mm256_loadu_si256(static_cast<const __m256i *>(P));
+  }
+  static void store(void *P, V A) {
+    _mm256_storeu_si256(static_cast<__m256i *>(P), A);
+  }
+
+  static V zero() { return _mm256_setzero_si256(); }
+  static V ones() { return _mm256_set1_epi32(-1); }
+  static V set1_8(uint8_t X) {
+    return _mm256_set1_epi8(static_cast<char>(X));
+  }
+  static V set1_16(uint16_t X) {
+    return _mm256_set1_epi16(static_cast<short>(X));
+  }
+  static V set1_32(uint32_t X) {
+    return _mm256_set1_epi32(static_cast<int>(X));
+  }
+  static V set1_64(uint64_t X) {
+    return _mm256_set1_epi64x(static_cast<long long>(X));
+  }
+
+  static V add8(V A, V B) { return _mm256_add_epi8(A, B); }
+  static V add16(V A, V B) { return _mm256_add_epi16(A, B); }
+  static V add32(V A, V B) { return _mm256_add_epi32(A, B); }
+  static V add64(V A, V B) { return _mm256_add_epi64(A, B); }
+  static V sub8(V A, V B) { return _mm256_sub_epi8(A, B); }
+  static V sub16(V A, V B) { return _mm256_sub_epi16(A, B); }
+  static V sub32(V A, V B) { return _mm256_sub_epi32(A, B); }
+  static V sub64(V A, V B) { return _mm256_sub_epi64(A, B); }
+
+  static V and_(V A, V B) { return _mm256_and_si256(A, B); }
+  static V or_(V A, V B) { return _mm256_or_si256(A, B); }
+  static V xor_(V A, V B) { return _mm256_xor_si256(A, B); }
+  /// B & ~A (intrinsic operand order).
+  static V andnot(V A, V B) { return _mm256_andnot_si256(A, B); }
+
+  static V srl16(V A, int C) { return _mm256_srl_epi16(A, count(C)); }
+  static V srl32(V A, int C) { return _mm256_srl_epi32(A, count(C)); }
+  static V srl64(V A, int C) { return _mm256_srl_epi64(A, count(C)); }
+  static V sll16(V A, int C) { return _mm256_sll_epi16(A, count(C)); }
+  static V sll32(V A, int C) { return _mm256_sll_epi32(A, count(C)); }
+  static V sll64(V A, int C) { return _mm256_sll_epi64(A, count(C)); }
+  static V sra16(V A, int C) { return _mm256_sra_epi16(A, count(C)); }
+  static V sra32(V A, int C) { return _mm256_sra_epi32(A, count(C)); }
+
+  static V mullo16(V A, V B) { return _mm256_mullo_epi16(A, B); }
+  static V mulhi_epu16(V A, V B) { return _mm256_mulhi_epu16(A, B); }
+  static V mulhi_epi16(V A, V B) { return _mm256_mulhi_epi16(A, B); }
+  /// Widening 32x32->64 multiply of the even 32-bit lanes.
+  static V mul_epu32(V A, V B) { return _mm256_mul_epu32(A, B); }
+
+  static V cmpeq32(V A, V B) { return _mm256_cmpeq_epi32(A, B); }
+  static V cmpgt8(V A, V B) { return _mm256_cmpgt_epi8(A, B); }
+  static V cmpgt16(V A, V B) { return _mm256_cmpgt_epi16(A, B); }
+  static V cmpgt32(V A, V B) { return _mm256_cmpgt_epi32(A, B); }
+
+  /// Odd 32-bit lane duplicated over each 64-bit element (in-lane).
+  static V dupOdd32(V A) {
+    return _mm256_shuffle_epi32(A, _MM_SHUFFLE(3, 3, 1, 1));
+  }
+  /// 32-bit lanes swapped within each 64-bit element (in-lane).
+  static V swapPairs32(V A) {
+    return _mm256_shuffle_epi32(A, _MM_SHUFFLE(2, 3, 0, 1));
+  }
+
+private:
+  static __m128i count(int C) { return _mm_cvtsi32_si128(C); }
+};
+
+} // namespace
+
+const KernelTables *avx2Kernels() {
+  static const KernelTables Tables = x86::makeTables<Avx2Ops>();
+  return &Tables;
+}
+
+} // namespace batch
+} // namespace gmdiv
+
+#else // not compiled with AVX2 enabled, or forced-scalar build
+
+namespace gmdiv {
+namespace batch {
+const KernelTables *avx2Kernels() { return nullptr; }
+} // namespace batch
+} // namespace gmdiv
+
+#endif

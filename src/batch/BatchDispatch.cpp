@@ -1,0 +1,160 @@
+//===- batch/BatchDispatch.cpp - Runtime backend selection ----------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// Picks the widest kernel set the running CPU supports: compiled-in
+// backends are probed via the null/non-null kernel-table pointers, and
+// AVX2 additionally requires a CPUID check (__builtin_cpu_supports,
+// which also verifies OS XSAVE state). The GMDIV_BATCH_BACKEND
+// environment variable overrides the choice when it names an available
+// backend. Every selection is reported through one "batch.backend"
+// telemetry remark (see docs/OBSERVABILITY.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/BatchDivider.h"
+
+#include "telemetry/Remarks.h"
+#include "telemetry/Stats.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gmdiv {
+namespace batch {
+
+const char *backendName(Backend B) {
+  switch (B) {
+  case Backend::Scalar:
+    return "scalar";
+  case Backend::SSE2:
+    return "sse2";
+  case Backend::AVX2:
+    return "avx2";
+  case Backend::NEON:
+    return "neon";
+  }
+  return "scalar";
+}
+
+/// Internal: the kernel table backing \p B; scalar when \p B is not
+/// available (callers should have checked backendAvailable).
+const KernelTables &tablesForBackend(Backend B) {
+  const KernelTables *Tables = nullptr;
+  switch (B) {
+  case Backend::Scalar:
+    return scalarKernels();
+  case Backend::SSE2:
+    Tables = sse2Kernels();
+    break;
+  case Backend::AVX2:
+    Tables = avx2Kernels();
+    break;
+  case Backend::NEON:
+    Tables = neonKernels();
+    break;
+  }
+  return Tables ? *Tables : scalarKernels();
+}
+
+std::vector<Backend> compiledBackends() {
+  std::vector<Backend> Result{Backend::Scalar};
+  if (sse2Kernels())
+    Result.push_back(Backend::SSE2);
+  if (avx2Kernels())
+    Result.push_back(Backend::AVX2);
+  if (neonKernels())
+    Result.push_back(Backend::NEON);
+  return Result;
+}
+
+namespace {
+
+/// CPU check over and above "the kernels were compiled in". SSE2 and
+/// NEON are baseline on the targets where their TUs compile; AVX2 needs
+/// the runtime probe.
+bool cpuSupports(Backend B) {
+  if (B != Backend::AVX2)
+    return true;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+} // namespace
+
+bool backendAvailable(Backend B) {
+  if (B == Backend::Scalar)
+    return true;
+  switch (B) {
+  case Backend::SSE2:
+    if (!sse2Kernels())
+      return false;
+    break;
+  case Backend::AVX2:
+    if (!avx2Kernels())
+      return false;
+    break;
+  case Backend::NEON:
+    if (!neonKernels())
+      return false;
+    break;
+  case Backend::Scalar:
+    break;
+  }
+  return cpuSupports(B);
+}
+
+/// Internal: one "batch.backend" remark per selection event — the
+/// process-wide default resolution and every explicitly pinned
+/// BatchDivider. Guarded by remarksEnabled(), so the default (no sink)
+/// costs nothing and GMDIV_NO_TELEMETRY compiles it out.
+void noteBackendSelected(Backend B, const char *Source) {
+  GMDIV_STAT_ADD(batch, backend_selections, 1);
+  if (!telemetry::remarksEnabled())
+    return;
+  telemetry::Remark R;
+  R.Pass = "batch";
+  R.Kind = "batch.backend";
+  R.Figure = "Figure 4.1/5.1";
+  R.CaseName = "batch backend selection";
+  R.HasDivisor = false;
+  R.Details.emplace_back("backend", backendName(B));
+  R.Details.emplace_back("source", Source);
+  telemetry::emitRemark(R);
+}
+
+Backend activeBackend() {
+  static const Backend Resolved = [] {
+    if (const char *Env = std::getenv("GMDIV_BATCH_BACKEND")) {
+      for (Backend B : {Backend::Scalar, Backend::SSE2, Backend::AVX2,
+                        Backend::NEON}) {
+        if (std::strcmp(Env, backendName(B)) == 0) {
+          if (backendAvailable(B)) {
+            noteBackendSelected(B, "env-override");
+            return B;
+          }
+          break; // Named but unavailable: fall through to autodetect.
+        }
+      }
+    }
+    for (Backend B : {Backend::AVX2, Backend::SSE2, Backend::NEON}) {
+      if (backendAvailable(B)) {
+        noteBackendSelected(B, "autodetect");
+        return B;
+      }
+    }
+    noteBackendSelected(Backend::Scalar, "fallback");
+    return Backend::Scalar;
+  }();
+  return Resolved;
+}
+
+} // namespace batch
+} // namespace gmdiv

@@ -1,0 +1,219 @@
+//===- batch/BatchKernels.h - Batch kernel internals ------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internals shared by the batch backends: the flattened precomputed
+/// state (built once per divisor from the scalar dividers), the
+/// per-element reference sequences every backend must match bit-for-bit,
+/// and the kernel function tables one per backend.
+///
+/// The state is a plain struct of words and shift counts so a SIMD
+/// backend can broadcast each field into a vector register without
+/// touching the divider classes. buildUnsignedState/buildSignedState
+/// (BatchDivider.cpp) populate it from UnsignedDivider, SignedDivider
+/// and ExactUnsignedDivider — the same Figure 4.1/5.1/§9 precomputation
+/// the scalar path uses, done exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_BATCH_BATCHKERNELS_H
+#define GMDIV_BATCH_BATCHKERNELS_H
+
+#include "ops/Ops.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gmdiv {
+namespace batch {
+
+//===----------------------------------------------------------------------===//
+// Flattened per-divisor state
+//===----------------------------------------------------------------------===//
+
+/// Figure 4.1 state plus the §9 divisibility constants, flattened for
+/// broadcast into vector registers.
+template <typename UWordT> struct UnsignedBatchState {
+  using UWord = UWordT;
+  UWord Divisor = 1;
+  // Figure 4.1: q = SRL(t1 + SRL(n - t1, Shift1), Shift2),
+  //             t1 = MULUH(MPrime, n). Valid for every d >= 1.
+  UWord MPrime = 1;
+  int Shift1 = 0;
+  int Shift2 = 0;
+  // §9: d = 2^ExactShift * d_odd; Inverse = d_odd^-1 mod 2^N.
+  // n divisible by d iff ROR(MULL(Inverse, n), ExactShift) <= QMax.
+  UWord Inverse = 1;
+  UWord QMax = 0;
+  int ExactShift = 0;
+  // Power-of-two divisors reduce every kernel to one shift.
+  bool IsPow2 = false;
+  int Pow2Shift = 0;
+};
+
+/// Figure 5.1 state, flattened for broadcast.
+template <typename SWordT> struct SignedBatchState {
+  using SWord = SWordT;
+  using UWord = typename SignedWordTraits<SWord>::Traits::UWord;
+  SWord Divisor = 1;
+  // q0 = n + MULSH(MPrime, n); q1 = SRA(q0, ShiftPost) - XSIGN(n);
+  // q = EOR(q1, DSign) - DSign.
+  UWord MPrime = 1; ///< Bit pattern of m - 2^N (an sword value).
+  int ShiftPost = 0;
+  SWord DSign = 0; ///< XSIGN(d).
+};
+
+//===----------------------------------------------------------------------===//
+// Per-element reference sequences
+//
+// Every backend — including the SIMD tail loops — funnels single
+// elements through these, so "bit-for-bit agreement" is by construction
+// for tails and by test for vector bodies.
+//===----------------------------------------------------------------------===//
+
+template <typename UWord>
+inline UWord divideOneU(const UnsignedBatchState<UWord> &S, UWord N0) {
+  const UWord T1 = mulUH(S.MPrime, N0);
+  const UWord Sum =
+      static_cast<UWord>(T1 + srl(static_cast<UWord>(N0 - T1), S.Shift1));
+  return srl(Sum, S.Shift2);
+}
+
+template <typename UWord>
+inline UWord remainderOneU(const UnsignedBatchState<UWord> &S, UWord N0) {
+  return static_cast<UWord>(N0 - mulL(divideOneU(S, N0), S.Divisor));
+}
+
+template <typename UWord>
+inline bool divisibleOneU(const UnsignedBatchState<UWord> &S, UWord N0) {
+  constexpr int N = WordTraits<UWord>::Bits;
+  const UWord Q0 = mulL(S.Inverse, N0);
+  const UWord Rotated =
+      S.ExactShift == 0
+          ? Q0
+          : static_cast<UWord>(srl(Q0, S.ExactShift) |
+                               sll(Q0, N - S.ExactShift));
+  return Rotated <= S.QMax;
+}
+
+template <typename SWord>
+inline SWord divideOneS(const SignedBatchState<SWord> &S, SWord N0) {
+  using UWord = typename SignedBatchState<SWord>::UWord;
+  const UWord UN = static_cast<UWord>(N0);
+  const UWord Q0 = static_cast<UWord>(
+      UN + static_cast<UWord>(mulSH(static_cast<SWord>(S.MPrime), N0)));
+  const SWord Shifted = sra(static_cast<SWord>(Q0), S.ShiftPost);
+  const UWord Q1 = static_cast<UWord>(static_cast<UWord>(Shifted) -
+                                      static_cast<UWord>(xsign(N0)));
+  const UWord Mask = static_cast<UWord>(S.DSign);
+  return static_cast<SWord>(static_cast<UWord>((Q1 ^ Mask) - Mask));
+}
+
+template <typename SWord>
+inline SWord remainderOneS(const SignedBatchState<SWord> &S, SWord N0) {
+  using UWord = typename SignedBatchState<SWord>::UWord;
+  return static_cast<SWord>(static_cast<UWord>(N0) -
+                            mulL(static_cast<UWord>(divideOneS(S, N0)),
+                                 static_cast<UWord>(S.Divisor)));
+}
+
+/// ⌊n/d⌋ = trunc(n/d) - (r != 0 && sign(r) != sign(d)).
+template <typename SWord>
+inline SWord floorDivideOneS(const SignedBatchState<SWord> &S, SWord N0) {
+  using UWord = typename SignedBatchState<SWord>::UWord;
+  const SWord Q = divideOneS(S, N0);
+  const SWord R = static_cast<SWord>(
+      static_cast<UWord>(N0) -
+      mulL(static_cast<UWord>(Q), static_cast<UWord>(S.Divisor)));
+  const bool Fix = R != 0 && ((R < 0) != (S.Divisor < 0));
+  return static_cast<SWord>(static_cast<UWord>(Q) -
+                            static_cast<UWord>(Fix ? 1 : 0));
+}
+
+/// ⌈n/d⌉ = trunc(n/d) + (r != 0 && sign(r) == sign(d)).
+template <typename SWord>
+inline SWord ceilDivideOneS(const SignedBatchState<SWord> &S, SWord N0) {
+  using UWord = typename SignedBatchState<SWord>::UWord;
+  const SWord Q = divideOneS(S, N0);
+  const SWord R = static_cast<SWord>(
+      static_cast<UWord>(N0) -
+      mulL(static_cast<UWord>(Q), static_cast<UWord>(S.Divisor)));
+  const bool Fix = R != 0 && ((R < 0) == (S.Divisor < 0));
+  return static_cast<SWord>(static_cast<UWord>(Q) +
+                            static_cast<UWord>(Fix ? 1 : 0));
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel tables
+//===----------------------------------------------------------------------===//
+
+/// Array kernels for one unsigned lane type. All pointers are non-null
+/// in a registered table.
+template <typename T> struct UnsignedKernels {
+  void (*Divide)(const UnsignedBatchState<T> &, const T *, T *, size_t);
+  void (*Remainder)(const UnsignedBatchState<T> &, const T *, T *, size_t);
+  void (*DivRem)(const UnsignedBatchState<T> &, const T *, T *, T *,
+                 size_t);
+  /// §9 branch-free divisibility filter: Out[i] = 1 iff d | In[i].
+  void (*Divisible)(const UnsignedBatchState<T> &, const T *, uint8_t *,
+                    size_t);
+};
+
+/// Array kernels for one signed lane type.
+template <typename T> struct SignedKernels {
+  void (*Divide)(const SignedBatchState<T> &, const T *, T *, size_t);
+  void (*Remainder)(const SignedBatchState<T> &, const T *, T *, size_t);
+  void (*DivRem)(const SignedBatchState<T> &, const T *, T *, T *, size_t);
+  void (*FloorDivide)(const SignedBatchState<T> &, const T *, T *, size_t);
+  void (*CeilDivide)(const SignedBatchState<T> &, const T *, T *, size_t);
+};
+
+/// One backend's complete kernel set: every lane width, both signs.
+struct KernelTables {
+  UnsignedKernels<uint8_t> U8;
+  UnsignedKernels<uint16_t> U16;
+  UnsignedKernels<uint32_t> U32;
+  UnsignedKernels<uint64_t> U64;
+  SignedKernels<int8_t> S8;
+  SignedKernels<int16_t> S16;
+  SignedKernels<int32_t> S32;
+  SignedKernels<int64_t> S64;
+
+  template <typename T> const UnsignedKernels<T> &unsignedFor() const {
+    if constexpr (sizeof(T) == 1)
+      return U8;
+    else if constexpr (sizeof(T) == 2)
+      return U16;
+    else if constexpr (sizeof(T) == 4)
+      return U32;
+    else
+      return U64;
+  }
+  template <typename T> const SignedKernels<T> &signedFor() const {
+    if constexpr (sizeof(T) == 1)
+      return S8;
+    else if constexpr (sizeof(T) == 2)
+      return S16;
+    else if constexpr (sizeof(T) == 4)
+      return S32;
+    else
+      return S64;
+  }
+};
+
+/// The portable fallback; always present.
+const KernelTables &scalarKernels();
+/// SIMD backends; null when not compiled in (wrong architecture or
+/// GMDIV_FORCE_SCALAR_BATCH).
+const KernelTables *sse2Kernels();
+const KernelTables *avx2Kernels();
+const KernelTables *neonKernels();
+
+} // namespace batch
+} // namespace gmdiv
+
+#endif // GMDIV_BATCH_BATCHKERNELS_H

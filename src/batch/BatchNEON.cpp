@@ -1,0 +1,437 @@
+//===- batch/BatchNEON.cpp - 128-bit AArch64 backend ----------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// NEON kernels for 8/16/32-bit lanes: MULUH/MULSH come from the
+// widening vmull_* multiplies plus a vshrn_* narrowing shift, and all
+// post-shifts use vshlq with a negative (runtime) count. 64-bit lanes
+// have no widening multiply on NEON, so — as in Highway's
+// contrib/intdiv — their table entries are plain scalar loops over the
+// per-element reference sequences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/BatchKernels.h"
+
+#if !defined(GMDIV_FORCE_SCALAR_BATCH) && \
+    (defined(__ARM_NEON) || defined(__ARM_NEON__))
+
+#include <arm_neon.h>
+
+namespace gmdiv {
+namespace batch {
+namespace {
+
+/// Uniform names over the width-suffixed NEON intrinsics. `shr` is a
+/// logical shift for unsigned specializations and arithmetic for
+/// signed ones (both via vshlq with a negated count, which supports
+/// runtime shift amounts).
+template <typename T> struct NT;
+
+template <> struct NT<uint8_t> {
+  using V = uint8x16_t;
+  static constexpr size_t Lanes = 16;
+  static constexpr int Bits = 8;
+  static V load(const uint8_t *P) { return vld1q_u8(P); }
+  static void store(uint8_t *P, V A) { vst1q_u8(P, A); }
+  static V dup(uint8_t X) { return vdupq_n_u8(X); }
+  static V add(V A, V B) { return vaddq_u8(A, B); }
+  static V sub(V A, V B) { return vsubq_u8(A, B); }
+  static V mul(V A, V B) { return vmulq_u8(A, B); }
+  static V orr(V A, V B) { return vorrq_u8(A, B); }
+  static V and_(V A, V B) { return vandq_u8(A, B); }
+  static V shr(V A, int C) { return vshlq_u8(A, vdupq_n_s8(int8_t(-C))); }
+  static V shl(V A, int C) { return vshlq_u8(A, vdupq_n_s8(int8_t(C))); }
+  static V cmple(V A, V B) { return vcleq_u8(A, B); }
+  static V mulhi(V X, V M) {
+    const uint16x8_t Lo = vmull_u8(vget_low_u8(X), vget_low_u8(M));
+    const uint16x8_t Hi = vmull_u8(vget_high_u8(X), vget_high_u8(M));
+    return vcombine_u8(vshrn_n_u16(Lo, 8), vshrn_n_u16(Hi, 8));
+  }
+};
+
+template <> struct NT<uint16_t> {
+  using V = uint16x8_t;
+  static constexpr size_t Lanes = 8;
+  static constexpr int Bits = 16;
+  static V load(const uint16_t *P) { return vld1q_u16(P); }
+  static void store(uint16_t *P, V A) { vst1q_u16(P, A); }
+  static V dup(uint16_t X) { return vdupq_n_u16(X); }
+  static V add(V A, V B) { return vaddq_u16(A, B); }
+  static V sub(V A, V B) { return vsubq_u16(A, B); }
+  static V mul(V A, V B) { return vmulq_u16(A, B); }
+  static V orr(V A, V B) { return vorrq_u16(A, B); }
+  static V and_(V A, V B) { return vandq_u16(A, B); }
+  static V shr(V A, int C) { return vshlq_u16(A, vdupq_n_s16(int16_t(-C))); }
+  static V shl(V A, int C) { return vshlq_u16(A, vdupq_n_s16(int16_t(C))); }
+  static V cmple(V A, V B) { return vcleq_u16(A, B); }
+  static V mulhi(V X, V M) {
+    const uint32x4_t Lo = vmull_u16(vget_low_u16(X), vget_low_u16(M));
+    const uint32x4_t Hi = vmull_u16(vget_high_u16(X), vget_high_u16(M));
+    return vcombine_u16(vshrn_n_u32(Lo, 16), vshrn_n_u32(Hi, 16));
+  }
+};
+
+template <> struct NT<uint32_t> {
+  using V = uint32x4_t;
+  static constexpr size_t Lanes = 4;
+  static constexpr int Bits = 32;
+  static V load(const uint32_t *P) { return vld1q_u32(P); }
+  static void store(uint32_t *P, V A) { vst1q_u32(P, A); }
+  static V dup(uint32_t X) { return vdupq_n_u32(X); }
+  static V add(V A, V B) { return vaddq_u32(A, B); }
+  static V sub(V A, V B) { return vsubq_u32(A, B); }
+  static V mul(V A, V B) { return vmulq_u32(A, B); }
+  static V orr(V A, V B) { return vorrq_u32(A, B); }
+  static V and_(V A, V B) { return vandq_u32(A, B); }
+  static V shr(V A, int C) { return vshlq_u32(A, vdupq_n_s32(-C)); }
+  static V shl(V A, int C) { return vshlq_u32(A, vdupq_n_s32(C)); }
+  static V cmple(V A, V B) { return vcleq_u32(A, B); }
+  static V mulhi(V X, V M) {
+    const uint64x2_t Lo = vmull_u32(vget_low_u32(X), vget_low_u32(M));
+    const uint64x2_t Hi = vmull_u32(vget_high_u32(X), vget_high_u32(M));
+    return vcombine_u32(vshrn_n_u64(Lo, 32), vshrn_n_u64(Hi, 32));
+  }
+};
+
+template <> struct NT<int8_t> {
+  using V = int8x16_t;
+  static constexpr size_t Lanes = 16;
+  static constexpr int Bits = 8;
+  static V load(const int8_t *P) { return vld1q_s8(P); }
+  static void store(int8_t *P, V A) { vst1q_s8(P, A); }
+  static V dup(int8_t X) { return vdupq_n_s8(X); }
+  static V add(V A, V B) { return vaddq_s8(A, B); }
+  static V sub(V A, V B) { return vsubq_s8(A, B); }
+  static V mul(V A, V B) { return vmulq_s8(A, B); }
+  static V eor(V A, V B) { return veorq_s8(A, B); }
+  static V shr(V A, int C) { return vshlq_s8(A, vdupq_n_s8(int8_t(-C))); }
+  static V ltzMask(V A) {
+    return vreinterpretq_s8_u8(vcltq_s8(A, vdupq_n_s8(0)));
+  }
+  static V gtzMask(V A) {
+    return vreinterpretq_s8_u8(vcgtq_s8(A, vdupq_n_s8(0)));
+  }
+  static V mulhi(V X, V M) {
+    const int16x8_t Lo = vmull_s8(vget_low_s8(X), vget_low_s8(M));
+    const int16x8_t Hi = vmull_s8(vget_high_s8(X), vget_high_s8(M));
+    return vcombine_s8(vshrn_n_s16(Lo, 8), vshrn_n_s16(Hi, 8));
+  }
+};
+
+template <> struct NT<int16_t> {
+  using V = int16x8_t;
+  static constexpr size_t Lanes = 8;
+  static constexpr int Bits = 16;
+  static V load(const int16_t *P) { return vld1q_s16(P); }
+  static void store(int16_t *P, V A) { vst1q_s16(P, A); }
+  static V dup(int16_t X) { return vdupq_n_s16(X); }
+  static V add(V A, V B) { return vaddq_s16(A, B); }
+  static V sub(V A, V B) { return vsubq_s16(A, B); }
+  static V mul(V A, V B) { return vmulq_s16(A, B); }
+  static V eor(V A, V B) { return veorq_s16(A, B); }
+  static V shr(V A, int C) { return vshlq_s16(A, vdupq_n_s16(int16_t(-C))); }
+  static V ltzMask(V A) {
+    return vreinterpretq_s16_u16(vcltq_s16(A, vdupq_n_s16(0)));
+  }
+  static V gtzMask(V A) {
+    return vreinterpretq_s16_u16(vcgtq_s16(A, vdupq_n_s16(0)));
+  }
+  static V mulhi(V X, V M) {
+    const int32x4_t Lo = vmull_s16(vget_low_s16(X), vget_low_s16(M));
+    const int32x4_t Hi = vmull_s16(vget_high_s16(X), vget_high_s16(M));
+    return vcombine_s16(vshrn_n_s32(Lo, 16), vshrn_n_s32(Hi, 16));
+  }
+};
+
+template <> struct NT<int32_t> {
+  using V = int32x4_t;
+  static constexpr size_t Lanes = 4;
+  static constexpr int Bits = 32;
+  static V load(const int32_t *P) { return vld1q_s32(P); }
+  static void store(int32_t *P, V A) { vst1q_s32(P, A); }
+  static V dup(int32_t X) { return vdupq_n_s32(X); }
+  static V add(V A, V B) { return vaddq_s32(A, B); }
+  static V sub(V A, V B) { return vsubq_s32(A, B); }
+  static V mul(V A, V B) { return vmulq_s32(A, B); }
+  static V eor(V A, V B) { return veorq_s32(A, B); }
+  static V shr(V A, int C) { return vshlq_s32(A, vdupq_n_s32(-C)); }
+  static V ltzMask(V A) {
+    return vreinterpretq_s32_u32(vcltq_s32(A, vdupq_n_s32(0)));
+  }
+  static V gtzMask(V A) {
+    return vreinterpretq_s32_u32(vcgtq_s32(A, vdupq_n_s32(0)));
+  }
+  static V mulhi(V X, V M) {
+    const int64x2_t Lo = vmull_s32(vget_low_s32(X), vget_low_s32(M));
+    const int64x2_t Hi = vmull_s32(vget_high_s32(X), vget_high_s32(M));
+    return vcombine_s32(vshrn_n_s64(Lo, 32), vshrn_n_s64(Hi, 32));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Vector bodies
+//===----------------------------------------------------------------------===//
+
+/// Figure 4.1 on one vector.
+template <typename T>
+inline typename NT<T>::V divVecU(const UnsignedBatchState<T> &S,
+                                 typename NT<T>::V X, typename NT<T>::V MB) {
+  using W = NT<T>;
+  const auto T1 = W::mulhi(X, MB);
+  const auto Sum = W::add(T1, W::shr(W::sub(X, T1), S.Shift1));
+  return W::shr(Sum, S.Shift2);
+}
+
+/// Figure 5.1 on one vector (shr is arithmetic for signed NT).
+template <typename T>
+inline typename NT<T>::V divVecS(const SignedBatchState<T> &S,
+                                 typename NT<T>::V X, typename NT<T>::V MB,
+                                 typename NT<T>::V DMask) {
+  using W = NT<T>;
+  const auto Q0 = W::add(X, W::mulhi(X, MB));
+  const auto Q1 = W::sub(W::shr(Q0, S.ShiftPost), W::shr(X, W::Bits - 1));
+  return W::sub(W::eor(Q1, DMask), DMask);
+}
+
+//===----------------------------------------------------------------------===//
+// Array kernels
+//===----------------------------------------------------------------------===//
+
+template <typename T>
+void divideNeonU(const UnsignedBatchState<T> &S, const T *In, T *Out,
+                 size_t Count) {
+  using W = NT<T>;
+  const auto MB = W::dup(S.MPrime);
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes)
+    W::store(Out + I, divVecU(S, W::load(In + I), MB));
+  for (; I < Count; ++I)
+    Out[I] = divideOneU(S, In[I]);
+}
+
+template <typename T>
+void remainderNeonU(const UnsignedBatchState<T> &S, const T *In, T *Out,
+                    size_t Count) {
+  using W = NT<T>;
+  const auto MB = W::dup(S.MPrime);
+  const auto DB = W::dup(S.Divisor);
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes) {
+    const auto X = W::load(In + I);
+    const auto Q = divVecU(S, X, MB);
+    W::store(Out + I, W::sub(X, W::mul(Q, DB)));
+  }
+  for (; I < Count; ++I)
+    Out[I] = remainderOneU(S, In[I]);
+}
+
+template <typename T>
+void divRemNeonU(const UnsignedBatchState<T> &S, const T *In, T *Quot,
+                 T *Rem, size_t Count) {
+  using W = NT<T>;
+  const auto MB = W::dup(S.MPrime);
+  const auto DB = W::dup(S.Divisor);
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes) {
+    const auto X = W::load(In + I);
+    const auto Q = divVecU(S, X, MB);
+    W::store(Quot + I, Q);
+    W::store(Rem + I, W::sub(X, W::mul(Q, DB)));
+  }
+  for (; I < Count; ++I) {
+    const T Q = divideOneU(S, In[I]);
+    Quot[I] = Q;
+    Rem[I] = static_cast<T>(In[I] - mulL(Q, S.Divisor));
+  }
+}
+
+template <typename T>
+void divisibleNeonU(const UnsignedBatchState<T> &S, const T *In,
+                    uint8_t *Out, size_t Count) {
+  using W = NT<T>;
+  const auto InvB = W::dup(S.Inverse);
+  const auto QMaxB = W::dup(S.QMax);
+  const auto OneB = W::dup(static_cast<T>(1));
+  T Tmp[W::Lanes];
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes) {
+    const auto Q0 = W::mul(W::load(In + I), InvB);
+    const auto Ror = S.ExactShift == 0
+                         ? Q0
+                         : W::orr(W::shr(Q0, S.ExactShift),
+                                  W::shl(Q0, W::Bits - S.ExactShift));
+    W::store(Tmp, W::and_(W::cmple(Ror, QMaxB), OneB));
+    for (size_t J = 0; J < W::Lanes; ++J)
+      Out[I + J] = static_cast<uint8_t>(Tmp[J]);
+  }
+  for (; I < Count; ++I)
+    Out[I] = divisibleOneU(S, In[I]) ? 1 : 0;
+}
+
+template <typename T>
+void divideNeonS(const SignedBatchState<T> &S, const T *In, T *Out,
+                 size_t Count) {
+  using W = NT<T>;
+  const auto MB = W::dup(static_cast<T>(S.MPrime));
+  const auto DMask = W::dup(S.DSign);
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes)
+    W::store(Out + I, divVecS(S, W::load(In + I), MB, DMask));
+  for (; I < Count; ++I)
+    Out[I] = divideOneS(S, In[I]);
+}
+
+template <typename T>
+void remainderNeonS(const SignedBatchState<T> &S, const T *In, T *Out,
+                    size_t Count) {
+  using W = NT<T>;
+  const auto MB = W::dup(static_cast<T>(S.MPrime));
+  const auto DMask = W::dup(S.DSign);
+  const auto DB = W::dup(S.Divisor);
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes) {
+    const auto X = W::load(In + I);
+    const auto Q = divVecS(S, X, MB, DMask);
+    W::store(Out + I, W::sub(X, W::mul(Q, DB)));
+  }
+  for (; I < Count; ++I)
+    Out[I] = remainderOneS(S, In[I]);
+}
+
+template <typename T>
+void divRemNeonS(const SignedBatchState<T> &S, const T *In, T *Quot, T *Rem,
+                 size_t Count) {
+  using W = NT<T>;
+  const auto MB = W::dup(static_cast<T>(S.MPrime));
+  const auto DMask = W::dup(S.DSign);
+  const auto DB = W::dup(S.Divisor);
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes) {
+    const auto X = W::load(In + I);
+    const auto Q = divVecS(S, X, MB, DMask);
+    W::store(Quot + I, Q);
+    W::store(Rem + I, W::sub(X, W::mul(Q, DB)));
+  }
+  for (; I < Count; ++I) {
+    Quot[I] = divideOneS(S, In[I]);
+    Rem[I] = remainderOneS(S, In[I]);
+  }
+}
+
+/// Floor (Round = -1) / ceil (Round = +1) via trunc plus the
+/// branch-free fixup; d's sign picks the fixup mask per batch.
+template <typename T, int Round>
+void roundDivNeonS(const SignedBatchState<T> &S, const T *In, T *Out,
+                   size_t Count) {
+  using W = NT<T>;
+  const auto MB = W::dup(static_cast<T>(S.MPrime));
+  const auto DMask = W::dup(S.DSign);
+  const auto DB = W::dup(S.Divisor);
+  const bool FixNegativeRem = Round < 0 ? S.Divisor > 0 : S.Divisor < 0;
+  size_t I = 0;
+  for (; I + W::Lanes <= Count; I += W::Lanes) {
+    const auto X = W::load(In + I);
+    auto Q = divVecS(S, X, MB, DMask);
+    const auto R = W::sub(X, W::mul(Q, DB));
+    const auto Fix = FixNegativeRem ? W::ltzMask(R) : W::gtzMask(R);
+    Q = Round < 0 ? W::add(Q, Fix) : W::sub(Q, Fix);
+    W::store(Out + I, Q);
+  }
+  for (; I < Count; ++I)
+    Out[I] = Round < 0 ? floorDivideOneS(S, In[I]) : ceilDivideOneS(S, In[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar delegates for 64-bit lanes (no widening 64-bit NEON multiply)
+//===----------------------------------------------------------------------===//
+
+void divideScalarU64(const UnsignedBatchState<uint64_t> &S,
+                     const uint64_t *In, uint64_t *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = divideOneU(S, In[I]);
+}
+void remainderScalarU64(const UnsignedBatchState<uint64_t> &S,
+                        const uint64_t *In, uint64_t *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = remainderOneU(S, In[I]);
+}
+void divRemScalarU64(const UnsignedBatchState<uint64_t> &S,
+                     const uint64_t *In, uint64_t *Quot, uint64_t *Rem,
+                     size_t Count) {
+  for (size_t I = 0; I < Count; ++I) {
+    Quot[I] = divideOneU(S, In[I]);
+    Rem[I] = static_cast<uint64_t>(In[I] - mulL(Quot[I], S.Divisor));
+  }
+}
+void divisibleScalarU64(const UnsignedBatchState<uint64_t> &S,
+                        const uint64_t *In, uint8_t *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = divisibleOneU(S, In[I]) ? 1 : 0;
+}
+void divideScalarS64(const SignedBatchState<int64_t> &S, const int64_t *In,
+                     int64_t *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = divideOneS(S, In[I]);
+}
+void remainderScalarS64(const SignedBatchState<int64_t> &S,
+                        const int64_t *In, int64_t *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = remainderOneS(S, In[I]);
+}
+void divRemScalarS64(const SignedBatchState<int64_t> &S, const int64_t *In,
+                     int64_t *Quot, int64_t *Rem, size_t Count) {
+  for (size_t I = 0; I < Count; ++I) {
+    Quot[I] = divideOneS(S, In[I]);
+    Rem[I] = remainderOneS(S, In[I]);
+  }
+}
+void floorScalarS64(const SignedBatchState<int64_t> &S, const int64_t *In,
+                    int64_t *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = floorDivideOneS(S, In[I]);
+}
+void ceilScalarS64(const SignedBatchState<int64_t> &S, const int64_t *In,
+                   int64_t *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = ceilDivideOneS(S, In[I]);
+}
+
+} // namespace
+
+const KernelTables *neonKernels() {
+  static const KernelTables Tables = {
+      {divideNeonU<uint8_t>, remainderNeonU<uint8_t>, divRemNeonU<uint8_t>,
+       divisibleNeonU<uint8_t>},
+      {divideNeonU<uint16_t>, remainderNeonU<uint16_t>,
+       divRemNeonU<uint16_t>, divisibleNeonU<uint16_t>},
+      {divideNeonU<uint32_t>, remainderNeonU<uint32_t>,
+       divRemNeonU<uint32_t>, divisibleNeonU<uint32_t>},
+      {divideScalarU64, remainderScalarU64, divRemScalarU64,
+       divisibleScalarU64},
+      {divideNeonS<int8_t>, remainderNeonS<int8_t>, divRemNeonS<int8_t>,
+       roundDivNeonS<int8_t, -1>, roundDivNeonS<int8_t, 1>},
+      {divideNeonS<int16_t>, remainderNeonS<int16_t>, divRemNeonS<int16_t>,
+       roundDivNeonS<int16_t, -1>, roundDivNeonS<int16_t, 1>},
+      {divideNeonS<int32_t>, remainderNeonS<int32_t>, divRemNeonS<int32_t>,
+       roundDivNeonS<int32_t, -1>, roundDivNeonS<int32_t, 1>},
+      {divideScalarS64, remainderScalarS64, divRemScalarS64, floorScalarS64,
+       ceilScalarS64}};
+  return &Tables;
+}
+
+} // namespace batch
+} // namespace gmdiv
+
+#else // not an ARM NEON build, or forced-scalar build
+
+namespace gmdiv {
+namespace batch {
+const KernelTables *neonKernels() { return nullptr; }
+} // namespace batch
+} // namespace gmdiv
+
+#endif

@@ -1,0 +1,116 @@
+//===- batch/BatchSSE2.cpp - 128-bit x86 backend --------------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+//
+// SSE2 is part of the x86-64 baseline, so this backend needs no
+// per-file flags and no runtime CPU check. It only defines the VecOps
+// trait; every kernel body lives in BatchX86Kernels.h, shared with the
+// AVX2 instantiation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/BatchKernels.h"
+
+#if !defined(GMDIV_FORCE_SCALAR_BATCH) && \
+    (defined(__x86_64__) || defined(_M_X64) || defined(__SSE2__))
+
+#include "batch/BatchX86Kernels.h"
+
+#include <emmintrin.h>
+
+namespace gmdiv {
+namespace batch {
+namespace {
+
+struct Sse2Ops {
+  using V = __m128i;
+  static constexpr int VectorBytes = 16;
+
+  static V load(const void *P) {
+    return _mm_loadu_si128(static_cast<const __m128i *>(P));
+  }
+  static void store(void *P, V A) {
+    _mm_storeu_si128(static_cast<__m128i *>(P), A);
+  }
+
+  static V zero() { return _mm_setzero_si128(); }
+  static V ones() { return _mm_set1_epi32(-1); }
+  static V set1_8(uint8_t X) { return _mm_set1_epi8(static_cast<char>(X)); }
+  static V set1_16(uint16_t X) {
+    return _mm_set1_epi16(static_cast<short>(X));
+  }
+  static V set1_32(uint32_t X) { return _mm_set1_epi32(static_cast<int>(X)); }
+  static V set1_64(uint64_t X) {
+    return _mm_set1_epi64x(static_cast<long long>(X));
+  }
+
+  static V add8(V A, V B) { return _mm_add_epi8(A, B); }
+  static V add16(V A, V B) { return _mm_add_epi16(A, B); }
+  static V add32(V A, V B) { return _mm_add_epi32(A, B); }
+  static V add64(V A, V B) { return _mm_add_epi64(A, B); }
+  static V sub8(V A, V B) { return _mm_sub_epi8(A, B); }
+  static V sub16(V A, V B) { return _mm_sub_epi16(A, B); }
+  static V sub32(V A, V B) { return _mm_sub_epi32(A, B); }
+  static V sub64(V A, V B) { return _mm_sub_epi64(A, B); }
+
+  static V and_(V A, V B) { return _mm_and_si128(A, B); }
+  static V or_(V A, V B) { return _mm_or_si128(A, B); }
+  static V xor_(V A, V B) { return _mm_xor_si128(A, B); }
+  /// B & ~A (intrinsic operand order).
+  static V andnot(V A, V B) { return _mm_andnot_si128(A, B); }
+
+  static V srl16(V A, int C) { return _mm_srl_epi16(A, count(C)); }
+  static V srl32(V A, int C) { return _mm_srl_epi32(A, count(C)); }
+  static V srl64(V A, int C) { return _mm_srl_epi64(A, count(C)); }
+  static V sll16(V A, int C) { return _mm_sll_epi16(A, count(C)); }
+  static V sll32(V A, int C) { return _mm_sll_epi32(A, count(C)); }
+  static V sll64(V A, int C) { return _mm_sll_epi64(A, count(C)); }
+  static V sra16(V A, int C) { return _mm_sra_epi16(A, count(C)); }
+  static V sra32(V A, int C) { return _mm_sra_epi32(A, count(C)); }
+
+  static V mullo16(V A, V B) { return _mm_mullo_epi16(A, B); }
+  static V mulhi_epu16(V A, V B) { return _mm_mulhi_epu16(A, B); }
+  static V mulhi_epi16(V A, V B) { return _mm_mulhi_epi16(A, B); }
+  /// Widening 32x32->64 multiply of the even 32-bit lanes.
+  static V mul_epu32(V A, V B) { return _mm_mul_epu32(A, B); }
+
+  static V cmpeq32(V A, V B) { return _mm_cmpeq_epi32(A, B); }
+  static V cmpgt8(V A, V B) { return _mm_cmpgt_epi8(A, B); }
+  static V cmpgt16(V A, V B) { return _mm_cmpgt_epi16(A, B); }
+  static V cmpgt32(V A, V B) { return _mm_cmpgt_epi32(A, B); }
+
+  /// Odd 32-bit lane duplicated over each 64-bit element: (3,3,1,1).
+  static V dupOdd32(V A) {
+    return _mm_shuffle_epi32(A, _MM_SHUFFLE(3, 3, 1, 1));
+  }
+  /// 32-bit lanes swapped within each 64-bit element: (2,3,0,1).
+  static V swapPairs32(V A) {
+    return _mm_shuffle_epi32(A, _MM_SHUFFLE(2, 3, 0, 1));
+  }
+
+private:
+  static __m128i count(int C) { return _mm_cvtsi32_si128(C); }
+};
+
+} // namespace
+
+const KernelTables *sse2Kernels() {
+  static const KernelTables Tables = x86::makeTables<Sse2Ops>();
+  return &Tables;
+}
+
+} // namespace batch
+} // namespace gmdiv
+
+#else // non-x86 build or forced-scalar build
+
+namespace gmdiv {
+namespace batch {
+const KernelTables *sse2Kernels() { return nullptr; }
+} // namespace batch
+} // namespace gmdiv
+
+#endif

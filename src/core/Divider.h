@@ -68,6 +68,14 @@ public:
   }
 
   UWord divisor() const { return D; }
+  /// The precomputed m' of Figure 4.1 (low word of the N+1-bit
+  /// multiplier). Exposed so batch kernels (src/batch) can reuse the
+  /// state instead of re-deriving it.
+  UWord magic() const { return MPrime; }
+  /// sh1 = min(l, 1) of Figure 4.1.
+  int preShift() const { return Shift1; }
+  /// sh2 = max(l - 1, 0) of Figure 4.1.
+  int postShift() const { return Shift2; }
 
   /// ⌊n/d⌋.
   UWord divide(UWord N0) const {
@@ -152,6 +160,13 @@ public:
   }
 
   SWord divisor() const { return D; }
+  /// Bit pattern of m - 2^N (an sword value), Figure 5.1. Exposed for
+  /// the batch kernels (src/batch).
+  UWord magic() const { return MPrime; }
+  /// sh_post = l - 1 of Figure 5.1.
+  int postShift() const { return ShiftPost; }
+  /// XSIGN(d): -1 for negative divisors, else 0.
+  SWord divisorSign() const { return DSign; }
 
   /// trunc(n/d).
   SWord divide(SWord N0) const {

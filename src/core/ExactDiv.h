@@ -56,6 +56,10 @@ public:
   UWord divisor() const { return D; }
   /// The multiplicative inverse of the odd part of d, mod 2^N.
   UWord inverse() const { return Inverse; }
+  /// e with d = 2^e * d_odd. Exposed for the batch kernels (src/batch).
+  int shift() const { return Shift; }
+  /// ⌊(2^N - 1)/d⌋, the divisibility-test bound.
+  UWord maxQuotient() const { return QMax; }
 
   /// n / d for n known to be a multiple of d. One MULL and one shift.
   UWord divideExact(UWord N0) const {

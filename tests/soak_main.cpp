@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "batch/BatchDivider.h"
 #include "codegen/DivCodeGen.h"
 #include "codegen/DivisionLowering.h"
 #include "core/Divider.h"
@@ -30,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <vector>
 
 using namespace gmdiv;
 
@@ -44,6 +46,7 @@ telemetry::Statistic UnsignedChecks("soak", "unsigned_checks");
 telemetry::Statistic SignedChecks("soak", "signed_checks");
 telemetry::Statistic CodegenChecks("soak", "codegen_checks");
 telemetry::Statistic DWordChecks("soak", "dword_checks");
+telemetry::Statistic BatchChecks("soak", "batch_checks");
 
 [[noreturn]] void fail(const char *What, uint64_t N, uint64_t D) {
   std::fprintf(stderr,
@@ -149,6 +152,63 @@ void soakDWordRound() {
   DWordChecks.increment(1024);
 }
 
+// Batch kernels on the active (auto-dispatched) backend against the
+// per-element dividers, with an odd buffer length so SIMD tails run.
+template <typename UWord> void soakBatchUnsignedRound() {
+  UWord D = static_cast<UWord>(Rng() >> (Rng() % (sizeof(UWord) * 8)));
+  if (D == 0)
+    D = 1;
+  const batch::BatchDivider<UWord> Batch(D);
+  const UnsignedDivider<UWord> Ref(D);
+  const size_t Count = 257 + static_cast<size_t>(Rng() % 256);
+  std::vector<UWord> In(Count), Quot(Count), Rem(Count);
+  std::vector<uint8_t> Divisible(Count);
+  for (UWord &Value : In)
+    Value = static_cast<UWord>(Rng());
+  Batch.divRem(In.data(), Quot.data(), Rem.data(), Count);
+  Batch.divisible(In.data(), Divisible.data(), Count);
+  for (size_t I = 0; I < Count; ++I) {
+    if (Quot[I] != Ref.divide(In[I]))
+      fail("BatchDivider.divRem(quot)", In[I], D);
+    if (Rem[I] != Ref.remainder(In[I]))
+      fail("BatchDivider.divRem(rem)", In[I], D);
+    if (Divisible[I] != ((In[I] % D) == 0 ? 1 : 0))
+      fail("BatchDivider.divisible", In[I], D);
+  }
+  BatchChecks.increment(3 * Count);
+}
+
+template <typename SWord> void soakBatchSignedRound() {
+  using UWord = std::make_unsigned_t<SWord>;
+  SWord D = static_cast<SWord>(
+      static_cast<UWord>(Rng() >> (Rng() % (sizeof(SWord) * 8))));
+  if (D == 0)
+    D = -7;
+  const batch::BatchDivider<SWord> Batch(D);
+  const SignedDivider<SWord> Trunc(D);
+  const FloorDivider<SWord> Floor(D);
+  const CeilDivider<SWord> Ceil(D);
+  const size_t Count = 257 + static_cast<size_t>(Rng() % 256);
+  std::vector<SWord> In(Count), Quot(Count), FloorQ(Count), CeilQ(Count);
+  for (SWord &Value : In)
+    Value = static_cast<SWord>(static_cast<UWord>(Rng()));
+  Batch.divide(In.data(), Quot.data(), Count);
+  Batch.floorDivide(In.data(), FloorQ.data(), Count);
+  Batch.ceilDivide(In.data(), CeilQ.data(), Count);
+  for (size_t I = 0; I < Count; ++I) {
+    if (Quot[I] != Trunc.divide(In[I]))
+      fail("BatchDivider.divide(signed)", static_cast<uint64_t>(In[I]),
+           static_cast<uint64_t>(D));
+    if (FloorQ[I] != Floor.divide(In[I]))
+      fail("BatchDivider.floorDivide", static_cast<uint64_t>(In[I]),
+           static_cast<uint64_t>(D));
+    if (CeilQ[I] != Ceil.divide(In[I]))
+      fail("BatchDivider.ceilDivide", static_cast<uint64_t>(In[I]),
+           static_cast<uint64_t>(D));
+  }
+  BatchChecks.increment(3 * Count);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -173,15 +233,23 @@ int main(int Argc, char **Argv) {
     soakSignedRound<int64_t>();
     soakCodegenRound();
     soakDWordRound();
+    soakBatchUnsignedRound<uint8_t>();
+    soakBatchUnsignedRound<uint16_t>();
+    soakBatchUnsignedRound<uint32_t>();
+    soakBatchUnsignedRound<uint64_t>();
+    soakBatchSignedRound<int8_t>();
+    soakBatchSignedRound<int16_t>();
+    soakBatchSignedRound<int32_t>();
+    soakBatchSignedRound<int64_t>();
     ++Rounds;
   }
   const double Elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     Start)
           .count();
-  const uint64_t TotalChecks = UnsignedChecks.value() +
-                               SignedChecks.value() +
-                               CodegenChecks.value() + DWordChecks.value();
+  const uint64_t TotalChecks =
+      UnsignedChecks.value() + SignedChecks.value() +
+      CodegenChecks.value() + DWordChecks.value() + BatchChecks.value();
   std::printf("soak: %llu rounds clean (%llu checks)\n",
               static_cast<unsigned long long>(Rounds),
               static_cast<unsigned long long>(TotalChecks));
@@ -198,7 +266,9 @@ int main(int Argc, char **Argv) {
       .key("rounds")
       .value(Rounds)
       .key("checks")
-      .value(TotalChecks);
+      .value(TotalChecks)
+      .key("backend")
+      .value(batch::backendName(batch::activeBackend()));
   W.key("counters").beginObject();
   for (const telemetry::StatRecord &Record : telemetry::statsSnapshot())
     if (Record.Group == "soak")
