@@ -22,6 +22,14 @@
 //                                        dispatch report, self-check
 //                                        against Divider.h, throughput
 //                                        compare, break-even table.
+//   gmdiv_tool verify [--seconds S] [--seed X] [--full]
+//                                        differential verification: the
+//                                        exhaustive parameterized-N
+//                                        sweeps, then the boundary-
+//                                        biased fuzzer for the rest of
+//                                        the budget; JSON summary on
+//                                        stdout, exit 1 on mismatch.
+//   gmdiv_tool verify --replay <repro>   re-run one gmdiv:v1 repro.
 //
 // Global telemetry flags (usable with any command; both write stderr so
 // stdout stays a clean IR/assembly listing):
@@ -43,8 +51,11 @@
 #include "ir/AsmPrinter.h"
 #include "ir/Parser.h"
 #include "ops/Bits.h"
+#include "telemetry/Json.h"
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
+#include "verify/Fuzzer.h"
+#include "verify/Verify.h"
 
 #include <chrono>
 #include <cstdio>
@@ -70,10 +81,12 @@ int usage(const char *Argv0) {
                "  %s asm <d> [32|64] [mips|sparc|alpha|power]\n"
                "  %s lower [width] [numargs]   (IR on stdin)\n"
                "  %s batch <d> [8|16|32|64] [u|s] [count]\n"
+               "  %s verify [--seconds S] [--seed X] [--full]\n"
+               "  %s verify --replay <repro-string>\n"
                "global flags (telemetry, on stderr):\n"
                "  --remarks=json|text   one remark per generated sequence\n"
                "  --stats               counter registry as one JSON line\n",
-               Argv0, Argv0, Argv0, Argv0, Argv0);
+               Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
   return 1;
 }
 
@@ -322,6 +335,94 @@ int runCommand(int Argc, char **Argv) {
     default:
       return usage(Argv[0]);
     }
+  }
+
+  if (Command == "verify") {
+    double Seconds = 10.0;
+    uint64_t Seed = 1;
+    bool Full = false;
+    const char *Replay = nullptr;
+    for (int I = 2; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--seconds") == 0 && I + 1 < Argc)
+        Seconds = std::atof(Argv[++I]);
+      else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc)
+        Seed = std::strtoull(Argv[++I], nullptr, 0);
+      else if (std::strcmp(Argv[I], "--full") == 0)
+        Full = true;
+      else if (std::strcmp(Argv[I], "--replay") == 0 && I + 1 < Argc)
+        Replay = Argv[++I];
+      else
+        return usage(Argv[0]);
+    }
+
+    if (Replay) {
+      std::string Detail;
+      const bool Passed = verify::replayRepro(Replay, &Detail);
+      std::printf("%s\n", Detail.c_str());
+      return Passed ? 0 : 1;
+    }
+
+    // Exhaustive sweeps ascending from N = 4: each width is a complete
+    // proof over its state space, so run as many as half the budget
+    // allows (N <= 8 always fits; N = 12 alone is ~15 s). --full runs
+    // all of [4, 12] regardless of the clock.
+    using Clock = std::chrono::steady_clock;
+    const auto Start = Clock::now();
+    const auto Elapsed = [&] {
+      return std::chrono::duration<double>(Clock::now() - Start).count();
+    };
+    std::vector<verify::VerifyReport> Exhaustive;
+    int TopWidth = 0;
+    for (int Width = 4; Width <= 12; ++Width) {
+      if (!Full && Width > 8 && Elapsed() > Seconds / 2)
+        break;
+      Exhaustive.push_back(verify::verifyWidth(Width));
+      TopWidth = Width;
+    }
+    std::fprintf(stderr, "verify: exhaustive N=4..%d done (%.1fs)\n",
+                 TopWidth, Elapsed());
+
+    // The rest of the budget fuzzes the machine widths.
+    verify::FuzzOptions Options;
+    Options.Seed = Seed;
+    Options.Seconds = Seconds > Elapsed() ? Seconds - Elapsed() : 0.5;
+    const verify::FuzzReport Fuzz = verify::runFuzzer(Options);
+
+    bool Clean = Fuzz.clean();
+    uint64_t Checks = Fuzz.checks();
+    for (const verify::VerifyReport &Report : Exhaustive) {
+      Clean = Clean && Report.clean();
+      Checks += Report.checks();
+    }
+
+    telemetry::json::Writer W;
+    W.beginObject()
+        .key("command")
+        .value("verify")
+        .key("seconds")
+        .value(Elapsed())
+        .key("seed")
+        .value(Seed)
+        .key("checks")
+        .value(Checks)
+        .key("clean")
+        .value(Clean)
+        .key("exhaustive")
+        .beginArray();
+    for (const verify::VerifyReport &Report : Exhaustive)
+      verify::reportJsonInto(W, Report);
+    W.endArray().key("fuzz");
+    verify::fuzzJsonInto(W, Fuzz);
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    std::fprintf(stderr, "verify: %s (%llu checks, %.1fs)\n",
+                 Clean ? "clean" : "MISMATCHES FOUND",
+                 static_cast<unsigned long long>(Checks), Elapsed());
+    if (!Clean)
+      for (const std::string &Text : Fuzz.Failures)
+        std::fprintf(stderr, "  replay: %s verify --replay '%s'\n", Argv[0],
+                     Text.c_str());
+    return Clean ? 0 : 1;
   }
 
   if (Command == "lower") {

@@ -12,6 +12,7 @@
 #include "numtheory/ModArith.h"
 #include "ops/Bits.h"
 #include "ops/Ops.h"
+#include "ops/SmallWord.h"
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
 
@@ -78,8 +79,12 @@ void remarkRuntimeCase(const char *Kind, const char *Figure,
 /// MULL by a constant, expanded into shifts/adds when the options say the
 /// synthesis is cheaper than the machine's multiply.
 int emitMulLConst(Builder &B, int X, uint64_t C, const GenOptions &Options) {
-  if (Options.ExpandMulBelowCycles >= 0 &&
-      shouldExpandMultiply(C, B.wordBits(), Options.ExpandMulBelowCycles)) {
+  const int W = B.wordBits();
+  // The Bernstein planner only models the native machine widths; at the
+  // emulated small widths (verification harness) always emit the MULL.
+  const bool NativeWidth = W == 8 || W == 16 || W == 32 || W == 64;
+  if (NativeWidth && Options.ExpandMulBelowCycles >= 0 &&
+      shouldExpandMultiply(C, W, Options.ExpandMulBelowCycles)) {
     GMDIV_STAT(codegen, mull_bernstein_expanded);
     return emitMulByConst(B, X, C);
   }
@@ -842,20 +847,39 @@ int emitSignedDivWideT(Builder &B, int N, int64_t D64,
 // Width dispatch plumbing.
 //===----------------------------------------------------------------------===//
 
-template <typename Fn8, typename Fn16, typename Fn32, typename Fn64>
-auto dispatchWidth(int WordBits, Fn8 F8, Fn16 F16, Fn32 F32, Fn64 F64) {
+/// Invokes \p F with the unsigned word type for \p WordBits: the native
+/// integer at 8/16/32/64 and the emulated SmallUWord family at 4..12 (the
+/// widths the verification harness checks exhaustively). Widths 13..15
+/// and below 4 have no word family here and assert.
+template <typename Fn> auto dispatchWord(int WordBits, Fn F) {
   switch (WordBits) {
+  case 4:
+    return F.template operator()<SmallUWord<4>>();
+  case 5:
+    return F.template operator()<SmallUWord<5>>();
+  case 6:
+    return F.template operator()<SmallUWord<6>>();
+  case 7:
+    return F.template operator()<SmallUWord<7>>();
   case 8:
-    return F8();
+    return F.template operator()<uint8_t>();
+  case 9:
+    return F.template operator()<SmallUWord<9>>();
+  case 10:
+    return F.template operator()<SmallUWord<10>>();
+  case 11:
+    return F.template operator()<SmallUWord<11>>();
+  case 12:
+    return F.template operator()<SmallUWord<12>>();
   case 16:
-    return F16();
+    return F.template operator()<uint16_t>();
   case 32:
-    return F32();
+    return F.template operator()<uint32_t>();
   case 64:
-    return F64();
+    return F.template operator()<uint64_t>();
   default:
-    assert(false && "unsupported word width");
-    return F64();
+    assert(false && "no word family for this width");
+    return F.template operator()<uint64_t>();
   }
 }
 
@@ -863,117 +887,59 @@ auto dispatchWidth(int WordBits, Fn8 F8, Fn16 F16, Fn32 F32, Fn64 F64) {
 
 int codegen::emitUnsignedDiv(Builder &B, int N, uint64_t D,
                              const GenOptions &Options) {
-  return dispatchWidth(
-      B.wordBits(),
-      [&] {
-        return emitUnsignedDivT<uint8_t>(B, N, static_cast<uint8_t>(D),
-                                         Options);
-      },
-      [&] {
-        return emitUnsignedDivT<uint16_t>(B, N, static_cast<uint16_t>(D),
-                                          Options);
-      },
-      [&] {
-        return emitUnsignedDivT<uint32_t>(B, N, static_cast<uint32_t>(D),
-                                          Options);
-      },
-      [&] { return emitUnsignedDivT<uint64_t>(B, N, D, Options); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitUnsignedDivT<UWord>(B, N, static_cast<UWord>(D), Options);
+  });
 }
 
 int codegen::emitSignedDiv(Builder &B, int N, int64_t D,
                            const GenOptions &Options) {
-  return dispatchWidth(
-      B.wordBits(),
-      [&] { return emitSignedDivT<uint8_t>(B, N, D, Options); },
-      [&] { return emitSignedDivT<uint16_t>(B, N, D, Options); },
-      [&] { return emitSignedDivT<uint32_t>(B, N, D, Options); },
-      [&] { return emitSignedDivT<uint64_t>(B, N, D, Options); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitSignedDivT<UWord>(B, N, D, Options);
+  });
 }
 
 int codegen::emitFloorDiv(Builder &B, int N, int64_t D,
                           const GenOptions &Options) {
-  return dispatchWidth(
-      B.wordBits(),
-      [&] { return emitFloorDivT<uint8_t>(B, N, D, Options); },
-      [&] { return emitFloorDivT<uint16_t>(B, N, D, Options); },
-      [&] { return emitFloorDivT<uint32_t>(B, N, D, Options); },
-      [&] { return emitFloorDivT<uint64_t>(B, N, D, Options); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitFloorDivT<UWord>(B, N, D, Options);
+  });
 }
 
 int codegen::emitExactUnsignedDiv(Builder &B, int N, uint64_t D) {
   const GenOptions Options;
-  return dispatchWidth(
-      B.wordBits(),
-      [&] {
-        return emitExactUnsignedDivT<uint8_t>(B, N, static_cast<uint8_t>(D),
-                                              Options);
-      },
-      [&] {
-        return emitExactUnsignedDivT<uint16_t>(B, N, static_cast<uint16_t>(D),
-                                               Options);
-      },
-      [&] {
-        return emitExactUnsignedDivT<uint32_t>(B, N, static_cast<uint32_t>(D),
-                                               Options);
-      },
-      [&] { return emitExactUnsignedDivT<uint64_t>(B, N, D, Options); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitExactUnsignedDivT<UWord>(B, N, static_cast<UWord>(D),
+                                        Options);
+  });
 }
 
 int codegen::emitExactSignedDiv(Builder &B, int N, int64_t D) {
   const GenOptions Options;
-  return dispatchWidth(
-      B.wordBits(),
-      [&] { return emitExactSignedDivT<uint8_t>(B, N, D, Options); },
-      [&] { return emitExactSignedDivT<uint16_t>(B, N, D, Options); },
-      [&] { return emitExactSignedDivT<uint32_t>(B, N, D, Options); },
-      [&] { return emitExactSignedDivT<uint64_t>(B, N, D, Options); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitExactSignedDivT<UWord>(B, N, D, Options);
+  });
 }
 
 int codegen::emitDivisibilityTestUnsigned(Builder &B, int N, uint64_t D) {
-  return dispatchWidth(
-      B.wordBits(),
-      [&] {
-        return emitDivisibilityTestUnsignedT<uint8_t>(
-            B, N, static_cast<uint8_t>(D));
-      },
-      [&] {
-        return emitDivisibilityTestUnsignedT<uint16_t>(
-            B, N, static_cast<uint16_t>(D));
-      },
-      [&] {
-        return emitDivisibilityTestUnsignedT<uint32_t>(
-            B, N, static_cast<uint32_t>(D));
-      },
-      [&] { return emitDivisibilityTestUnsignedT<uint64_t>(B, N, D); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitDivisibilityTestUnsignedT<UWord>(B, N, static_cast<UWord>(D));
+  });
 }
 
 int codegen::emitRemainderTestUnsigned(Builder &B, int N, uint64_t D,
                                        uint64_t R) {
-  return dispatchWidth(
-      B.wordBits(),
-      [&] {
-        return emitRemainderTestUnsignedT<uint8_t>(
-            B, N, static_cast<uint8_t>(D), static_cast<uint8_t>(R));
-      },
-      [&] {
-        return emitRemainderTestUnsignedT<uint16_t>(
-            B, N, static_cast<uint16_t>(D), static_cast<uint16_t>(R));
-      },
-      [&] {
-        return emitRemainderTestUnsignedT<uint32_t>(
-            B, N, static_cast<uint32_t>(D), static_cast<uint32_t>(R));
-      },
-      [&] { return emitRemainderTestUnsignedT<uint64_t>(B, N, D, R); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitRemainderTestUnsignedT<UWord>(B, N, static_cast<UWord>(D),
+                                             static_cast<UWord>(R));
+  });
 }
 
 int codegen::emitRemainderTestSigned(Builder &B, int N, int64_t D,
                                      int64_t R) {
-  return dispatchWidth(
-      B.wordBits(),
-      [&] { return emitRemainderTestSignedT<uint8_t>(B, N, D, R); },
-      [&] { return emitRemainderTestSignedT<uint16_t>(B, N, D, R); },
-      [&] { return emitRemainderTestSignedT<uint32_t>(B, N, D, R); },
-      [&] { return emitRemainderTestSignedT<uint64_t>(B, N, D, R); });
+  return dispatchWord(B.wordBits(), [&]<typename UWord>() {
+    return emitRemainderTestSignedT<UWord>(B, N, D, R);
+  });
 }
 
 int codegen::emitMulUHCapability(Builder &B, int Lhs, int Rhs,
@@ -1109,12 +1075,9 @@ ir::Program codegen::genRemainderTestSigned(int WordBits, int64_t D,
 ir::Program codegen::genDivisibilityTestSigned(int WordBits, int64_t D) {
   Builder B(WordBits, 1);
   const int N = B.arg(0);
-  const int Result = dispatchWidth(
-      WordBits,
-      [&] { return emitDivisibilityTestSignedT<uint8_t>(B, N, D); },
-      [&] { return emitDivisibilityTestSignedT<uint16_t>(B, N, D); },
-      [&] { return emitDivisibilityTestSignedT<uint32_t>(B, N, D); },
-      [&] { return emitDivisibilityTestSignedT<uint64_t>(B, N, D); });
+  const int Result = dispatchWord(WordBits, [&]<typename UWord>() {
+    return emitDivisibilityTestSignedT<UWord>(B, N, D);
+  });
   B.markResult(Result, "divisible");
   return B.take();
 }
@@ -1154,45 +1117,19 @@ ir::Program codegen::genFloorDivModRuntime(int WordBits) {
 ir::Program codegen::genUnsignedDivAlverson(int WordBits, uint64_t D) {
   Builder B(WordBits, 1);
   const int N = B.arg(0);
-  const int Result = dispatchWidth(
-      WordBits,
-      [&] {
-        return emitUnsignedDivAlversonT<uint8_t>(B, N,
-                                                 static_cast<uint8_t>(D));
-      },
-      [&] {
-        return emitUnsignedDivAlversonT<uint16_t>(
-            B, N, static_cast<uint16_t>(D));
-      },
-      [&] {
-        return emitUnsignedDivAlversonT<uint32_t>(
-            B, N, static_cast<uint32_t>(D));
-      },
-      [&] { return emitUnsignedDivAlversonT<uint64_t>(B, N, D); });
+  const int Result = dispatchWord(WordBits, [&]<typename UWord>() {
+    return emitUnsignedDivAlversonT<UWord>(B, N, static_cast<UWord>(D));
+  });
   B.markResult(Result, "q");
   return B.take();
 }
 
 ir::Program codegen::genDWordDivRem(int WordBits, uint64_t D) {
   Builder B(WordBits, 2);
-  dispatchWidth(
-      WordBits,
-      [&] {
-        emitDWordDivRemT<uint8_t>(B, static_cast<uint8_t>(D));
-        return 0;
-      },
-      [&] {
-        emitDWordDivRemT<uint16_t>(B, static_cast<uint16_t>(D));
-        return 0;
-      },
-      [&] {
-        emitDWordDivRemT<uint32_t>(B, static_cast<uint32_t>(D));
-        return 0;
-      },
-      [&] {
-        emitDWordDivRemT<uint64_t>(B, D);
-        return 0;
-      });
+  dispatchWord(WordBits, [&]<typename UWord>() {
+    emitDWordDivRemT<UWord>(B, static_cast<UWord>(D));
+    return 0;
+  });
   return B.take();
 }
 

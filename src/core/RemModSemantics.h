@@ -66,9 +66,12 @@ public:
   SWord remainder(SWord N0) const {
     auto [Quotient, Remainder] = Trunc.divRem(N0);
     (void)Quotient;
+    // The 1u factor promotes sub-int words to unsigned before the
+    // multiply; plain UWord operands would promote to (signed) int,
+    // where the wrap this arithmetic relies on is undefined.
     return static_cast<SWord>(
         static_cast<UWord>(Remainder) +
-        static_cast<UWord>(fixup(Remainder)) * static_cast<UWord>(D));
+        1u * static_cast<UWord>(fixup(Remainder)) * static_cast<UWord>(D));
   }
 
   /// Both at once (one division).
@@ -78,7 +81,7 @@ public:
     return {static_cast<SWord>(static_cast<UWord>(Quotient) -
                                static_cast<UWord>(Adjust)),
             static_cast<SWord>(static_cast<UWord>(Remainder) +
-                               static_cast<UWord>(Adjust) *
+                               1u * static_cast<UWord>(Adjust) *
                                    static_cast<UWord>(D))};
   }
 

@@ -25,14 +25,30 @@ namespace ir {
 
 /// Evaluates a single operation on N-bit values. \p A and \p B are the
 /// operand bit patterns (already masked to N bits); the result is masked
-/// to N bits. Leaf opcodes are not valid here.
+/// to N bits. Leaf opcodes are not valid here. Native widths dispatch to
+/// the word-typed evaluator; every other width in [2, 64] runs through
+/// evalOpGeneric.
 uint64_t evalOp(Opcode Op, int WordBits, uint64_t A, uint64_t B,
                 uint64_t Imm);
+
+/// Width-as-a-value twin of evalOp: exact N-bit two's complement
+/// semantics for any WordBits in [2, 64], computed on uint64_t bit
+/// patterns. Exposed so tests can cross-check it against the word-typed
+/// evaluator at the native widths.
+uint64_t evalOpGeneric(Opcode Op, int WordBits, uint64_t A, uint64_t B,
+                       uint64_t Imm);
 
 /// Executes \p P on \p Args (bit patterns masked to N bits) and returns
 /// the marked results in order.
 std::vector<uint64_t> run(const Program &P,
                           const std::vector<uint64_t> &Args);
+
+/// Allocation-free variant of run() for hot differential loops: \p
+/// Scratch is resized to the program's value count and reused across
+/// calls; the marked results are written into \p Results.
+void runScratch(const Program &P, const std::vector<uint64_t> &Args,
+                std::vector<uint64_t> &Scratch,
+                std::vector<uint64_t> &Results);
 
 /// Executes \p P and returns the value with index \p ValueIndex.
 uint64_t runValue(const Program &P, const std::vector<uint64_t> &Args,

@@ -55,7 +55,7 @@ ExtendedGcd128 extendedGcd(UInt128 A, UInt128 B);
 /// Inverse of an odd value modulo 2^N via extended Euclid.
 template <typename UWord>
 UWord modInverseEuclid(UWord OddValue) {
-  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  constexpr int Bits = WordBitWidthV<UWord>;
   assert((OddValue & 1) != 0 && "only odd values are invertible mod 2^N");
   const UInt128 Modulus = UInt128::pow2(Bits);
   const ExtendedGcd128 Result =
@@ -69,7 +69,7 @@ UWord modInverseEuclid(UWord OddValue) {
 /// Inverse of an odd value modulo 2^N via the Newton iteration (9.2).
 template <typename UWord>
 constexpr UWord modInverseNewton(UWord OddValue) {
-  constexpr int Bits = static_cast<int>(sizeof(UWord) * 8);
+  constexpr int Bits = WordBitWidthV<UWord>;
   assert((OddValue & 1) != 0 && "only odd values are invertible mod 2^N");
   // x = d satisfies d*x ≡ 1 (mod 2^3); each iteration doubles the
   // exponent, so iterate while 3 * 2^k < N, i.e. ⌈log2(N/3)⌉ times.

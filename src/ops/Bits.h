@@ -140,6 +140,16 @@ constexpr bool isPowerOf2(UWord Value) {
   return Value != 0 && (Value & (Value - 1)) == 0;
 }
 
+/// Bit width of a word type, for generic code that cannot rely on
+/// sizeof (emulated small words store N logical bits in wider storage).
+/// The default covers every built-in integer and UInt128 (sizeof 16).
+template <typename UWord> struct WordBitWidth {
+  static constexpr int value = static_cast<int>(sizeof(UWord) * 8);
+};
+
+template <typename UWord>
+inline constexpr int WordBitWidthV = WordBitWidth<UWord>::value;
+
 } // namespace gmdiv
 
 #endif // GMDIV_OPS_BITS_H

@@ -1,0 +1,88 @@
+//===- verify/Fuzzer.h - Boundary-biased differential fuzzer ----*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential fuzzing for the widths the exhaustive driver cannot
+/// cover (N = 16/32/64): a deterministic seeded PRNG picks divisors and
+/// dividends biased towards the paper's boundary structure — powers of
+/// two and their neighbors, multiples of d and d-1 off by one, INT_MIN,
+/// d = 2^(N-1), all-ones — and every divider, generated sequence and
+/// batch backend is cross-checked against the oracle and the hardware
+/// divide through the same per-divisor checker the exhaustive pass uses.
+///
+/// Failures come back as minimized standalone repro strings (the
+/// fuzzer greedily shrinks n, the doubleword high part and d while the
+/// named property keeps failing); replayRepro() re-runs one, which is
+/// what `gmdiv_tool verify --replay` and tests/fuzz_main.cpp call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_VERIFY_FUZZER_H
+#define GMDIV_VERIFY_FUZZER_H
+
+#include "verify/Verify.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace verify {
+
+/// Fuzzing campaign parameters. Identical (Seed, Widths) settings
+/// reproduce the identical input sequence; Seconds only decides where
+/// the sequence stops.
+struct FuzzOptions {
+  double Seconds = 5.0;
+  uint64_t Seed = 1;
+  std::vector<int> Widths = {16, 32, 64};
+  /// When nonzero, stop after this many rounds even if time remains
+  /// (tests use it for determinism).
+  uint64_t MaxRounds = 0;
+};
+
+/// Campaign outcome: one merged VerifyReport per width plus the
+/// minimized failure repro strings.
+struct FuzzReport {
+  uint64_t Seed = 0;
+  double RequestedSeconds = 0;
+  double ElapsedSeconds = 0;
+  uint64_t Rounds = 0;
+  std::vector<VerifyReport> PerWidth;
+  std::vector<std::string> Failures;
+
+  uint64_t checks() const;
+  uint64_t mismatches() const;
+  bool clean() const { return mismatches() == 0; }
+};
+
+/// Runs a fuzzing campaign. Deterministic given (Seed, Widths,
+/// MaxRounds); time-budgeted otherwise.
+FuzzReport runFuzzer(const FuzzOptions &Options);
+
+/// The campaign as one JSON object (seed, rounds, per-width property
+/// tallies, minimized failures).
+std::string fuzzJson(const FuzzReport &Report);
+
+/// Same, written into an existing JSON writer (for embedding in a
+/// larger document, e.g. `gmdiv_tool verify`'s combined summary).
+void fuzzJsonInto(telemetry::json::Writer &W, const FuzzReport &Report);
+
+/// Parses and re-runs one repro string. Returns true when the named
+/// property passes on those inputs; \p DetailOut (optional) receives a
+/// human-readable account.
+bool replayRepro(const std::string &Text, std::string *DetailOut = nullptr);
+
+/// Greedy minimization: shrinks n (and n2, and then d) towards zero
+/// while checkOne() keeps failing. Returns the repro of the smallest
+/// still-failing input (or of \p R itself if it no longer fails).
+std::string minimizeRepro(const Repro &R);
+
+} // namespace verify
+} // namespace gmdiv
+
+#endif // GMDIV_VERIFY_FUZZER_H

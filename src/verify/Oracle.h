@@ -1,0 +1,110 @@
+//===- verify/Oracle.h - Wide-integer reference oracle ----------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference side of the differential verification harness: exact
+/// floor/trunc/ceil quotients, remainders and divisibility for any word
+/// width in [2, 64], plus the paper's multiplier preconditions (Theorem
+/// 4.2's bracket on m and sh_post, Theorem 5.1 / §5's word-size bound)
+/// as first-class checks.
+///
+/// The quotient machinery is deliberately *not* the code under test: an
+/// Oracle divides unsigned magnitudes through the §8 multi-precision
+/// primitive (core/MultiPrecision.h, one Figure 8.1 kernel per limb) and
+/// then asserts the result against the hardware divide, so a bug would
+/// have to hit two independent implementations identically to slip
+/// through. Derived quotients (trunc/floor/ceil and their remainders)
+/// come from the sign rules of §2 applied in wrap-exact uint64
+/// arithmetic, masked to the target width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_VERIFY_ORACLE_H
+#define GMDIV_VERIFY_ORACLE_H
+
+#include "core/DWordDivider.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gmdiv {
+namespace verify {
+
+/// Every reference result for one (n, d) pair, as bit patterns masked to
+/// the oracle's word width. For unsigned oracles Trunc == Floor and Ceil
+/// is the round-up quotient; remainders satisfy n = q*d + r exactly in
+/// N-bit wrap arithmetic for each rounding mode.
+struct DivRef {
+  uint64_t TruncQ = 0;
+  uint64_t TruncR = 0;
+  uint64_t FloorQ = 0;
+  uint64_t FloorR = 0; ///< The §2 `mod` remainder (sign of the divisor).
+  uint64_t CeilQ = 0;
+  uint64_t CeilR = 0;
+  bool Divisible = false;
+  /// Signed INT_MIN / -1: the quotient is unrepresentable; the fields
+  /// hold the documented wrap-to-INT_MIN policy the dividers follow.
+  bool Overflow = false;
+};
+
+/// Reference divider for one (width, divisor, signedness); construct once
+/// per divisor, query per dividend.
+class Oracle {
+public:
+  /// \p DBits is the divisor bit pattern in the low \p WordBits bits
+  /// (sign-extended semantics when \p IsSigned); must be nonzero.
+  Oracle(int WordBits, uint64_t DBits, bool IsSigned);
+
+  int wordBits() const { return W; }
+  bool isSigned() const { return Signed; }
+  uint64_t divisorBits() const { return DBits; }
+
+  /// All reference results for dividend bit pattern \p NBits.
+  DivRef ref(uint64_t NBits) const;
+
+private:
+  int W;
+  bool Signed;
+  uint64_t DBits;
+  uint64_t Mask;
+  uint64_t AbsD; ///< Divisor magnitude (for signed oracles).
+  DWordDivider<uint64_t> MagnitudeDivider;
+  mutable std::vector<uint64_t> Limbs; ///< Single-limb scratch.
+};
+
+/// Verdict on a (m, sh_post) pair returned by CHOOSE_MULTIPLIER.
+struct MultiplierCheck {
+  /// Log2Ceil == ceil(log2 d) and 0 <= sh_post <= Log2Ceil.
+  bool ShiftInRange = false;
+  /// Theorem 4.2 bracket: 2^(N+sh_post) <= m*d <= 2^(N+sh_post) +
+  /// 2^(N+sh_post-prec). (The CHOOSE_MULTIPLIER postcondition; with
+  /// prec = N this is exactly the theorem's 2^(N+l) .. 2^(N+l) + 2^l.)
+  bool MultiplierInRange = false;
+  /// m < 2^N — guaranteed by §5 for prec <= N-1 (and d >= 2).
+  bool FitsWord = false;
+  /// m < 2^(N-1) — when true the short signed sequence applies without
+  /// the Figure 5.2 add fixup.
+  bool FitsSignedWord = false;
+
+  /// The paper's precondition proper (shift plus Theorem 4.2 range).
+  bool ok() const { return ShiftInRange && MultiplierInRange; }
+};
+
+/// Checks a multiplier against the Theorem 4.2 / §5 preconditions.
+/// \p MultiplierLow / \p MultiplierHigh are the low/high 64-bit halves of
+/// m (m < 2^(N+1) <= 2^65, so two halves always suffice); \p D is the
+/// divisor magnitude. All power-of-two arithmetic runs through the §8
+/// multi-precision primitive, exact for every N <= 64.
+MultiplierCheck checkMultiplier(int WordBits, int Precision, uint64_t D,
+                                uint64_t MultiplierLow,
+                                uint64_t MultiplierHigh, int ShiftPost,
+                                int Log2Ceil);
+
+} // namespace verify
+} // namespace gmdiv
+
+#endif // GMDIV_VERIFY_ORACLE_H

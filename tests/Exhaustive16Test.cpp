@@ -14,11 +14,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "batch/BatchDivider.h"
 #include "core/Divider.h"
 #include "core/ExactDiv.h"
 #include "core/RemModSemantics.h"
 
 #include <gtest/gtest.h>
+
+#include <vector>
 
 using namespace gmdiv;
 
@@ -84,6 +87,68 @@ TEST(Exhaustive16, FloorDividerFullStateSpace) {
   }
 }
 
+TEST(Exhaustive16, BatchBackendsUnsignedFullStateSpace) {
+  // Every compiled-in batch backend (scalar fallback and each SIMD
+  // path) over the complete 16-bit state space: one divRem call per
+  // divisor covering all 2^16 dividends, plus the §9 branch-free
+  // divisibility filter on the same array.
+  std::vector<uint16_t> In(1 << 16), Quot(1 << 16), Rem(1 << 16);
+  std::vector<uint8_t> Divisible(1 << 16);
+  for (uint32_t N = 0; N <= 0xffff; ++N)
+    In[N] = static_cast<uint16_t>(N);
+  for (const batch::Backend B : batch::compiledBackends()) {
+    if (!batch::backendAvailable(B))
+      continue;
+    for (uint32_t D = 1; D <= 0xffff; ++D) {
+      const batch::BatchDivider<uint16_t> Div(static_cast<uint16_t>(D), B);
+      Div.divRem(In.data(), Quot.data(), Rem.data(), In.size());
+      Div.divisible(In.data(), Divisible.data(), In.size());
+      for (uint32_t N = 0; N <= 0xffff; ++N) {
+        if (Quot[N] != N / D || Rem[N] != N % D)
+          FAIL() << batch::backendName(B) << ": n=" << N << " d=" << D
+                 << " q=" << Quot[N] << " r=" << Rem[N];
+        if (Divisible[N] != (N % D == 0 ? 1 : 0))
+          FAIL() << batch::backendName(B) << ": divisible n=" << N
+                 << " d=" << D;
+      }
+    }
+  }
+}
+
+TEST(Exhaustive16, BatchBackendsSignedFullStateSpace) {
+  // Signed trunc/floor/ceil batch kernels over the full state space on
+  // the auto-dispatched backend (the per-backend sweep above already
+  // proves the dispatch surface; lane arithmetic is shared).
+  std::vector<int16_t> In(1 << 16), Quot(1 << 16), FloorQ(1 << 16),
+      CeilQ(1 << 16);
+  for (uint32_t N = 0; N <= 0xffff; ++N)
+    In[N] = static_cast<int16_t>(static_cast<uint16_t>(N));
+  for (int32_t D = -32768; D <= 32767; ++D) {
+    if (D == 0)
+      continue;
+    const batch::BatchDivider<int16_t> Div(static_cast<int16_t>(D));
+    Div.divide(In.data(), Quot.data(), In.size());
+    Div.floorDivide(In.data(), FloorQ.data(), In.size());
+    Div.ceilDivide(In.data(), CeilQ.data(), In.size());
+    for (uint32_t I = 0; I <= 0xffff; ++I) {
+      const int32_t N = In[I];
+      if (N == -32768 && D == -1)
+        continue; // Overflow pair: wraps, policy checked elsewhere.
+      const int32_t Trunc = N / D;
+      int32_t Floor = Trunc, Ceil = Trunc;
+      if (N % D != 0) {
+        if ((N % D < 0) != (D < 0))
+          --Floor;
+        else
+          ++Ceil;
+      }
+      if (Quot[I] != Trunc || FloorQ[I] != Floor || CeilQ[I] != Ceil)
+        FAIL() << "n=" << N << " d=" << D << " trunc=" << Quot[I]
+               << " floor=" << FloorQ[I] << " ceil=" << CeilQ[I];
+    }
+  }
+}
+
 TEST(Exhaustive16, EuclideanConventionFullStateSpace) {
   // Boute's definition [6]: 0 <= r < |d| and n = q*d + r, for every
   // signed divisor and dividend.
@@ -99,9 +164,11 @@ TEST(Exhaustive16, EuclideanConventionFullStateSpace) {
       auto [Quotient, Remainder] = Euclid.quotRem(static_cast<int16_t>(N));
       if (Remainder < 0 || Remainder >= AbsD)
         FAIL() << "range: n=" << N << " d=" << D << " r=" << Remainder;
-      // Reconstruction in wrapping 16-bit arithmetic.
+      // Reconstruction in wrapping 16-bit arithmetic (the 1u factor
+      // keeps the multiply unsigned; bare uint16 operands promote to
+      // int, where the wrap is undefined).
       const int16_t Back = static_cast<int16_t>(
-          static_cast<uint16_t>(Quotient) * static_cast<uint16_t>(D) +
+          1u * static_cast<uint16_t>(Quotient) * static_cast<uint16_t>(D) +
           static_cast<uint16_t>(Remainder));
       if (Back != static_cast<int16_t>(N))
         FAIL() << "reconstruct: n=" << N << " d=" << D;

@@ -183,4 +183,79 @@ TEST(FloorDivider, IntMinDividend) {
   }
 }
 
+TEST(FloorDivider, IntMinDividendPowerOfTwoNeighborhoods) {
+  // n = -2^31 against d = +/-2^k and +/-(2^k +/- 1), floor quotient and
+  // §6 modulo both checked against the wide reference. d = -1 is fine
+  // here: FLOOR(-2^31 / -1) = 2^31 does not fit, but the divider's
+  // wrapping arithmetic must still match the truncation of the wide
+  // result to 32 bits — so it is pinned separately below, not swept.
+  constexpr int32_t Min32 = std::numeric_limits<int32_t>::min();
+  for (int Bit = 1; Bit < 32; ++Bit) {
+    for (int64_t Delta : {-1, 0, 1}) {
+      for (int Sign : {1, -1}) {
+        const int64_t DWide = Sign * ((int64_t{1} << Bit) + Delta);
+        if (DWide == 0 || DWide == -1 || DWide > 2147483647 ||
+            DWide < int64_t{Min32})
+          continue;
+        const int32_t D = static_cast<int32_t>(DWide);
+        const FloorDivider<int32_t> Floor(D);
+        ASSERT_EQ(Floor.divide(Min32), refFloorDiv(Min32, D)) << "d=" << D;
+        ASSERT_EQ(Floor.modulo(Min32),
+                  static_cast<int32_t>(int64_t{Min32} -
+                                       refFloorDiv(Min32, D) * int64_t{D}))
+            << "d=" << D;
+        const CeilDivider<int32_t> Ceil(D);
+        ASSERT_EQ(Ceil.divide(Min32), refCeilDiv(Min32, D)) << "d=" << D;
+      }
+    }
+  }
+}
+
+TEST(FloorDivider, IntMinByMinusOneWrapPolicy) {
+  // The one overflowing pair: FLOOR(-2^(N-1) / -1) = 2^(N-1) does not
+  // fit, the exact quotient wraps to -2^(N-1) with remainder 0, and a
+  // zero remainder means no floor/ceil adjustment — both conventions
+  // inherit the trunc divider's wrap value.
+  constexpr int32_t Min32 = std::numeric_limits<int32_t>::min();
+  const FloorDivider<int32_t> Floor(-1);
+  const CeilDivider<int32_t> Ceil(-1);
+  EXPECT_EQ(Floor.divide(Min32), Min32);
+  EXPECT_EQ(Floor.modulo(Min32), 0);
+  EXPECT_EQ(Ceil.divide(Min32), Min32);
+  // Every other dividend negates exactly.
+  EXPECT_EQ(Floor.divide(Min32 + 1), std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(Ceil.divide(-7), 7);
+}
+
+TEST(FloorDivider, DivisorIntMin) {
+  // d = -2^(N-1): FLOOR(n / d) is 1 at n = d, 0 for other n <= 0, and
+  // -1 for n > 0 (the quotient is negative and not exact).
+  constexpr int32_t Min32 = std::numeric_limits<int32_t>::min();
+  constexpr int32_t Max32 = std::numeric_limits<int32_t>::max();
+  const FloorDivider<int32_t> Floor(Min32);
+  const CeilDivider<int32_t> Ceil(Min32);
+  for (int32_t N : {Min32, Min32 + 1, -2, -1, 0, 1, 2, Max32 - 1, Max32}) {
+    ASSERT_EQ(Floor.divide(N), refFloorDiv(N, Min32)) << "n=" << N;
+    ASSERT_EQ(Floor.modulo(N),
+              static_cast<int32_t>(int64_t{N} -
+                                   refFloorDiv(N, Min32) * int64_t{Min32}))
+        << "n=" << N;
+    ASSERT_EQ(Ceil.divide(N), refCeilDiv(N, Min32)) << "n=" << N;
+  }
+  // Spot values make the shape explicit.
+  EXPECT_EQ(Floor.divide(Min32), 1);
+  EXPECT_EQ(Floor.divide(-1), 0);
+  EXPECT_EQ(Floor.divide(1), -1);
+  EXPECT_EQ(Floor.modulo(1), Min32 + 1);
+  // And at 64 bits with hardware-independent expectations.
+  constexpr int64_t Min64 = std::numeric_limits<int64_t>::min();
+  const FloorDivider<int64_t> Floor64(Min64);
+  EXPECT_EQ(Floor64.divide(Min64), 1);
+  EXPECT_EQ(Floor64.divide(Min64 + 1), 0);
+  EXPECT_EQ(Floor64.divide(-1), 0);
+  EXPECT_EQ(Floor64.divide(0), 0);
+  EXPECT_EQ(Floor64.divide(1), -1);
+  EXPECT_EQ(Floor64.divide(std::numeric_limits<int64_t>::max()), -1);
+}
+
 } // namespace

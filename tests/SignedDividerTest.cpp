@@ -201,6 +201,106 @@ TEST(SignedDivider, PaperExampleDivideBy3Cost) {
   }
 }
 
+TEST(SignedDivider, IntMinDividendPowerOfTwoNeighborhoods) {
+  // n = -2^(N-1) against d = +/-2^k and +/-(2^k +/- 1): the divisors
+  // where CHOOSE_MULTIPLIER's sh_post and the |d| = 2^(N-1) special
+  // case all change shape. d = -1 is excluded (its wrap policy has its
+  // own test below); everything else must agree with wide trunc.
+  constexpr int32_t Min32 = std::numeric_limits<int32_t>::min();
+  for (int Bit = 1; Bit < 32; ++Bit) {
+    for (int64_t Delta : {-1, 0, 1}) {
+      for (int Sign : {1, -1}) {
+        const int64_t DWide = Sign * ((int64_t{1} << Bit) + Delta);
+        if (DWide == 0 || DWide == -1 || DWide > 2147483647 ||
+            DWide < int64_t{Min32})
+          continue;
+        const int32_t D = static_cast<int32_t>(DWide);
+        const SignedDivider<int32_t> Divider(D);
+        const auto [Quotient, Remainder] = Divider.divRem(Min32);
+        ASSERT_EQ(Quotient, refDiv<int32_t>(Min32, D)) << "d=" << D;
+        ASSERT_EQ(Remainder, refRem<int32_t>(Min32, D)) << "d=" << D;
+      }
+    }
+  }
+  // Same sweep at 64 bits; for d != -1 the hardware trunc is the
+  // reference (INT64_MIN / d does not overflow there).
+  constexpr int64_t Min64 = std::numeric_limits<int64_t>::min();
+  for (int Bit = 1; Bit < 64; ++Bit) {
+    for (int64_t Delta : {-1, 0, 1}) {
+      for (int Sign : {1, -1}) {
+        // Build |d| = 2^Bit + Delta in unsigned space so 2^63 - 1 and
+        // -2^63 are reachable without overflow, then skip the pairs
+        // that do not fit.
+        const uint64_t Magnitude = (uint64_t{1} << Bit) + Delta;
+        if (Magnitude == 0 ||
+            (Sign > 0 && Magnitude > (uint64_t{1} << 63) - 1) ||
+            (Sign < 0 && Magnitude > uint64_t{1} << 63))
+          continue;
+        // Negate in unsigned space so d = -2^63 is formed without
+        // signed overflow.
+        const int64_t D = static_cast<int64_t>(
+            Sign > 0 ? Magnitude : ~Magnitude + 1);
+        if (D == 0 || D == -1)
+          continue;
+        const SignedDivider<int64_t> Divider(D);
+        const auto [Quotient, Remainder] = Divider.divRem(Min64);
+        ASSERT_EQ(Quotient, Min64 / D) << "d=" << D;
+        ASSERT_EQ(Remainder, Min64 % D) << "d=" << D;
+      }
+    }
+  }
+}
+
+TEST(SignedDivider, IntMinByMinusOneWrapPolicyAllWidths) {
+  // Documented policy for the one overflowing pair at every width:
+  // divide() wraps to -2^(N-1) (matching two's-complement negation),
+  // remainder() is 0, and divideChecked() raises the flag.
+  const auto checkWidth = [](auto Tag) {
+    using SWord = decltype(Tag);
+    constexpr SWord Min = std::numeric_limits<SWord>::min();
+    const SignedDivider<SWord> ByMinusOne(static_cast<SWord>(-1));
+    EXPECT_EQ(ByMinusOne.divide(Min), Min);
+    EXPECT_EQ(ByMinusOne.remainder(Min), 0);
+    bool Overflow = false;
+    EXPECT_EQ(ByMinusOne.divideChecked(Min, Overflow), Min);
+    EXPECT_TRUE(Overflow);
+    // One above the corner negates cleanly and leaves the flag down.
+    Overflow = false;
+    EXPECT_EQ(ByMinusOne.divideChecked(static_cast<SWord>(Min + 1),
+                                       Overflow),
+              std::numeric_limits<SWord>::max());
+    EXPECT_FALSE(Overflow);
+  };
+  checkWidth(int8_t{});
+  checkWidth(int16_t{});
+  checkWidth(int32_t{});
+  checkWidth(int64_t{});
+}
+
+TEST(SignedDivider, DivisorIntMinEveryWidth) {
+  // d = -2^(N-1): the quotient is 1 only for n = -2^(N-1) and 0 for
+  // every other n (|n| < |d|), so the remainder is n itself there.
+  const auto checkWidth = [](auto Tag) {
+    using SWord = decltype(Tag);
+    constexpr SWord Min = std::numeric_limits<SWord>::min();
+    constexpr SWord Max = std::numeric_limits<SWord>::max();
+    const SignedDivider<SWord> Divider(Min);
+    EXPECT_EQ(Divider.divide(Min), 1);
+    EXPECT_EQ(Divider.remainder(Min), 0);
+    for (SWord N : {static_cast<SWord>(Min + 1), static_cast<SWord>(-1),
+                    static_cast<SWord>(0), static_cast<SWord>(1),
+                    static_cast<SWord>(Max - 1), Max}) {
+      const auto [Quotient, Remainder] = Divider.divRem(N);
+      EXPECT_EQ(Quotient, 0) << "n=" << +N;
+      EXPECT_EQ(Remainder, N) << "n=" << +N;
+    }
+  };
+  checkWidth(int8_t{});
+  checkWidth(int16_t{});
+  checkWidth(int32_t{});
+  checkWidth(int64_t{});
+}
+
 TEST(SignedDivider, RemainderSignMatchesDividend) {
   // §2: rem takes the sign of the dividend (C semantics).
   const SignedDivider<int32_t> By7(7);
