@@ -30,13 +30,22 @@
 //                                        the budget; JSON summary on
 //                                        stdout, exit 1 on mismatch.
 //   gmdiv_tool verify --replay <repro>   re-run one gmdiv:v1 repro.
+//   gmdiv_tool bench-diff <old.json> <new.json> [--threshold F] [--json]
+//                                        compare two gmdiv-bench-v2
+//                                        reports; exit 1 when any
+//                                        benchmark regressed beyond
+//                                        threshold + noise.
 //
-// Global telemetry flags (usable with any command; both write stderr so
+// Global telemetry flags (usable with any command; all write stderr so
 // stdout stays a clean IR/assembly listing):
 //
 //   --remarks=json|text   stream one remark per generated sequence.
 //   --stats               print the counter registry as one JSON line
-//                         after the command finishes.
+//                         after the command finishes (plus a second
+//                         line of latency histograms when any fired).
+//   --trace=FILE          record tracing spans and write a Chrome
+//                         trace-event JSON file on exit (load it in
+//                         Perfetto or about:tracing).
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,9 +60,13 @@
 #include "ir/AsmPrinter.h"
 #include "ir/Parser.h"
 #include "ops/Bits.h"
+#include "telemetry/BenchReport.h"
+#include "telemetry/Histogram.h"
 #include "telemetry/Json.h"
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
+#include "trace/HwCounters.h"
+#include "trace/Trace.h"
 #include "verify/Fuzzer.h"
 #include "verify/Verify.h"
 
@@ -83,10 +96,14 @@ int usage(const char *Argv0) {
                "  %s batch <d> [8|16|32|64] [u|s] [count]\n"
                "  %s verify [--seconds S] [--seed X] [--full]\n"
                "  %s verify --replay <repro-string>\n"
+               "  %s bench-diff <old.json> <new.json> [--threshold F] "
+               "[--json]\n"
                "global flags (telemetry, on stderr):\n"
                "  --remarks=json|text   one remark per generated sequence\n"
-               "  --stats               counter registry as one JSON line\n",
-               Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
+               "  --stats               counter registry as one JSON line\n"
+               "  --trace=FILE          write a Chrome trace-event JSON "
+               "file\n",
+               Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
   return 1;
 }
 
@@ -366,6 +383,9 @@ int runCommand(int Argc, char **Argv) {
     // proof over its state space, so run as many as half the budget
     // allows (N <= 8 always fits; N = 12 alone is ~15 s). --full runs
     // all of [4, 12] regardless of the clock.
+    trace::HwCounters Hw;
+    if (Hw.available())
+      Hw.start();
     using Clock = std::chrono::steady_clock;
     const auto Start = Clock::now();
     const auto Elapsed = [&] {
@@ -413,6 +433,24 @@ int runCommand(int Argc, char **Argv) {
       verify::reportJsonInto(W, Report);
     W.endArray().key("fuzz");
     verify::fuzzJsonInto(W, Fuzz);
+    W.key("hw_counters");
+    if (Hw.available()) {
+      const trace::CounterSample Sample = Hw.stop();
+      W.beginObject()
+          .key("cycles")
+          .value(Sample.Cycles)
+          .key("instructions")
+          .value(Sample.Instructions)
+          .key("branch_misses")
+          .value(Sample.BranchMisses)
+          .key("cache_misses")
+          .value(Sample.CacheMisses)
+          .key("ipc")
+          .value(Sample.ipc())
+          .endObject();
+    } else {
+      W.null();
+    }
     W.endObject();
     std::printf("%s\n", W.str().c_str());
     std::fprintf(stderr, "verify: %s (%llu checks, %.1fs)\n",
@@ -423,6 +461,41 @@ int runCommand(int Argc, char **Argv) {
         std::fprintf(stderr, "  replay: %s verify --replay '%s'\n", Argv[0],
                      Text.c_str());
     return Clean ? 0 : 1;
+  }
+
+  if (Command == "bench-diff") {
+    double Threshold = 0.15;
+    bool Json = false;
+    std::vector<const char *> Paths;
+    for (int I = 2; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--threshold") == 0 && I + 1 < Argc)
+        Threshold = std::atof(Argv[++I]);
+      else if (std::strcmp(Argv[I], "--json") == 0)
+        Json = true;
+      else if (Argv[I][0] == '-')
+        return usage(Argv[0]);
+      else
+        Paths.push_back(Argv[I]);
+    }
+    if (Paths.size() != 2 || Threshold <= 0)
+      return usage(Argv[0]);
+    namespace tb = telemetry::bench;
+    tb::BenchReport Old, New;
+    std::string Error;
+    if (!tb::readFile(Paths[0], Old, &Error)) {
+      std::fprintf(stderr, "bench-diff: %s: %s\n", Paths[0], Error.c_str());
+      return 2;
+    }
+    if (!tb::readFile(Paths[1], New, &Error)) {
+      std::fprintf(stderr, "bench-diff: %s: %s\n", Paths[1], Error.c_str());
+      return 2;
+    }
+    const tb::DiffReport Diff = tb::compareReports(Old, New, Threshold);
+    if (Json)
+      std::printf("%s\n", tb::diffJson(Diff).c_str());
+    else
+      std::printf("%s", tb::diffText(Diff).c_str());
+    return Diff.regressions() > 0 ? 1 : 0;
   }
 
   if (Command == "lower") {
@@ -456,6 +529,7 @@ int runCommand(int Argc, char **Argv) {
 int main(int Argc, char **Argv) {
   bool ShowStats = false;
   std::string RemarksMode;
+  std::string TraceFile;
   std::vector<char *> Args;
   Args.reserve(static_cast<size_t>(Argc));
   for (int Index = 0; Index < Argc; ++Index) {
@@ -465,6 +539,10 @@ int main(int Argc, char **Argv) {
     }
     if (std::strncmp(Argv[Index], "--remarks=", 10) == 0) {
       RemarksMode = Argv[Index] + 10;
+      continue;
+    }
+    if (std::strncmp(Argv[Index], "--trace=", 8) == 0) {
+      TraceFile = Argv[Index] + 8;
       continue;
     }
     Args.push_back(Argv[Index]);
@@ -477,13 +555,29 @@ int main(int Argc, char **Argv) {
     Sink = std::make_unique<telemetry::TextRemarkSink>(stderr);
   else if (!RemarksMode.empty())
     return usage(Argv[0]);
+  if (!TraceFile.empty())
+    trace::setEnabled(true);
 
   int Result;
   {
     telemetry::ScopedRemarkSink Guard(Sink.get());
+    trace::Span CommandSpan("tool",
+                            Args.size() > 1 ? Args[1] : "gmdiv_tool");
     Result = runCommand(static_cast<int>(Args.size()), Args.data());
   }
-  if (ShowStats)
+  if (ShowStats) {
     std::fprintf(stderr, "%s\n", telemetry::statsJson().c_str());
+    if (!telemetry::histogramsSnapshot().empty())
+      std::fprintf(stderr, "%s\n", telemetry::histogramsJson().c_str());
+  }
+  if (!TraceFile.empty()) {
+    std::string Error;
+    if (!trace::writeChromeTrace(TraceFile, &Error)) {
+      std::fprintf(stderr, "gmdiv_tool: --trace: %s\n", Error.c_str());
+      return Result ? Result : 1;
+    }
+    std::fprintf(stderr, "gmdiv_tool: trace written to %s\n",
+                 TraceFile.c_str());
+  }
   return Result;
 }

@@ -11,6 +11,7 @@
 #include "ir/Builder.h"
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
+#include "trace/Trace.h"
 
 #include <string>
 #include <vector>
@@ -133,6 +134,8 @@ void remarkLoweringSummary(int WordBits, const LoweringStats &S) {
 
 Program codegen::lowerDivisions(const Program &P, const GenOptions &Options,
                                 LoweringStats *Stats) {
+  GMDIV_TRACE_SPAN("codegen", "lowerDivisions",
+                   static_cast<uint64_t>(P.size()));
   LoweringStats Local;
   Builder B(P.wordBits(), P.numArgs());
   std::vector<int> Remap(static_cast<size_t>(P.size()), -1);

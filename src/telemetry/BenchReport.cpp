@@ -1,0 +1,504 @@
+//===- telemetry/BenchReport.cpp - Statistical bench reports --------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/BenchReport.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace gmdiv;
+using namespace gmdiv::telemetry;
+using namespace gmdiv::telemetry::bench;
+
+// Build metadata, injected by CMake on this TU; "unknown" for builds
+// outside the tree (e.g. an installed header consumer).
+#ifndef GMDIV_GIT_SHA
+#define GMDIV_GIT_SHA "unknown"
+#endif
+#ifndef GMDIV_BUILD_TYPE
+#define GMDIV_BUILD_TYPE "unknown"
+#endif
+#ifndef GMDIV_CXX_FLAGS
+#define GMDIV_CXX_FLAGS ""
+#endif
+
+namespace {
+
+std::string firstLineMatching(const char *Path, const char *Prefix) {
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.rfind(Prefix, 0) == 0) {
+      const size_t Colon = Line.find(':');
+      if (Colon == std::string::npos)
+        return Line;
+      size_t Start = Colon + 1;
+      while (Start < Line.size() && Line[Start] == ' ')
+        ++Start;
+      return Line.substr(Start);
+    }
+  return "";
+}
+
+std::string readTrimmed(const char *Path) {
+  std::ifstream In(Path);
+  std::string Text;
+  std::getline(In, Text);
+  while (!Text.empty() && (Text.back() == '\n' || Text.back() == '\r'))
+    Text.pop_back();
+  return Text;
+}
+
+} // namespace
+
+MachineInfo bench::collectMachineInfo() {
+  MachineInfo Info;
+  char Buf[128];
+  const std::time_t Now = std::time(nullptr);
+  std::tm Utc;
+#if defined(_WIN32)
+  gmtime_s(&Utc, &Now);
+#else
+  gmtime_r(&Now, &Utc);
+#endif
+  std::strftime(Buf, sizeof(Buf), "%Y-%m-%dT%H:%M:%SZ", &Utc);
+  Info.Timestamp = Buf;
+#if defined(__unix__) || defined(__APPLE__)
+  if (gethostname(Buf, sizeof(Buf)) == 0) {
+    Buf[sizeof(Buf) - 1] = '\0';
+    Info.Hostname = Buf;
+  }
+#endif
+  if (Info.Hostname.empty())
+    Info.Hostname = "unknown";
+  Info.CpuModel = firstLineMatching("/proc/cpuinfo", "model name");
+  if (Info.CpuModel.empty())
+    Info.CpuModel = "unknown";
+  Info.Cpus = static_cast<int>(std::thread::hardware_concurrency());
+  Info.Governor = readTrimmed(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (Info.Governor.empty())
+    Info.Governor = "unknown";
+#if defined(__clang__)
+  Info.Compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  Info.Compiler = std::string("gcc ") + __VERSION__;
+#else
+  Info.Compiler = "unknown";
+#endif
+  Info.BuildType = GMDIV_BUILD_TYPE;
+  Info.Flags = GMDIV_CXX_FLAGS;
+  Info.GitSha = GMDIV_GIT_SHA;
+  return Info;
+}
+
+SampleStats bench::robustStats(const std::vector<double> &Samples,
+                               size_t *OutliersRejected) {
+  const SampleStats First = computeSampleStats(Samples);
+  if (OutliersRejected)
+    *OutliersRejected = 0;
+  if (First.Mad == 0 || Samples.size() < 4)
+    return First;
+  const double Cut = 5.0 * 1.4826 * First.Mad;
+  std::vector<double> Kept;
+  Kept.reserve(Samples.size());
+  for (const double V : Samples)
+    if (std::fabs(V - First.Median) <= Cut)
+      Kept.push_back(V);
+  if (Kept.size() == Samples.size() || Kept.empty())
+    return First;
+  if (OutliersRejected)
+    *OutliersRejected = Samples.size() - Kept.size();
+  return computeSampleStats(std::move(Kept));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string bench::toJson(const BenchReport &Report) {
+  json::Writer W;
+  W.beginObject()
+      .key("schema")
+      .value("gmdiv-bench-v2")
+      .key("suite")
+      .value(Report.Suite);
+  W.key("context")
+      .beginObject()
+      .key("date")
+      .value(Report.Machine.Timestamp)
+      .key("host")
+      .value(Report.Machine.Hostname)
+      .key("cpu_model")
+      .value(Report.Machine.CpuModel)
+      .key("cpus")
+      .value(static_cast<int64_t>(Report.Machine.Cpus))
+      .key("governor")
+      .value(Report.Machine.Governor)
+      .key("compiler")
+      .value(Report.Machine.Compiler)
+      .key("build_type")
+      .value(Report.Machine.BuildType)
+      .key("flags")
+      .value(Report.Machine.Flags)
+      .key("git_sha")
+      .value(Report.Machine.GitSha)
+      .key("repetitions")
+      .value(static_cast<int64_t>(Report.Repetitions))
+      .key("min_time")
+      .value(Report.MinTime)
+      .key("warmup_time")
+      .value(Report.WarmupTime)
+      .key("perf_counters")
+      .value(Report.PerfCounters)
+      .endObject();
+  W.key("benchmarks").beginArray();
+  for (const BenchmarkResult &B : Report.Benchmarks) {
+    W.beginObject().key("name").value(B.Name);
+    W.key("iterations").beginArray();
+    for (const uint64_t I : B.Iterations)
+      W.value(I);
+    W.endArray();
+    W.key("real_time_ns").beginArray();
+    for (const double T : B.RealTimeNs)
+      W.value(T);
+    W.endArray();
+    W.key("cpu_time_ns").beginArray();
+    for (const double T : B.CpuTimeNs)
+      W.value(T);
+    W.endArray();
+    W.key("stats")
+        .beginObject()
+        .key("reps")
+        .value(static_cast<uint64_t>(B.RealStats.Count))
+        .key("outliers_rejected")
+        .value(static_cast<uint64_t>(B.OutliersRejected))
+        .key("median_ns")
+        .value(B.RealStats.Median)
+        .key("mad_ns")
+        .value(B.RealStats.Mad)
+        .key("cv")
+        .value(B.RealStats.Cv)
+        .key("mean_ns")
+        .value(B.RealStats.Mean)
+        .key("min_ns")
+        .value(B.RealStats.Min)
+        .key("max_ns")
+        .value(B.RealStats.Max)
+        .endObject();
+    if (B.Counters.empty()) {
+      W.key("counters").null();
+    } else {
+      W.key("counters").beginArray();
+      for (const CounterRep &C : B.Counters)
+        W.beginObject()
+            .key("iterations")
+            .value(C.Iterations)
+            .key("cycles")
+            .value(C.Cycles)
+            .key("instructions")
+            .value(C.Instructions)
+            .key("branch_misses")
+            .value(C.BranchMisses)
+            .key("cache_misses")
+            .value(C.CacheMisses)
+            .key("ipc")
+            .value(C.Ipc)
+            .endObject();
+      W.endArray();
+    }
+    W.endObject();
+  }
+  W.endArray().endObject();
+  return W.str();
+}
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+std::vector<double> numberArray(const json::Value *V) {
+  std::vector<double> Out;
+  if (!V)
+    return Out;
+  for (const json::Value &Element : V->array())
+    Out.push_back(Element.asNumber());
+  return Out;
+}
+
+} // namespace
+
+bool bench::fromJson(const std::string &Text, BenchReport &Out,
+                     std::string *Error) {
+  json::Value Root;
+  if (!json::parse(Text, Root))
+    return fail(Error, "not valid JSON");
+  if (Root.stringOr("schema", "") != "gmdiv-bench-v2")
+    return fail(Error, "not a gmdiv-bench-v2 report (schema mismatch)");
+  Out = BenchReport();
+  Out.Suite = Root.stringOr("suite", "");
+  if (const json::Value *Ctx = Root.find("context")) {
+    Out.Machine.Timestamp = Ctx->stringOr("date", "");
+    Out.Machine.Hostname = Ctx->stringOr("host", "");
+    Out.Machine.CpuModel = Ctx->stringOr("cpu_model", "");
+    Out.Machine.Cpus = static_cast<int>(Ctx->numberOr("cpus", 0));
+    Out.Machine.Governor = Ctx->stringOr("governor", "");
+    Out.Machine.Compiler = Ctx->stringOr("compiler", "");
+    Out.Machine.BuildType = Ctx->stringOr("build_type", "");
+    Out.Machine.Flags = Ctx->stringOr("flags", "");
+    Out.Machine.GitSha = Ctx->stringOr("git_sha", "");
+    Out.Repetitions = static_cast<int>(Ctx->numberOr("repetitions", 0));
+    Out.MinTime = Ctx->numberOr("min_time", 0);
+    Out.WarmupTime = Ctx->numberOr("warmup_time", 0);
+    if (const json::Value *Perf = Ctx->find("perf_counters"))
+      Out.PerfCounters = Perf->asBool();
+  }
+  const json::Value *Benchmarks = Root.find("benchmarks");
+  if (!Benchmarks)
+    return fail(Error, "missing benchmarks array");
+  for (const json::Value &B : Benchmarks->array()) {
+    BenchmarkResult R;
+    R.Name = B.stringOr("name", "");
+    if (R.Name.empty())
+      return fail(Error, "benchmark entry without a name");
+    for (const double I : numberArray(B.find("iterations")))
+      R.Iterations.push_back(static_cast<uint64_t>(I));
+    R.RealTimeNs = numberArray(B.find("real_time_ns"));
+    R.CpuTimeNs = numberArray(B.find("cpu_time_ns"));
+    if (const json::Value *Stats = B.find("stats")) {
+      R.RealStats.Count = static_cast<size_t>(Stats->numberOr("reps", 0));
+      R.OutliersRejected =
+          static_cast<size_t>(Stats->numberOr("outliers_rejected", 0));
+      R.RealStats.Median = Stats->numberOr("median_ns", 0);
+      R.RealStats.Mad = Stats->numberOr("mad_ns", 0);
+      R.RealStats.Cv = Stats->numberOr("cv", 0);
+      R.RealStats.Mean = Stats->numberOr("mean_ns", 0);
+      R.RealStats.Min = Stats->numberOr("min_ns", 0);
+      R.RealStats.Max = Stats->numberOr("max_ns", 0);
+    }
+    if (const json::Value *Counters = B.find("counters")) {
+      for (const json::Value &C : Counters->array()) {
+        CounterRep Rep;
+        Rep.Iterations = static_cast<uint64_t>(C.numberOr("iterations", 0));
+        Rep.Cycles = static_cast<uint64_t>(C.numberOr("cycles", 0));
+        Rep.Instructions =
+            static_cast<uint64_t>(C.numberOr("instructions", 0));
+        Rep.BranchMisses =
+            static_cast<uint64_t>(C.numberOr("branch_misses", 0));
+        Rep.CacheMisses =
+            static_cast<uint64_t>(C.numberOr("cache_misses", 0));
+        Rep.Ipc = C.numberOr("ipc", 0);
+        R.Counters.push_back(Rep);
+      }
+    }
+    Out.Benchmarks.push_back(std::move(R));
+  }
+  return true;
+}
+
+bool bench::writeFile(const std::string &Path, const BenchReport &Report,
+                      std::string *Error) {
+  const std::string Doc = toJson(Report);
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return fail(Error, "cannot open " + Path + " for writing");
+  const bool Ok =
+      std::fwrite(Doc.data(), 1, Doc.size(), Out) == Doc.size() &&
+      std::fputc('\n', Out) != EOF;
+  return (std::fclose(Out) == 0 && Ok) ||
+         fail(Error, "short write to " + Path);
+}
+
+bool bench::readFile(const std::string &Path, BenchReport &Out,
+                     std::string *Error) {
+  std::ifstream In(Path);
+  if (!In)
+    return fail(Error, "cannot open " + Path);
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return fromJson(Text.str(), Out, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// bench-diff
+//===----------------------------------------------------------------------===//
+
+int DiffReport::regressions() const {
+  int N = 0;
+  for (const DiffEntry &E : Entries)
+    N += E.V == DiffEntry::Verdict::Regression;
+  return N;
+}
+
+int DiffReport::improvements() const {
+  int N = 0;
+  for (const DiffEntry &E : Entries)
+    N += E.V == DiffEntry::Verdict::Improvement;
+  return N;
+}
+
+DiffReport bench::compareReports(const BenchReport &Old,
+                                 const BenchReport &New, double Threshold) {
+  DiffReport Diff;
+  Diff.Threshold = Threshold;
+  for (const BenchmarkResult &NewB : New.Benchmarks) {
+    const BenchmarkResult *OldB = nullptr;
+    for (const BenchmarkResult &Candidate : Old.Benchmarks)
+      if (Candidate.Name == NewB.Name) {
+        OldB = &Candidate;
+        break;
+      }
+    DiffEntry E;
+    E.Name = NewB.Name;
+    E.NewMedianNs = NewB.RealStats.Median;
+    if (!OldB) {
+      E.V = DiffEntry::Verdict::OnlyNew;
+      Diff.Entries.push_back(E);
+      continue;
+    }
+    E.OldMedianNs = OldB->RealStats.Median;
+    E.NoiseRel =
+        3.0 * std::hypot(OldB->RealStats.Cv, NewB.RealStats.Cv);
+    if (E.OldMedianNs <= 0 || E.NewMedianNs <= 0) {
+      // A zero median means a degenerate report; never flag on it.
+      E.V = DiffEntry::Verdict::Ok;
+      Diff.Entries.push_back(E);
+      continue;
+    }
+    E.Ratio = E.NewMedianNs / E.OldMedianNs;
+    const double Band = Threshold + E.NoiseRel;
+    if (E.Ratio > 1.0 + Band)
+      E.V = DiffEntry::Verdict::Regression;
+    else if (E.Ratio < 1.0 / (1.0 + Band))
+      E.V = DiffEntry::Verdict::Improvement;
+    Diff.Entries.push_back(E);
+  }
+  for (const BenchmarkResult &OldB : Old.Benchmarks) {
+    bool Found = false;
+    for (const BenchmarkResult &NewB : New.Benchmarks)
+      if (NewB.Name == OldB.Name) {
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      DiffEntry E;
+      E.Name = OldB.Name;
+      E.OldMedianNs = OldB.RealStats.Median;
+      E.V = DiffEntry::Verdict::OnlyOld;
+      Diff.Entries.push_back(E);
+    }
+  }
+  return Diff;
+}
+
+std::string bench::diffText(const DiffReport &Diff) {
+  size_t NameWidth = 9;
+  for (const DiffEntry &E : Diff.Entries)
+    NameWidth = std::max(NameWidth, E.Name.size());
+  std::ostringstream Out;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "%-*s %12s %12s %8s %8s  %s\n",
+                static_cast<int>(NameWidth), "benchmark", "old(ns)",
+                "new(ns)", "ratio", "noise", "verdict");
+  Out << Line;
+  for (const DiffEntry &E : Diff.Entries) {
+    const char *Verdict = "ok";
+    switch (E.V) {
+    case DiffEntry::Verdict::Regression:
+      Verdict = "REGRESSION";
+      break;
+    case DiffEntry::Verdict::Improvement:
+      Verdict = "improvement";
+      break;
+    case DiffEntry::Verdict::OnlyOld:
+      Verdict = "removed";
+      break;
+    case DiffEntry::Verdict::OnlyNew:
+      Verdict = "new";
+      break;
+    case DiffEntry::Verdict::Ok:
+      break;
+    }
+    std::snprintf(Line, sizeof(Line),
+                  "%-*s %12.1f %12.1f %7.2fx %7.1f%%  %s\n",
+                  static_cast<int>(NameWidth), E.Name.c_str(),
+                  E.OldMedianNs, E.NewMedianNs, E.Ratio,
+                  E.NoiseRel * 100.0, Verdict);
+    Out << Line;
+  }
+  std::snprintf(Line, sizeof(Line),
+                "threshold %.0f%% beyond noise: %d regression(s), "
+                "%d improvement(s), %zu compared\n",
+                Diff.Threshold * 100.0, Diff.regressions(),
+                Diff.improvements(), Diff.Entries.size());
+  Out << Line;
+  return Out.str();
+}
+
+std::string bench::diffJson(const DiffReport &Diff) {
+  json::Writer W;
+  W.beginObject()
+      .key("threshold")
+      .value(Diff.Threshold)
+      .key("regressions")
+      .value(static_cast<int64_t>(Diff.regressions()))
+      .key("improvements")
+      .value(static_cast<int64_t>(Diff.improvements()))
+      .key("entries")
+      .beginArray();
+  for (const DiffEntry &E : Diff.Entries) {
+    const char *Verdict = "ok";
+    switch (E.V) {
+    case DiffEntry::Verdict::Regression:
+      Verdict = "regression";
+      break;
+    case DiffEntry::Verdict::Improvement:
+      Verdict = "improvement";
+      break;
+    case DiffEntry::Verdict::OnlyOld:
+      Verdict = "only-old";
+      break;
+    case DiffEntry::Verdict::OnlyNew:
+      Verdict = "only-new";
+      break;
+    case DiffEntry::Verdict::Ok:
+      break;
+    }
+    W.beginObject()
+        .key("name")
+        .value(E.Name)
+        .key("old_median_ns")
+        .value(E.OldMedianNs)
+        .key("new_median_ns")
+        .value(E.NewMedianNs)
+        .key("ratio")
+        .value(E.Ratio)
+        .key("noise_rel")
+        .value(E.NoiseRel)
+        .key("verdict")
+        .value(Verdict)
+        .endObject();
+  }
+  W.endArray().endObject();
+  return W.str();
+}

@@ -1,0 +1,288 @@
+//===- telemetry/Histogram.cpp - Log-scaled latency histograms ------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Histogram.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+using namespace gmdiv;
+using namespace gmdiv::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Robust sample statistics
+//===----------------------------------------------------------------------===//
+
+double telemetry::percentileSorted(const std::vector<double> &Sorted,
+                                   double P) {
+  if (Sorted.empty())
+    return 0.0;
+  if (P <= 0)
+    return Sorted.front();
+  if (P >= 100)
+    return Sorted.back();
+  // Nearest-rank: the smallest element with cumulative share >= P.
+  const size_t Rank = static_cast<size_t>(
+      std::ceil(P / 100.0 * static_cast<double>(Sorted.size())));
+  return Sorted[Rank == 0 ? 0 : Rank - 1];
+}
+
+SampleStats telemetry::computeSampleStats(std::vector<double> Samples) {
+  SampleStats S;
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.Count = Samples.size();
+  S.Min = Samples.front();
+  S.Max = Samples.back();
+  double Sum = 0;
+  for (const double V : Samples)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(S.Count);
+  S.Median = percentileSorted(Samples, 50);
+  std::vector<double> Dev;
+  Dev.reserve(Samples.size());
+  for (const double V : Samples)
+    Dev.push_back(std::fabs(V - S.Median));
+  std::sort(Dev.begin(), Dev.end());
+  S.Mad = percentileSorted(Dev, 50);
+  S.Cv = S.Median != 0 ? 1.4826 * S.Mad / std::fabs(S.Median) : 0.0;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct HistRegistry {
+  std::mutex Mutex;
+  std::vector<LatencyHistogram *> Histograms;
+};
+
+/// Leaked singleton, mirroring the Statistic registry: histograms
+/// destroyed during static teardown can still unregister safely.
+HistRegistry &histRegistry() {
+  static HistRegistry *R = new HistRegistry;
+  return *R;
+}
+
+int log2Floor(uint64_t V) {
+  int E = 0;
+  while (V >>= 1)
+    ++E;
+  return E;
+}
+
+void atomicMin(std::atomic<uint64_t> &Slot, uint64_t V) {
+  uint64_t Cur = Slot.load(std::memory_order_relaxed);
+  while (V < Cur &&
+         !Slot.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+void atomicMax(std::atomic<uint64_t> &Slot, uint64_t V) {
+  uint64_t Cur = Slot.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !Slot.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram(const char *Group, const char *Name)
+    : Group(Group), Name(Name) {
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  HistRegistry &R = histRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Histograms.push_back(this);
+}
+
+LatencyHistogram::~LatencyHistogram() {
+  HistRegistry &R = histRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Histograms.erase(
+      std::remove(R.Histograms.begin(), R.Histograms.end(), this),
+      R.Histograms.end());
+}
+
+size_t LatencyHistogram::bucketIndex(uint64_t Value) {
+  if (Value < 16)
+    return static_cast<size_t>(Value);
+  const int E = log2Floor(Value); // 4..63
+  const size_t Sub = static_cast<size_t>((Value >> (E - 4)) & 0xF);
+  return 16 + static_cast<size_t>(E - 4) * 16 + Sub;
+}
+
+double LatencyHistogram::bucketMidpoint(size_t Index) {
+  if (Index < 16)
+    return static_cast<double>(Index);
+  const size_t B = Index - 16;
+  const int E = 4 + static_cast<int>(B / 16);
+  const double Sub = static_cast<double>(B % 16);
+  const double Base = std::ldexp(1.0, E);
+  return Base * (1.0 + Sub / 16.0) + Base / 32.0;
+}
+
+void LatencyHistogram::record(uint64_t Value) {
+  Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  atomicMin(MinSeen, Value);
+  atomicMax(MaxSeen, Value);
+}
+
+uint64_t LatencyHistogram::min() const {
+  const uint64_t V = MinSeen.load(std::memory_order_relaxed);
+  return V == ~uint64_t{0} ? 0 : V;
+}
+
+uint64_t LatencyHistogram::max() const {
+  return MaxSeen.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean() const {
+  const uint64_t N = count();
+  return N ? static_cast<double>(Sum.load(std::memory_order_relaxed)) /
+                 static_cast<double>(N)
+           : 0.0;
+}
+
+double LatencyHistogram::percentile(double P) const {
+  const uint64_t N = count();
+  if (N == 0)
+    return 0.0;
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(std::min(std::max(P, 0.0), 100.0) / 100.0 *
+                static_cast<double>(N)));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Cum += Buckets[I].load(std::memory_order_relaxed);
+    if (Cum >= Rank)
+      return bucketMidpoint(I);
+  }
+  return bucketMidpoint(NumBuckets - 1);
+}
+
+double LatencyHistogram::mad() const {
+  const uint64_t N = count();
+  if (N == 0)
+    return 0.0;
+  const double Median = percentile(50);
+  std::vector<std::pair<double, uint64_t>> Dev;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    const uint64_t C = Buckets[I].load(std::memory_order_relaxed);
+    if (C)
+      Dev.emplace_back(std::fabs(bucketMidpoint(I) - Median), C);
+  }
+  std::sort(Dev.begin(), Dev.end());
+  const uint64_t Rank = (N + 1) / 2;
+  uint64_t Cum = 0;
+  for (const auto &[Distance, C] : Dev) {
+    Cum += C;
+    if (Cum >= Rank)
+      return Distance;
+  }
+  return Dev.empty() ? 0.0 : Dev.back().first;
+}
+
+void LatencyHistogram::reset() {
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  MinSeen.store(~uint64_t{0}, std::memory_order_relaxed);
+  MaxSeen.store(0, std::memory_order_relaxed);
+}
+
+std::vector<HistogramRecord> telemetry::histogramsSnapshot() {
+  std::vector<LatencyHistogram *> Histograms;
+  {
+    HistRegistry &R = histRegistry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    Histograms = R.Histograms;
+  }
+  std::map<std::pair<std::string, std::string>, HistogramRecord> ByName;
+  for (const LatencyHistogram *H : Histograms) {
+    if (H->count() == 0)
+      continue;
+    HistogramRecord &Rec = ByName[{H->group(), H->name()}];
+    // Unlike counters, same-named histograms do not merge bucket mass;
+    // the later registration wins (they are always distinct in-tree).
+    Rec.Group = H->group();
+    Rec.Name = H->name();
+    Rec.Count = H->count();
+    Rec.Min = H->min();
+    Rec.Max = H->max();
+    Rec.Mean = H->mean();
+    Rec.P50 = H->percentile(50);
+    Rec.P90 = H->percentile(90);
+    Rec.P99 = H->percentile(99);
+    Rec.Mad = H->mad();
+  }
+  std::vector<HistogramRecord> Out;
+  Out.reserve(ByName.size());
+  for (auto &Entry : ByName)
+    Out.push_back(std::move(Entry.second));
+  return Out;
+}
+
+void telemetry::resetHistograms() {
+  HistRegistry &R = histRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (LatencyHistogram *H : R.Histograms)
+    H->reset();
+}
+
+std::string telemetry::histogramsJson() {
+  const std::vector<HistogramRecord> Records = histogramsSnapshot();
+  json::Writer W;
+  W.beginObject();
+  std::string OpenGroup;
+  bool GroupOpen = false;
+  for (const HistogramRecord &Rec : Records) {
+    if (!GroupOpen || Rec.Group != OpenGroup) {
+      if (GroupOpen)
+        W.endObject();
+      W.key(Rec.Group).beginObject();
+      OpenGroup = Rec.Group;
+      GroupOpen = true;
+    }
+    W.key(Rec.Name)
+        .beginObject()
+        .key("count")
+        .value(Rec.Count)
+        .key("min")
+        .value(Rec.Min)
+        .key("max")
+        .value(Rec.Max)
+        .key("mean")
+        .value(Rec.Mean)
+        .key("p50")
+        .value(Rec.P50)
+        .key("p90")
+        .value(Rec.P90)
+        .key("p99")
+        .value(Rec.P99)
+        .key("mad")
+        .value(Rec.Mad)
+        .endObject();
+  }
+  if (GroupOpen)
+    W.endObject();
+  W.endObject();
+  return W.str();
+}

@@ -73,6 +73,66 @@ private:
 /// \p Text is well-formed per RFC 8259.
 bool isValid(const std::string &Text);
 
+/// A parsed JSON value. The tree is plain data: objects keep insertion
+/// order (bench reports are diffed in order), numbers are doubles
+/// (every value the telemetry layer emits fits), strings are unescaped
+/// UTF-8. Built by parse(); accessors return safe defaults on a kind
+/// mismatch so report readers can probe optional fields without
+/// exploding on hand-edited files.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  bool asBool() const { return K == Kind::Bool && Bool; }
+  double asNumber() const { return K == Kind::Number ? Number : 0.0; }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return K == Kind::String ? Str : Empty;
+  }
+  const std::vector<Value> &array() const {
+    static const std::vector<Value> Empty;
+    return K == Kind::Array ? Arr : Empty;
+  }
+  const std::vector<std::pair<std::string, Value>> &object() const {
+    static const std::vector<std::pair<std::string, Value>> Empty;
+    return K == Kind::Object ? Obj : Empty;
+  }
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const;
+
+  /// Numeric member with a default — the idiom for optional stats.
+  double numberOr(const std::string &Key, double Default) const;
+
+  /// String member with a default.
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+
+  /// Construction is internal to the parser but public for tests.
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool B);
+  static Value makeNumber(double N);
+  static Value makeString(std::string S);
+  static Value makeArray(std::vector<Value> A);
+  static Value makeObject(std::vector<std::pair<std::string, Value>> O);
+
+private:
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Number = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses one document into a Value tree. Exactly as strict as
+/// isValid(): parse() succeeds iff isValid() accepts the text, plus the
+/// \u escapes must form valid UTF-16 (surrogates correctly paired).
+bool parse(const std::string &Text, Value &Out);
+
 } // namespace json
 } // namespace telemetry
 } // namespace gmdiv

@@ -7,6 +7,7 @@
 
 #include "telemetry/Stats.h"
 
+#include "telemetry/Histogram.h"
 #include "telemetry/Json.h"
 
 #include <algorithm>
@@ -122,4 +123,16 @@ void telemetry::printStats(std::FILE *Out) {
                  Full.c_str(),
                  static_cast<unsigned long long>(Record.Value));
   }
+  const std::vector<HistogramRecord> Histograms = histogramsSnapshot();
+  if (Histograms.empty())
+    return;
+  std::fprintf(Out, "=== gmdiv histograms ===\n");
+  for (const HistogramRecord &H : Histograms)
+    std::fprintf(Out,
+                 "%s.%s  count=%llu min=%llu p50=%.0f p90=%.0f p99=%.0f "
+                 "max=%llu mad=%.0f\n",
+                 H.Group.c_str(), H.Name.c_str(),
+                 static_cast<unsigned long long>(H.Count),
+                 static_cast<unsigned long long>(H.Min), H.P50, H.P90,
+                 H.P99, static_cast<unsigned long long>(H.Max), H.Mad);
 }

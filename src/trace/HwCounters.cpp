@@ -1,0 +1,130 @@
+//===- trace/HwCounters.cpp - perf_event_open facade ----------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/HwCounters.h"
+
+#if defined(__linux__)
+#include <cerrno>
+#include <cstring>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace gmdiv;
+using namespace gmdiv::trace;
+
+CounterSample CounterSample::operator-(const CounterSample &Other) const {
+  CounterSample Out = *this;
+  Out.Cycles -= Other.Cycles;
+  Out.Instructions -= Other.Instructions;
+  Out.BranchMisses -= Other.BranchMisses;
+  Out.CacheMisses -= Other.CacheMisses;
+  Out.Valid = Valid && Other.Valid;
+  return Out;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// The four events, leader first. All PERF_TYPE_HARDWARE.
+constexpr uint64_t EventConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_BRANCH_MISSES,
+    PERF_COUNT_HW_CACHE_MISSES,
+};
+
+int openEvent(uint64_t Config, int GroupFd) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = PERF_TYPE_HARDWARE;
+  Attr.size = sizeof(Attr);
+  Attr.config = Config;
+  Attr.disabled = GroupFd == -1 ? 1 : 0; // Leader starts disabled.
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  Attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &Attr, /*pid=*/0,
+                                  /*cpu=*/-1, GroupFd, /*flags=*/0UL));
+}
+
+/// Reads one event fd, scaling for multiplexing. Returns false on a
+/// failed read (the counter then reports as absent).
+bool readScaled(int Fd, uint64_t &Out) {
+  uint64_t Buf[3] = {0, 0, 0}; // value, time_enabled, time_running
+  if (Fd < 0 || ::read(Fd, Buf, sizeof(Buf)) != sizeof(Buf))
+    return false;
+  if (Buf[2] != 0 && Buf[2] < Buf[1]) {
+    const double Scale =
+        static_cast<double>(Buf[1]) / static_cast<double>(Buf[2]);
+    Out = static_cast<uint64_t>(static_cast<double>(Buf[0]) * Scale);
+  } else {
+    Out = Buf[0];
+  }
+  return true;
+}
+
+} // namespace
+
+HwCounters::HwCounters() {
+  Fd[0] = openEvent(EventConfigs[0], -1);
+  if (Fd[0] < 0) {
+    Reason = std::string("perf_event_open failed: ") + std::strerror(errno);
+    return;
+  }
+  // Group the rest under the cycle leader so one ioctl gates them all;
+  // events this PMU lacks just stay closed.
+  for (int I = 1; I < 4; ++I)
+    Fd[I] = openEvent(EventConfigs[I], Fd[0]);
+  Available = true;
+}
+
+HwCounters::~HwCounters() {
+  for (int I = 3; I >= 0; --I)
+    if (Fd[I] >= 0)
+      ::close(Fd[I]);
+}
+
+void HwCounters::start() {
+  if (!Available)
+    return;
+  ioctl(Fd[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(Fd[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterSample HwCounters::stop() {
+  if (!Available)
+    return CounterSample();
+  ioctl(Fd[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  return read();
+}
+
+CounterSample HwCounters::read() const {
+  CounterSample S;
+  if (!Available)
+    return S;
+  S.HasCycles = readScaled(Fd[0], S.Cycles);
+  S.HasInstructions = readScaled(Fd[1], S.Instructions);
+  S.HasBranchMisses = readScaled(Fd[2], S.BranchMisses);
+  S.HasCacheMisses = readScaled(Fd[3], S.CacheMisses);
+  S.Valid = S.HasCycles;
+  return S;
+}
+
+#else // !__linux__
+
+HwCounters::HwCounters() : Reason("not built for Linux") {}
+HwCounters::~HwCounters() {}
+void HwCounters::start() {}
+CounterSample HwCounters::stop() { return CounterSample(); }
+CounterSample HwCounters::read() const { return CounterSample(); }
+
+#endif

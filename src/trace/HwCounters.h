@@ -1,0 +1,103 @@
+//===- trace/HwCounters.h - perf_event_open facade --------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardware performance counters for the bench runner and the verify
+/// campaign: cycles, instructions, branch misses and cache misses read
+/// through Linux perf_event_open, counting this thread in user space
+/// only. The paper's whole evaluation is cycle counts (Table 1.1 gives
+/// mul vs. div latencies per machine); this facade lets a bench report
+/// carry the same currency instead of wall time alone.
+///
+///   HwCounters Hw;
+///   if (Hw.available()) {
+///     Hw.start();
+///     workload();
+///     CounterSample S = Hw.stop();   // S.Cycles, S.Instructions, ...
+///   }
+///
+/// Degrades gracefully everywhere perf is not usable — non-Linux
+/// builds, containers with a locked-down perf_event_paranoid, seccomp
+/// filters, missing PMU: available() is false, unavailableReason()
+/// says why, start()/stop() stay safe no-ops and every CounterSample
+/// reports Valid = false. Counters that multiplex are scaled by
+/// time_enabled / time_running, and events the kernel rejects
+/// individually (e.g. cache-misses on some PMUs) are simply absent
+/// while the rest keep working.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_TRACE_HWCOUNTERS_H
+#define GMDIV_TRACE_HWCOUNTERS_H
+
+#include <cstdint>
+#include <string>
+
+namespace gmdiv {
+namespace trace {
+
+/// One reading (or delta) of the counter group. A counter whose event
+/// could not be opened reads as its Has* flag false and value 0.
+struct CounterSample {
+  bool Valid = false;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t BranchMisses = 0;
+  uint64_t CacheMisses = 0;
+  bool HasCycles = false;
+  bool HasInstructions = false;
+  bool HasBranchMisses = false;
+  bool HasCacheMisses = false;
+
+  /// Instructions per cycle; 0 when either counter is missing or zero.
+  double ipc() const {
+    return (HasCycles && HasInstructions && Cycles)
+               ? static_cast<double>(Instructions) /
+                     static_cast<double>(Cycles)
+               : 0.0;
+  }
+
+  /// Component-wise difference (for cumulative-read deltas).
+  CounterSample operator-(const CounterSample &Other) const;
+};
+
+class HwCounters {
+public:
+  /// Opens the event group for the calling thread (user space only).
+  HwCounters();
+  ~HwCounters();
+  HwCounters(const HwCounters &) = delete;
+  HwCounters &operator=(const HwCounters &) = delete;
+
+  /// True when at least the cycle counter opened.
+  bool available() const { return Available; }
+
+  /// Human-readable reason when available() is false ("perf_event_open
+  /// failed: Permission denied", "not built for Linux", ...).
+  const std::string &unavailableReason() const { return Reason; }
+
+  /// Zeroes and enables the counters. No-op when unavailable.
+  void start();
+
+  /// Disables the counters and returns the interval since start().
+  CounterSample stop();
+
+  /// Reads the running totals without disabling (cumulative; subtract
+  /// two reads for a bracketed delta). Counters must be started.
+  CounterSample read() const;
+
+private:
+  bool Available = false;
+  std::string Reason;
+  /// One fd per event, -1 where the kernel rejected the event.
+  int Fd[4] = {-1, -1, -1, -1};
+};
+
+} // namespace trace
+} // namespace gmdiv
+
+#endif // GMDIV_TRACE_HWCOUNTERS_H

@@ -8,6 +8,7 @@
 #include "verify/Fuzzer.h"
 
 #include "telemetry/Json.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -129,6 +130,7 @@ uint64_t FuzzReport::mismatches() const {
 }
 
 FuzzReport verify::runFuzzer(const FuzzOptions &Options) {
+  GMDIV_TRACE_SPAN("verify", "fuzzCampaign", Options.Seed);
   FuzzReport Report;
   Report.Seed = Options.Seed;
   Report.RequestedSeconds = Options.Seconds;
@@ -156,6 +158,7 @@ FuzzReport verify::runFuzzer(const FuzzOptions &Options) {
 
   while (Options.MaxRounds != 0 ? Report.Rounds < Options.MaxRounds
                                 : elapsed() < Options.Seconds) {
+    GMDIV_TRACE_SPAN("verify", "fuzzRound", Report.Rounds);
     for (size_t WidthIndex = 0; WidthIndex < Options.Widths.size();
          ++WidthIndex) {
       const int W = Options.Widths[WidthIndex];

@@ -32,6 +32,7 @@
 #include "telemetry/Json.h"
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
+#include "trace/Trace.h"
 #include "verify/Oracle.h"
 
 #include <algorithm>
@@ -949,6 +950,8 @@ void verify::setInjectedMismatchPeriod(uint64_t Period) {
 VerifyReport verify::verifyWidth(int WordBits) {
   assert(WordBits >= 4 && WordBits <= 12 &&
          "exhaustive verification is sized for N in [4, 12]");
+  GMDIV_TRACE_SPAN("verify", "verifyWidth",
+                   static_cast<uint64_t>(WordBits));
   Reporter R(WordBits);
   withUWord(WordBits, [&]<typename UWord>() {
     const uint64_t Mask = maskFor(WordBits);

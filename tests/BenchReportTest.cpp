@@ -1,0 +1,217 @@
+//===- tests/BenchReportTest.cpp - gmdiv-bench-v2 + bench-diff ------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/BenchReport.h"
+
+#include "telemetry/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace gmdiv;
+using namespace gmdiv::telemetry;
+using namespace gmdiv::telemetry::bench;
+
+namespace {
+
+BenchmarkResult makeResult(const std::string &Name,
+                           std::vector<double> RealTimeNs) {
+  BenchmarkResult R;
+  R.Name = Name;
+  R.RealTimeNs = RealTimeNs;
+  R.CpuTimeNs = RealTimeNs;
+  R.Iterations.assign(RealTimeNs.size(), 1000000);
+  R.RealStats = robustStats(RealTimeNs, &R.OutliersRejected);
+  return R;
+}
+
+BenchReport makeReport(std::vector<BenchmarkResult> Results) {
+  BenchReport Report;
+  Report.Suite = "bench_test";
+  Report.Machine.Timestamp = "2026-01-01T00:00:00Z";
+  Report.Machine.Hostname = "testhost";
+  Report.Machine.CpuModel = "Test CPU";
+  Report.Machine.Cpus = 4;
+  Report.Machine.Governor = "performance";
+  Report.Machine.Compiler = "gcc 12";
+  Report.Machine.BuildType = "Release";
+  Report.Machine.Flags = "-O2";
+  Report.Machine.GitSha = "abc1234";
+  Report.Repetitions = 5;
+  Report.MinTime = 0.05;
+  Report.WarmupTime = 0.05;
+  Report.Benchmarks = std::move(Results);
+  return Report;
+}
+
+TEST(RobustStats, RejectsFarOutliersKeepsCleanSamples) {
+  // Four tight samples and one 10x outlier: MAD ~ 0.1, the outlier sits
+  // far beyond 5 robust sigmas and must not drag the summary.
+  size_t Rejected = 0;
+  const SampleStats S =
+      robustStats({10.0, 10.1, 9.9, 10.05, 100.0}, &Rejected);
+  EXPECT_EQ(Rejected, 1u);
+  EXPECT_EQ(S.Count, 4u);
+  EXPECT_LT(S.Max, 11.0);
+  EXPECT_NEAR(S.Median, 10.0, 0.2);
+}
+
+TEST(RobustStats, NoRejectionBelowFourSamplesOrZeroMad) {
+  size_t Rejected = 7;
+  const SampleStats Tiny = robustStats({1.0, 100.0, 1.0}, &Rejected);
+  EXPECT_EQ(Rejected, 0u);
+  EXPECT_EQ(Tiny.Count, 3u);
+  // All-identical samples: MAD = 0 must not reject everything.
+  const SampleStats Flat = robustStats({5, 5, 5, 5, 5}, &Rejected);
+  EXPECT_EQ(Rejected, 0u);
+  EXPECT_EQ(Flat.Count, 5u);
+  EXPECT_DOUBLE_EQ(Flat.Cv, 0);
+}
+
+TEST(BenchReportJson, RoundTripsThroughJson) {
+  BenchmarkResult WithCounters = makeResult("BM_A/7", {3.0, 3.1, 2.9});
+  CounterRep Rep;
+  Rep.Iterations = 123;
+  Rep.Cycles = 1000;
+  Rep.Instructions = 2500;
+  Rep.BranchMisses = 3;
+  Rep.CacheMisses = 5;
+  Rep.Ipc = 2.5;
+  WithCounters.Counters.push_back(Rep);
+  const BenchReport Report =
+      makeReport({WithCounters, makeResult("BM_B/10", {7.0, 7.2, 6.8})});
+
+  const std::string Doc = toJson(Report);
+  ASSERT_TRUE(json::isValid(Doc)) << Doc;
+
+  BenchReport Back;
+  std::string Error;
+  ASSERT_TRUE(fromJson(Doc, Back, &Error)) << Error;
+  EXPECT_EQ(Back.Suite, "bench_test");
+  EXPECT_EQ(Back.Machine.CpuModel, "Test CPU");
+  EXPECT_EQ(Back.Machine.Cpus, 4);
+  EXPECT_EQ(Back.Machine.GitSha, "abc1234");
+  EXPECT_EQ(Back.Repetitions, 5);
+  ASSERT_EQ(Back.Benchmarks.size(), 2u);
+  const BenchmarkResult &A = Back.Benchmarks[0];
+  EXPECT_EQ(A.Name, "BM_A/7");
+  ASSERT_EQ(A.RealTimeNs.size(), 3u);
+  EXPECT_DOUBLE_EQ(A.RealTimeNs[1], 3.1);
+  EXPECT_DOUBLE_EQ(A.RealStats.Median,
+                   Report.Benchmarks[0].RealStats.Median);
+  ASSERT_EQ(A.Counters.size(), 1u);
+  EXPECT_EQ(A.Counters[0].Cycles, 1000u);
+  EXPECT_DOUBLE_EQ(A.Counters[0].Ipc, 2.5);
+  EXPECT_TRUE(Back.Benchmarks[1].Counters.empty());
+}
+
+TEST(BenchReportJson, RejectsWrongSchemaAndGarbage) {
+  BenchReport Out;
+  std::string Error;
+  EXPECT_FALSE(fromJson("not json", Out, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(fromJson("{\"schema\":\"other-v1\"}", Out, &Error));
+  EXPECT_FALSE(fromJson("[]", Out, &Error));
+}
+
+TEST(BenchDiff, IdenticalReportsAreClean) {
+  const BenchReport Report =
+      makeReport({makeResult("BM_A", {10.0, 10.1, 9.9, 10.0, 10.05})});
+  const DiffReport Diff = compareReports(Report, Report);
+  EXPECT_EQ(Diff.regressions(), 0);
+  EXPECT_EQ(Diff.improvements(), 0);
+  ASSERT_EQ(Diff.Entries.size(), 1u);
+  EXPECT_EQ(Diff.Entries[0].V, DiffEntry::Verdict::Ok);
+  EXPECT_DOUBLE_EQ(Diff.Entries[0].Ratio, 1.0);
+}
+
+TEST(BenchDiff, TwoTimesSlowdownIsARegression) {
+  const BenchReport Old =
+      makeReport({makeResult("BM_A", {10.0, 10.1, 9.9, 10.0, 10.05})});
+  const BenchReport New =
+      makeReport({makeResult("BM_A", {20.0, 20.2, 19.8, 20.0, 20.1})});
+  const DiffReport Diff = compareReports(Old, New);
+  EXPECT_EQ(Diff.regressions(), 1);
+  ASSERT_EQ(Diff.Entries.size(), 1u);
+  EXPECT_EQ(Diff.Entries[0].V, DiffEntry::Verdict::Regression);
+  EXPECT_NEAR(Diff.Entries[0].Ratio, 2.0, 0.01);
+  // And the mirror image is an improvement, not a regression.
+  const DiffReport Back = compareReports(New, Old);
+  EXPECT_EQ(Back.regressions(), 0);
+  EXPECT_EQ(Back.improvements(), 1);
+}
+
+TEST(BenchDiff, NoisyBenchmarkNeedsMoreThanThreshold) {
+  // 30% apparent slowdown, but the reps scatter by ~25%: the noise band
+  // (3 combined robust sigmas) swallows the difference.
+  const BenchReport Old =
+      makeReport({makeResult("BM_A", {8.0, 10.0, 12.0, 9.0, 11.0})});
+  const BenchReport New =
+      makeReport({makeResult("BM_A", {10.4, 13.0, 15.6, 11.7, 14.3})});
+  const DiffReport Diff = compareReports(Old, New, 0.15);
+  EXPECT_EQ(Diff.regressions(), 0);
+  ASSERT_EQ(Diff.Entries.size(), 1u);
+  EXPECT_GT(Diff.Entries[0].NoiseRel, 0.15);
+}
+
+TEST(BenchDiff, UnpairedBenchmarksAreTrackedNotFlagged) {
+  const BenchReport Old = makeReport(
+      {makeResult("BM_A", {1, 1, 1}), makeResult("BM_Gone", {2, 2, 2})});
+  const BenchReport New = makeReport(
+      {makeResult("BM_A", {1, 1, 1}), makeResult("BM_New", {3, 3, 3})});
+  const DiffReport Diff = compareReports(Old, New);
+  EXPECT_EQ(Diff.regressions(), 0);
+  int OnlyOld = 0, OnlyNew = 0;
+  for (const DiffEntry &E : Diff.Entries) {
+    OnlyOld += E.V == DiffEntry::Verdict::OnlyOld;
+    OnlyNew += E.V == DiffEntry::Verdict::OnlyNew;
+  }
+  EXPECT_EQ(OnlyOld, 1);
+  EXPECT_EQ(OnlyNew, 1);
+}
+
+TEST(BenchDiff, TextAndJsonOutputsAreWellFormed) {
+  const BenchReport Old = makeReport({makeResult("BM_A", {10, 10, 10})});
+  const BenchReport New = makeReport({makeResult("BM_A", {25, 25, 25})});
+  const DiffReport Diff = compareReports(Old, New);
+  const std::string Text = diffText(Diff);
+  EXPECT_NE(Text.find("BM_A"), std::string::npos);
+  EXPECT_NE(Text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(Text.find("1 regression(s)"), std::string::npos);
+  const std::string Doc = diffJson(Diff);
+  EXPECT_TRUE(json::isValid(Doc)) << Doc;
+  EXPECT_NE(Doc.find("\"regressions\":1"), std::string::npos);
+}
+
+TEST(BenchReportFile, WriteReadRoundTripAndMissingFile) {
+  const BenchReport Report = makeReport({makeResult("BM_A", {5, 5, 5})});
+  const std::string Path =
+      ::testing::TempDir() + "/gmdiv_bench_report_test.json";
+  std::string Error;
+  ASSERT_TRUE(writeFile(Path, Report, &Error)) << Error;
+  BenchReport Back;
+  ASSERT_TRUE(readFile(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back.Benchmarks.size(), 1u);
+  EXPECT_FALSE(readFile(Path + ".does-not-exist", Back, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(MachineInfo, CollectFillsEveryFieldNonEmpty) {
+  const MachineInfo Info = collectMachineInfo();
+  EXPECT_FALSE(Info.Timestamp.empty());
+  EXPECT_FALSE(Info.Hostname.empty());
+  EXPECT_FALSE(Info.CpuModel.empty());
+  EXPECT_GT(Info.Cpus, 0);
+  EXPECT_FALSE(Info.Governor.empty());
+  EXPECT_FALSE(Info.Compiler.empty());
+  EXPECT_FALSE(Info.GitSha.empty());
+  // ISO 8601 UTC: "YYYY-MM-DDTHH:MM:SSZ".
+  ASSERT_EQ(Info.Timestamp.size(), 20u);
+  EXPECT_EQ(Info.Timestamp[10], 'T');
+  EXPECT_EQ(Info.Timestamp.back(), 'Z');
+}
+
+} // namespace

@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace gmdiv;
 using namespace gmdiv::telemetry;
 
@@ -96,6 +99,93 @@ TEST(Json, WriterProducesValidDocuments) {
   W.key("nested").beginObject().endObject();
   W.endObject();
   EXPECT_TRUE(json::isValid(W.str())) << W.str();
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  // JSON has no NaN/Infinity literals; the writer must emit null so the
+  // document stays spec-valid (and Perfetto/jq keep loading it).
+  json::Writer W;
+  W.beginObject()
+      .key("nan")
+      .value(std::nan(""))
+      .key("pinf")
+      .value(std::numeric_limits<double>::infinity())
+      .key("ninf")
+      .value(-std::numeric_limits<double>::infinity())
+      .key("subnormal")
+      .value(std::numeric_limits<double>::denorm_min())
+      .key("negzero")
+      .value(-0.0)
+      .endObject();
+  const std::string Doc = W.str();
+  ASSERT_TRUE(json::isValid(Doc)) << Doc;
+  json::Value Root;
+  ASSERT_TRUE(json::parse(Doc, Root));
+  EXPECT_EQ(Root.find("nan")->kind(), json::Value::Kind::Null);
+  EXPECT_EQ(Root.find("pinf")->kind(), json::Value::Kind::Null);
+  EXPECT_EQ(Root.find("ninf")->kind(), json::Value::Kind::Null);
+  // Subnormals are finite: they must survive as (tiny) numbers.
+  ASSERT_EQ(Root.find("subnormal")->kind(), json::Value::Kind::Number);
+  EXPECT_GT(Root.find("subnormal")->asNumber(), 0.0);
+  EXPECT_EQ(Root.find("negzero")->kind(), json::Value::Kind::Number);
+}
+
+TEST(Json, WriterParserRoundTripPreservesStructure) {
+  json::Writer W;
+  W.beginObject()
+      .key("text")
+      .value("he \"said\"\n\ttab \\ slash")
+      .key("big")
+      .value(uint64_t{9007199254740993ull})
+      .key("neg")
+      .value(int64_t{-42})
+      .key("pi")
+      .value(3.25)
+      .key("flags")
+      .beginArray()
+      .value(true)
+      .value(false)
+      .null()
+      .endArray()
+      .key("empty")
+      .beginObject()
+      .endObject()
+      .endObject();
+  json::Value Root;
+  ASSERT_TRUE(json::parse(W.str(), Root)) << W.str();
+  EXPECT_EQ(Root.find("text")->asString(), "he \"said\"\n\ttab \\ slash");
+  EXPECT_EQ(Root.find("neg")->asNumber(), -42.0);
+  EXPECT_DOUBLE_EQ(Root.find("pi")->asNumber(), 3.25);
+  ASSERT_EQ(Root.find("flags")->array().size(), 3u);
+  EXPECT_TRUE(Root.find("flags")->array()[0].asBool());
+  EXPECT_EQ(Root.find("flags")->array()[2].kind(),
+            json::Value::Kind::Null);
+  EXPECT_TRUE(Root.find("empty")->object().empty());
+  EXPECT_EQ(Root.numberOr("missing", -1.0), -1.0);
+  EXPECT_EQ(Root.stringOr("text", ""), "he \"said\"\n\ttab \\ slash");
+}
+
+TEST(Json, ParserDecodesEscapesAndSurrogatePairs) {
+  json::Value V;
+  ASSERT_TRUE(json::parse("\"a\\u0041\\n\\u00e9\"", V));
+  EXPECT_EQ(V.asString(), "aA\n\xc3\xa9");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  ASSERT_TRUE(json::parse("\"\\ud83d\\ude00\"", V));
+  EXPECT_EQ(V.asString(), "\xf0\x9f\x98\x80");
+  // Lone or malformed surrogates are invalid.
+  EXPECT_FALSE(json::parse("\"\\ud83d\"", V));
+  EXPECT_FALSE(json::parse("\"\\ude00\"", V));
+  EXPECT_FALSE(json::parse("\"\\ud83dx\"", V));
+}
+
+TEST(Json, ParserMatchesValidatorOnMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "{\"a\":1,}", "[1 2]", "\"unterminated", "01",
+        "{} extra", "nul", "{\"a\"}", "[,]"}) {
+    json::Value V;
+    EXPECT_FALSE(json::parse(Bad, V)) << Bad;
+    EXPECT_FALSE(json::isValid(Bad)) << Bad;
+  }
 }
 
 TEST(Json, ValidatorRejectsMalformedDocuments) {

@@ -13,28 +13,46 @@
 // comparison agreed; 1 means mismatches (the minimized repro strings
 // are in the summary and can be replayed here). Usage:
 //
-//   fuzz [seconds] [seed]        (defaults: 10 seconds, random seed)
+//   fuzz [--trace=FILE] [seconds] [seed]
+//                                (defaults: 10 seconds, random seed)
 //   fuzz --replay <repro-string>
 //
 // CTest runs a 2-second smoke under the `fuzz` label; CI's sanitizer
-// leg runs 60 seconds; a release manager can run hours.
+// leg runs 60 seconds; a release manager can run hours. --trace=FILE
+// records campaign/round spans and writes a Chrome trace-event JSON
+// file on exit.
 //
 //===----------------------------------------------------------------------===//
 
 #include "verify/Fuzzer.h"
 
 #include "telemetry/Remarks.h"
+#include "trace/Trace.h"
 
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <vector>
 
 using namespace gmdiv;
 using namespace gmdiv::verify;
 
-int main(int Argc, char **Argv) {
+int main(int ArgcIn, char **ArgvIn) {
+  const char *TraceFile = nullptr;
+  std::vector<char *> Args;
+  for (int I = 0; I < ArgcIn; ++I) {
+    if (std::strncmp(ArgvIn[I], "--trace=", 8) == 0)
+      TraceFile = ArgvIn[I] + 8;
+    else
+      Args.push_back(ArgvIn[I]);
+  }
+  const int Argc = static_cast<int>(Args.size());
+  char **Argv = Args.data();
+  if (TraceFile)
+    trace::setEnabled(true);
+
   if (Argc >= 2 && std::strcmp(Argv[1], "--replay") == 0) {
     if (Argc < 3) {
       std::fprintf(stderr, "usage: fuzz --replay <repro-string>\n");
@@ -64,15 +82,25 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("%s\n", fuzzJson(Report).c_str());
+  int Result = 0;
   if (!Report.clean()) {
     std::fprintf(stderr, "fuzz: %llu mismatches; replay with:\n",
                  static_cast<unsigned long long>(Report.mismatches()));
     for (const std::string &Text : Report.Failures)
       std::fprintf(stderr, "  fuzz --replay '%s'\n", Text.c_str());
-    return 1;
+    Result = 1;
+  } else {
+    std::fprintf(stderr, "fuzz: %llu rounds clean (%llu checks)\n",
+                 static_cast<unsigned long long>(Report.Rounds),
+                 static_cast<unsigned long long>(Report.checks()));
   }
-  std::fprintf(stderr, "fuzz: %llu rounds clean (%llu checks)\n",
-               static_cast<unsigned long long>(Report.Rounds),
-               static_cast<unsigned long long>(Report.checks()));
-  return 0;
+  if (TraceFile) {
+    std::string Error;
+    if (!trace::writeChromeTrace(TraceFile, &Error)) {
+      std::fprintf(stderr, "fuzz: --trace: %s\n", Error.c_str());
+      return Result ? Result : 1;
+    }
+    std::fprintf(stderr, "fuzz: trace written to %s\n", TraceFile);
+  }
+  return Result;
 }

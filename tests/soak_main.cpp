@@ -11,9 +11,13 @@
 // progress line per round. Any mismatch aborts with the reproducing
 // seed. Usage:
 //
-//   soak [seconds] [seed]       (defaults: 10 seconds, random seed)
+//   soak [--trace=FILE] [seconds] [seed]
+//                               (defaults: 10 seconds, random seed)
 //
 // CTest runs a 2-second smoke; CI or a release manager can run hours.
+// --trace=FILE records one span per round and writes a Chrome
+// trace-event JSON file on exit; round latency also feeds a telemetry
+// histogram reported in the end-of-run summary.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,12 +28,15 @@
 #include "core/DWordDivider.h"
 #include "core/ExactDiv.h"
 #include "ir/Interp.h"
+#include "telemetry/Histogram.h"
 #include "telemetry/Json.h"
 #include "telemetry/Stats.h"
+#include "trace/Trace.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <random>
 #include <vector>
 
@@ -47,6 +54,7 @@ telemetry::Statistic SignedChecks("soak", "signed_checks");
 telemetry::Statistic CodegenChecks("soak", "codegen_checks");
 telemetry::Statistic DWordChecks("soak", "dword_checks");
 telemetry::Statistic BatchChecks("soak", "batch_checks");
+telemetry::LatencyHistogram RoundLatency("soak", "round_us");
 
 [[noreturn]] void fail(const char *What, uint64_t N, uint64_t D) {
   std::fprintf(stderr,
@@ -212,9 +220,19 @@ template <typename SWord> void soakBatchSignedRound() {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const double Seconds = Argc > 1 ? std::atof(Argv[1]) : 10.0;
-  Seed = Argc > 2 ? std::strtoull(Argv[2], nullptr, 0)
-                  : std::random_device{}();
+  const char *TraceFile = nullptr;
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--trace=", 8) == 0)
+      TraceFile = Argv[I] + 8;
+    else
+      Args.push_back(Argv[I]);
+  }
+  const double Seconds = Args.size() > 1 ? std::atof(Args[1]) : 10.0;
+  Seed = Args.size() > 2 ? std::strtoull(Args[2], nullptr, 0)
+                         : std::random_device{}();
+  if (TraceFile)
+    trace::setEnabled(true);
   Rng.seed(Seed);
   std::printf("soak: %.1f seconds, seed %llu\n", Seconds,
               static_cast<unsigned long long>(Seed));
@@ -223,6 +241,8 @@ int main(int Argc, char **Argv) {
   while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        Start)
              .count() < Seconds) {
+    GMDIV_TRACE_SPAN("soak", "round", Rounds);
+    const auto RoundStart = std::chrono::steady_clock::now();
     soakUnsignedRound<uint8_t>();
     soakUnsignedRound<uint16_t>();
     soakUnsignedRound<uint32_t>();
@@ -241,6 +261,10 @@ int main(int Argc, char **Argv) {
     soakBatchSignedRound<int16_t>();
     soakBatchSignedRound<int32_t>();
     soakBatchSignedRound<int64_t>();
+    RoundLatency.record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - RoundStart)
+            .count()));
     ++Rounds;
   }
   const double Elapsed =
@@ -273,7 +297,28 @@ int main(int Argc, char **Argv) {
   for (const telemetry::StatRecord &Record : telemetry::statsSnapshot())
     if (Record.Group == "soak")
       W.key(Record.Name).value(Record.Value);
+  W.endObject();
+  W.key("round_us").beginObject();
+  for (const telemetry::HistogramRecord &H :
+       telemetry::histogramsSnapshot()) {
+    if (H.Group != "soak" || H.Name != "round_us")
+      continue;
+    W.key("count").value(H.Count);
+    W.key("p50").value(H.P50);
+    W.key("p90").value(H.P90);
+    W.key("p99").value(H.P99);
+    W.key("max").value(H.Max);
+    W.key("mad").value(H.Mad);
+  }
   W.endObject().endObject();
   std::printf("%s\n", W.str().c_str());
+  if (TraceFile) {
+    std::string Error;
+    if (!trace::writeChromeTrace(TraceFile, &Error)) {
+      std::fprintf(stderr, "soak: --trace: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "soak: trace written to %s\n", TraceFile);
+  }
   return 0;
 }
