@@ -14,6 +14,12 @@
 //   gmdiv_tool asm <d> [width] [mips|sparc|alpha|power]
 //                                        select + allocate + emit
 //                                        target assembly.
+//   gmdiv_tool jit <d> [width] [u|s|floor]
+//                                        run the JIT pipeline: print the
+//                                        scheduled IR, then the emitted
+//                                        x86-64 bytes annotated per IR
+//                                        op, then execute a few sample
+//                                        inputs against the interpreter.
 //   gmdiv_tool lower                     read IR with divu/divs/remu/rems
 //                                        from stdin, run the §10 pass,
 //                                        print the result.
@@ -59,6 +65,7 @@
 #include "numtheory/ModArith.h"
 #include "ir/AsmPrinter.h"
 #include "ir/Parser.h"
+#include "jit/JitDivider.h"
 #include "ops/Bits.h"
 #include "telemetry/BenchReport.h"
 #include "telemetry/Histogram.h"
@@ -92,6 +99,7 @@ int usage(const char *Argv0) {
                "  %s magic <d> [8|16|32|64]\n"
                "  %s codegen <d> [8|16|32|64] [u|s|floor|exact|alverson]\n"
                "  %s asm <d> [32|64] [mips|sparc|alpha|power]\n"
+               "  %s jit <d> [8|16|32|64] [u|s|floor]\n"
                "  %s lower [width] [numargs]   (IR on stdin)\n"
                "  %s batch <d> [8|16|32|64] [u|s] [count]\n"
                "  %s verify [--seconds S] [--seed X] [--full]\n"
@@ -103,7 +111,8 @@ int usage(const char *Argv0) {
                "  --stats               counter registry as one JSON line\n"
                "  --trace=FILE          write a Chrome trace-event JSON "
                "file\n",
-               Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
+               Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0,
+               Argv0);
   return 1;
 }
 
@@ -519,6 +528,98 @@ int runCommand(int Argc, char **Argv) {
                  Stats.total(), Stats.RuntimeDivisorsKept);
     std::printf("%s", ir::formatProgram(Lowered).c_str());
     return 0;
+  }
+
+  if (Command == "jit") {
+    if (Argc < 3)
+      return usage(Argv[0]);
+    const int64_t D = std::strtoll(Argv[2], nullptr, 0);
+    const int Width = Argc > 3 ? std::atoi(Argv[3]) : 32;
+    const std::string Kind = Argc > 4 ? Argv[4] : "u";
+    if (D == 0 ||
+        (Width != 8 && Width != 16 && Width != 32 && Width != 64))
+      return usage(Argv[0]);
+    jit::SeqKind Seq;
+    if (Kind == "u" && D > 0)
+      Seq = jit::SeqKind::UDivRem;
+    else if (Kind == "s")
+      Seq = jit::SeqKind::SDivRem;
+    else if (Kind == "floor")
+      Seq = jit::SeqKind::FloorDivMod;
+    else
+      return usage(Argv[0]);
+    const uint64_t Mask =
+        Width == 64 ? ~uint64_t{0} : (uint64_t{1} << Width) - 1;
+    const uint64_t DBits = static_cast<uint64_t>(D) & Mask;
+
+    const ir::Program Prepared =
+        jit::prepareForJit(jit::genSequence(Seq, Width, DBits));
+    std::printf("; %s d=%lld N=%d — scheduled IR:\n",
+                jit::seqKindName(Seq), static_cast<long long>(D), Width);
+    std::printf("%s\n", ir::formatProgram(Prepared).c_str());
+
+    const jit::EmitResult Emitted = jit::emitX86(Prepared);
+    if (!Emitted.Ok) {
+      std::printf("; x86-64 emitter bailed: %s — runs on ir::Interp\n",
+                  Emitted.Error.c_str());
+      return 0;
+    }
+    std::printf("; x86-64 (%zu bytes):\n", Emitted.Code.size());
+    int LastIr = -2;
+    bool SeenBody = false;
+    for (const jit::AsmLine &Line : Emitted.Lines) {
+      if (Line.IrIndex != LastIr) {
+        if (Line.IrIndex < 0)
+          std::printf("; %s\n", SeenBody ? "epilogue" : "prologue");
+        else
+          std::printf("; %s\n",
+                      ir::formatInstr(Prepared, Line.IrIndex).c_str());
+        LastIr = Line.IrIndex;
+        SeenBody = SeenBody || Line.IrIndex >= 0;
+      }
+      std::string Bytes;
+      for (size_t I = 0; I < Line.NumBytes; ++I) {
+        char Hex[4];
+        std::snprintf(Hex, sizeof(Hex), "%02x ",
+                      Emitted.Code[Line.Offset + I]);
+        Bytes += Hex;
+      }
+      std::printf("  %04zx: %-33s %s\n", Line.Offset, Bytes.c_str(),
+                  Line.Text.c_str());
+    }
+
+    if (!jit::enabled()) {
+      std::printf("; execution disabled (%s) — runs on ir::Interp\n",
+                  jit::hostSupported() ? "GMDIV_NO_JIT=1"
+                                       : "host is not x86-64");
+      return 0;
+    }
+    // Execute a few live samples against the interpreter so the listing
+    // above is demonstrably the code that runs.
+    const auto Compiled = jit::compileCached(
+        jit::CodeCache::global(),
+        {Seq, static_cast<uint8_t>(Width), DBits});
+    if (!Compiled) {
+      std::printf("; compile failed — runs on ir::Interp\n");
+      return 0;
+    }
+    std::vector<uint64_t> Args(1), Scratch, Want, Got;
+    bool AllMatch = true;
+    for (const uint64_t In :
+         {uint64_t{100} & Mask, Mask >> 1, (Mask >> 1) + 1, Mask}) {
+      Args[0] = In;
+      ir::runScratch(Prepared, Args, Scratch, Want);
+      Compiled->callAll(In, 0, Got);
+      const bool Match = Want == Got;
+      AllMatch = AllMatch && Match;
+      std::printf("; n=0x%llx: q=0x%llx r=0x%llx (%s)\n",
+                  static_cast<unsigned long long>(In),
+                  static_cast<unsigned long long>(Got[0]),
+                  static_cast<unsigned long long>(Got.size() > 1 ? Got[1]
+                                                                 : 0),
+                  Match ? "matches ir::Interp" : "MISMATCH");
+    }
+    return AllMatch ? 0 : 1;
   }
 
   return usage(Argv[0]);

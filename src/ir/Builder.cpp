@@ -87,6 +87,16 @@ int Builder::emit(Opcode Op, int Lhs, int Rhs, uint64_t Imm,
     if ((matchConstant(Lhs, C) || matchConstant(Rhs, C)) && C <= 1)
       return constant(0, std::move(Comment));
     break;
+  case Opcode::MulSH:
+    // MULSH(x, 0) = 0; MULSH(x, 1) = XSIGN(x) — the high word of a
+    // sign-extended x is its sign mask.
+    if ((matchConstant(Lhs, C) || matchConstant(Rhs, C)) && C == 0)
+      return constant(0, std::move(Comment));
+    if (matchConstant(Rhs, C) && C == 1)
+      return emit(Opcode::Xsign, Lhs, -1, 0, std::move(Comment));
+    if (matchConstant(Lhs, C) && C == 1)
+      return emit(Opcode::Xsign, Rhs, -1, 0, std::move(Comment));
+    break;
   case Opcode::And:
     if ((matchConstant(Lhs, C) || matchConstant(Rhs, C)) && C == 0)
       return constant(0, std::move(Comment));

@@ -26,6 +26,12 @@ int tryPatternRewrite(Builder &B, Opcode Op, int Lhs, int Rhs,
   switch (Op) {
   case Opcode::Srl:
   case Opcode::Sll: {
+    // Shift by zero is the identity — first-class here, not left to
+    // the Builder's emission-time fold (a sh_post of 0 is common:
+    // genSignedDiv(32, 3) and every divisor whose multiplier needs no
+    // post-shift).
+    if (Imm == 0)
+      return Lhs;
     // Combine same-direction logical shifts: total < N stays a shift;
     // total >= N is the constant zero.
     const Instr &Inner = NP.instr(Lhs);
@@ -38,6 +44,8 @@ int tryPatternRewrite(Builder &B, Opcode Op, int Lhs, int Rhs,
                              : B.sll(Inner.Lhs, Total);
   }
   case Opcode::Sra: {
+    if (Imm == 0)
+      return Lhs;
     // SRA(SRA(x, a), b) = SRA(x, min(a + b, N - 1)).
     const Instr &Inner = NP.instr(Lhs);
     if (Inner.Op != Opcode::Sra)
@@ -46,6 +54,18 @@ int tryPatternRewrite(Builder &B, Opcode Op, int Lhs, int Rhs,
     if (Total > WordBits - 1)
       Total = WordBits - 1;
     return B.sra(Inner.Lhs, Total);
+  }
+  case Opcode::Ror: {
+    return Imm == 0 ? Lhs : -1;
+  }
+  case Opcode::MulL: {
+    // Multiply by one is the identity (by zero, and the full-constant
+    // cases, fold on re-emission).
+    if (NP.instr(Rhs).Op == Opcode::Const && NP.instr(Rhs).Imm == 1)
+      return Lhs;
+    if (NP.instr(Lhs).Op == Opcode::Const && NP.instr(Lhs).Imm == 1)
+      return Rhs;
+    return -1;
   }
   case Opcode::Sub: {
     // SUB(x, SLL(SRL(x, k), k)) => AND(x, 2^k - 1): a cleared-low-bits

@@ -1,0 +1,100 @@
+//===- jit/ExecMemory.cpp - W^X executable code buffers -------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/ExecMemory.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GMDIV_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define GMDIV_JIT_HAVE_MMAP 0
+#endif
+
+namespace gmdiv {
+namespace jit {
+
+ExecBuffer::~ExecBuffer() {
+#if GMDIV_JIT_HAVE_MMAP
+  if (Base)
+    ::munmap(Base, MappedBytes);
+#endif
+}
+
+ExecBuffer::ExecBuffer(ExecBuffer &&Other) noexcept
+    : Base(Other.Base), CodeBytes(Other.CodeBytes),
+      MappedBytes(Other.MappedBytes) {
+  Other.Base = nullptr;
+  Other.CodeBytes = 0;
+  Other.MappedBytes = 0;
+}
+
+ExecBuffer &ExecBuffer::operator=(ExecBuffer &&Other) noexcept {
+  if (this != &Other) {
+#if GMDIV_JIT_HAVE_MMAP
+    if (Base)
+      ::munmap(Base, MappedBytes);
+#endif
+    Base = Other.Base;
+    CodeBytes = Other.CodeBytes;
+    MappedBytes = Other.MappedBytes;
+    Other.Base = nullptr;
+    Other.CodeBytes = 0;
+    Other.MappedBytes = 0;
+  }
+  return *this;
+}
+
+ExecBuffer ExecBuffer::allocateExec(const void *Code, size_t Size,
+                                    std::string *Error) {
+  ExecBuffer Buf;
+  if (Size == 0) {
+    if (Error)
+      *Error = "empty code sequence";
+    return Buf;
+  }
+#if GMDIV_JIT_HAVE_MMAP
+  const long PageLong = ::sysconf(_SC_PAGESIZE);
+  const size_t Page = PageLong > 0 ? static_cast<size_t>(PageLong) : 4096;
+  const size_t Rounded = (Size + Page - 1) / Page * Page;
+
+  void *Mem = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED) {
+    if (Error)
+      *Error = std::string("mmap failed: ") + std::strerror(errno);
+    return Buf;
+  }
+  std::memcpy(Mem, Code, Size);
+  // INT3 padding: falling off the end of the sequence traps instead of
+  // executing whatever the allocator left in the page tail.
+  std::memset(static_cast<char *>(Mem) + Size, 0xCC, Rounded - Size);
+  if (::mprotect(Mem, Rounded, PROT_READ | PROT_EXEC) != 0) {
+    if (Error)
+      *Error = std::string("mprotect failed: ") + std::strerror(errno);
+    ::munmap(Mem, Rounded);
+    return Buf;
+  }
+  Buf.Base = Mem;
+  Buf.CodeBytes = Size;
+  Buf.MappedBytes = Rounded;
+#else
+  (void)Code;
+  if (Error)
+    *Error = "executable memory unsupported on this platform";
+#endif
+  return Buf;
+}
+
+bool execMemorySupported() { return GMDIV_JIT_HAVE_MMAP != 0; }
+
+} // namespace jit
+} // namespace gmdiv

@@ -1,0 +1,90 @@
+//===- jit/Jit.cpp - Compile IR sequences to callable code ----------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+
+#include "telemetry/Remarks.h"
+#include "telemetry/Stats.h"
+#include "trace/Trace.h"
+
+#include <cstdlib>
+
+using namespace gmdiv;
+using namespace gmdiv::jit;
+
+bool gmdiv::jit::hostSupported() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return execMemorySupported();
+#else
+  return false;
+#endif
+}
+
+bool gmdiv::jit::enabled() {
+  static const bool Enabled = [] {
+    if (!hostSupported())
+      return false;
+    const char *Off = std::getenv("GMDIV_NO_JIT");
+    return !(Off && Off[0] == '1');
+  }();
+  return Enabled;
+}
+
+std::shared_ptr<const CompiledSequence>
+gmdiv::jit::compile(const ir::Program &P, const CompileInfo &Info,
+                    std::string *Error) {
+  GMDIV_TRACE_SPAN("jit", "compile", static_cast<uint64_t>(P.wordBits()));
+  if (!enabled()) {
+    GMDIV_STAT(jit, fallback_interp);
+    if (Error)
+      *Error = hostSupported() ? "JIT disabled (GMDIV_NO_JIT=1)"
+                               : "host is not x86-64";
+    return nullptr;
+  }
+
+  EmitResult Emitted = emitX86(P);
+  if (!Emitted.Ok) {
+    GMDIV_STAT(jit, emit_bails);
+    GMDIV_STAT(jit, fallback_interp);
+    if (Error)
+      *Error = Emitted.Error;
+    return nullptr;
+  }
+
+  std::string AllocError;
+  ExecBuffer Buffer = ExecBuffer::allocateExec(
+      Emitted.Code.data(), Emitted.Code.size(), &AllocError);
+  if (!Buffer.valid()) {
+    GMDIV_STAT(jit, fallback_interp);
+    if (Error)
+      *Error = AllocError;
+    return nullptr;
+  }
+
+  GMDIV_STAT(jit, compiles);
+  GMDIV_STAT_ADD(jit, compile_bytes, Emitted.Code.size());
+
+  if (telemetry::remarksEnabled()) {
+    telemetry::Remark R;
+    R.Pass = "jit";
+    R.Kind = "jit.compile";
+    R.CaseName = Info.CaseName.empty() ? "sequence" : Info.CaseName;
+    R.WordBits = P.wordBits();
+    R.DivisorBits = Info.DivisorBits;
+    R.IsSigned = Info.IsSigned;
+    R.HasDivisor = Info.HasDivisor;
+    R.Details.emplace_back("bytes", std::to_string(Emitted.Code.size()));
+    R.Details.emplace_back("ir_ops", std::to_string(P.operationCount()));
+    R.Details.emplace_back("x86_instrs",
+                           std::to_string(Emitted.Lines.size()));
+    telemetry::emitRemark(R);
+  }
+
+  return std::make_shared<const CompiledSequence>(
+      std::move(Buffer), P.numArgs(),
+      static_cast<int>(P.results().size()), std::move(Emitted.Lines));
+}

@@ -1,0 +1,114 @@
+//===- jit/Jit.h - Compile IR sequences to callable code --------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable end of the JIT backend: compile() runs the X86Emitter
+/// over a program, places the bytes in a W^X ExecBuffer, and wraps the
+/// entry point in a CompiledSequence callable with the fixed ABI
+///
+///   uint64_t fn(uint64_t A0, uint64_t A1, uint64_t *Extra);
+///
+/// Backend selection lives here and only here (the acceptance criterion
+/// that no target #ifdef leaks into other public headers):
+///
+///   hostSupported()  — build targets x86-64 and executable memory works
+///   enabled()        — hostSupported() and GMDIV_NO_JIT is not set
+///
+/// Every successful compilation emits one "jit.compile" telemetry
+/// remark (bytes emitted, instruction counts), bumps the jit.* stats
+/// counters, and is wrapped in a ("jit", "compile") trace span. Callers
+/// that want caching go through jit::CodeCache (JitCache.h) instead of
+/// calling compile() directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_JIT_JIT_H
+#define GMDIV_JIT_JIT_H
+
+#include "ir/IR.h"
+#include "jit/ExecMemory.h"
+#include "jit/X86Emitter.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace jit {
+
+/// True when compiled sequences can run on this host: the build targets
+/// x86-64 and the platform provides W^X executable memory.
+bool hostSupported();
+
+/// hostSupported() minus the user veto: GMDIV_NO_JIT=1 in the
+/// environment forces every front-end onto the interpreter fallback.
+/// The environment is read once, on first call.
+bool enabled();
+
+/// One compiled, executable sequence. Immutable after construction;
+/// safe to call concurrently from any number of threads (the code is
+/// read-only and the ABI is pure).
+class CompiledSequence {
+public:
+  using Fn = uint64_t (*)(uint64_t, uint64_t, uint64_t *);
+
+  CompiledSequence(ExecBuffer Buffer, int NumArgs, int NumResults,
+                   std::vector<AsmLine> Lines)
+      : Buffer(std::move(Buffer)), NumArgs(NumArgs), NumResults(NumResults),
+        Lines(std::move(Lines)) {}
+
+  Fn fn() const {
+    return reinterpret_cast<Fn>(const_cast<void *>(Buffer.entry()));
+  }
+  int numArgs() const { return NumArgs; }
+  int numResults() const { return NumResults; }
+  size_t codeSize() const { return Buffer.codeSize(); }
+  const std::vector<AsmLine> &lines() const { return Lines; }
+
+  /// Single-result conveniences.
+  uint64_t call(uint64_t A0) const { return fn()(A0, 0, nullptr); }
+  uint64_t call(uint64_t A0, uint64_t A1) const { return fn()(A0, A1, nullptr); }
+
+  /// General form: Results resized to numResults().
+  void callAll(uint64_t A0, uint64_t A1,
+               std::vector<uint64_t> &Results) const {
+    Results.resize(static_cast<size_t>(NumResults));
+    uint64_t Extra[8] = {};
+    Results[0] = fn()(A0, A1, Extra);
+    for (int I = 1; I < NumResults; ++I)
+      Results[static_cast<size_t>(I)] = Extra[I - 1];
+  }
+
+private:
+  ExecBuffer Buffer;
+  int NumArgs;
+  int NumResults;
+  std::vector<AsmLine> Lines;
+};
+
+/// Optional context for the "jit.compile" remark; all fields may be
+/// left defaulted when the caller has no divisor in hand.
+struct CompileInfo {
+  std::string CaseName;      ///< e.g. "unsigned-div", "floor-mod".
+  uint64_t DivisorBits = 0;
+  bool IsSigned = false;
+  bool HasDivisor = false;
+};
+
+/// Compiles \p P to executable code. Returns null when the emitter
+/// bails (unsupported opcode, register pressure) or the host cannot run
+/// the result; *Error explains why. Null results are a normal outcome —
+/// callers fall back to ir::Interp.
+std::shared_ptr<const CompiledSequence>
+compile(const ir::Program &P, const CompileInfo &Info = CompileInfo(),
+        std::string *Error = nullptr);
+
+} // namespace jit
+} // namespace gmdiv
+
+#endif // GMDIV_JIT_JIT_H

@@ -1,0 +1,103 @@
+//===- jit/JitCache.cpp - Sharded code cache ------------------------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitCache.h"
+
+#include "telemetry/Stats.h"
+#include "trace/Trace.h"
+
+using namespace gmdiv;
+using namespace gmdiv::jit;
+
+const char *gmdiv::jit::seqKindName(SeqKind Kind) {
+  switch (Kind) {
+  case SeqKind::UDiv:
+    return "udiv";
+  case SeqKind::URem:
+    return "urem";
+  case SeqKind::UDivRem:
+    return "udivrem";
+  case SeqKind::SDiv:
+    return "sdiv";
+  case SeqKind::SRem:
+    return "srem";
+  case SeqKind::SDivRem:
+    return "sdivrem";
+  case SeqKind::FloorDiv:
+    return "floordiv";
+  case SeqKind::FloorMod:
+    return "floormod";
+  case SeqKind::FloorDivMod:
+    return "floordivmod";
+  }
+  return "?";
+}
+
+CodeCache::CodeCache(size_t NumShards, size_t ShardCapacity)
+    : Shards(NumShards == 0 ? 1 : NumShards),
+      ShardCapacity(ShardCapacity == 0 ? 1 : ShardCapacity) {}
+
+std::shared_ptr<const CompiledSequence>
+CodeCache::getOrCompile(const CacheKey &Key, const Compiler &Compile) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+
+  auto Found = S.Map.find(Key);
+  if (Found != S.Map.end()) {
+    S.Lru.splice(S.Lru.begin(), S.Lru, Found->second);
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    GMDIV_STAT(jit, cache_hits);
+    return Found->second->Seq;
+  }
+
+  // Miss: compile under the shard lock so the same divisor is compiled
+  // exactly once even when several threads race to it. Contending keys
+  // on *other* shards proceed unblocked.
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  GMDIV_STAT(jit, cache_misses);
+  std::shared_ptr<const CompiledSequence> Seq;
+  {
+    GMDIV_TRACE_SPAN("jit", "cache-miss", Key.Divisor);
+    Seq = Compile();
+  }
+  S.Lru.push_front(Entry{Key, Seq});
+  S.Map[Key] = S.Lru.begin();
+  if (S.Lru.size() > ShardCapacity) {
+    const Entry &Oldest = S.Lru.back();
+    S.Map.erase(Oldest.Key);
+    S.Lru.pop_back(); // Holders' shared_ptrs keep the code alive.
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    GMDIV_STAT(jit, cache_evictions);
+  }
+  return Seq;
+}
+
+CacheStats CodeCache::stats() const {
+  CacheStats Out;
+  Out.Hits = Hits.load(std::memory_order_relaxed);
+  Out.Misses = Misses.load(std::memory_order_relaxed);
+  Out.Evictions = Evictions.load(std::memory_order_relaxed);
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(
+        const_cast<std::mutex &>(S.Mutex));
+    Out.Entries += S.Lru.size();
+  }
+  return Out;
+}
+
+void CodeCache::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Lru.clear();
+    S.Map.clear();
+  }
+}
+
+CodeCache &CodeCache::global() {
+  static CodeCache Cache;
+  return Cache;
+}

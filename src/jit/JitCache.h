@@ -1,0 +1,150 @@
+//===- jit/JitCache.h - Sharded code cache for compiled sequences -*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's setting is an *invariant* divisor: the same (kind,
+/// width, divisor) triple recurs across calls and threads, so compiled
+/// sequences are cached and shared. The cache is sharded — the key
+/// hashes to one of NumShards independent LRU maps, each behind its own
+/// mutex — so concurrent front-ends on different divisors rarely
+/// contend on a lock, while threads dividing by the *same* divisor get
+/// compile-once semantics (the compile runs under the owning shard's
+/// lock; latecomers block briefly and then share the entry).
+///
+/// Entries are shared_ptr handles: eviction drops the cache's
+/// reference, never the code — a JitDivider holding an evicted sequence
+/// keeps calling it safely, and the pages unmap when the last holder
+/// goes away.
+///
+/// Compilation *failures* are cached too (as null entries), so a
+/// sequence the emitter bails on — e.g. the runtime-divisor DivS
+/// program — is attempted once, not per call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_JIT_JITCACHE_H
+#define GMDIV_JIT_JITCACHE_H
+
+#include "jit/Jit.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace gmdiv {
+namespace jit {
+
+/// Which lowering a cached sequence implements. Part of the cache key:
+/// the same divisor yields different programs for divide vs divRem vs
+/// floor-mod.
+enum class SeqKind : uint8_t {
+  UDiv,
+  URem,
+  UDivRem,
+  SDiv,
+  SRem,
+  SDivRem,
+  FloorDiv,
+  FloorMod,
+  FloorDivMod,
+};
+
+const char *seqKindName(SeqKind Kind);
+
+/// (op-kind, width, divisor bit pattern).
+struct CacheKey {
+  SeqKind Kind;
+  uint8_t WordBits;
+  uint64_t Divisor;
+
+  bool operator==(const CacheKey &Other) const {
+    return Kind == Other.Kind && WordBits == Other.WordBits &&
+           Divisor == Other.Divisor;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey &Key) const {
+    // splitmix64-style mix over the packed key.
+    uint64_t X = Key.Divisor ^
+                 (static_cast<uint64_t>(Key.WordBits) << 8) ^
+                 static_cast<uint64_t>(Key.Kind);
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ULL;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebULL;
+    X ^= X >> 31;
+    return static_cast<size_t>(X);
+  }
+};
+
+/// Point-in-time counter snapshot (also mirrored into the global
+/// jit.cache_* stats for --stats output).
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  size_t Entries = 0;
+};
+
+class CodeCache {
+public:
+  /// \p ShardCapacity is per shard; total capacity is the product.
+  explicit CodeCache(size_t NumShards = 16, size_t ShardCapacity = 128);
+
+  using Compiler =
+      std::function<std::shared_ptr<const CompiledSequence>()>;
+
+  /// Returns the cached sequence for \p Key, compiling it with
+  /// \p Compile on first request. The returned handle may be null when
+  /// compilation failed (cached negative result) — callers fall back to
+  /// the interpreter.
+  std::shared_ptr<const CompiledSequence> getOrCompile(const CacheKey &Key,
+                                                       const Compiler &Compile);
+
+  CacheStats stats() const;
+  size_t numShards() const { return Shards.size(); }
+  size_t shardCapacity() const { return ShardCapacity; }
+
+  /// Drops every entry (counters keep accumulating).
+  void clear();
+
+  /// The process-wide cache all JitDivider instances share.
+  static CodeCache &global();
+
+private:
+  struct Entry {
+    CacheKey Key;
+    std::shared_ptr<const CompiledSequence> Seq;
+  };
+  struct Shard {
+    std::mutex Mutex;
+    std::list<Entry> Lru; ///< Front = most recently used.
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        Map;
+  };
+
+  Shard &shardFor(const CacheKey &Key) {
+    return Shards[CacheKeyHash()(Key) % Shards.size()];
+  }
+
+  std::vector<Shard> Shards;
+  size_t ShardCapacity;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
+} // namespace jit
+} // namespace gmdiv
+
+#endif // GMDIV_JIT_JITCACHE_H

@@ -1,0 +1,72 @@
+//===- jit/X86Emitter.h - IR to x86-64 machine code -------------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates a straight-line ir::Program into x86-64 System V machine
+/// code with the calling convention
+///
+///   uint64_t fn(uint64_t A0, uint64_t A1, uint64_t *Extra);
+///
+/// A0/A1 arrive in rdi/rsi, the first marked result returns in rax, and
+/// any further results are stored to Extra[i-1] (Extra may be null for
+/// single-result programs). Values are kept zero-extended to 64 bits in
+/// their canonical N-bit pattern, exactly mirroring ir::Interp — the
+/// emitter supports every width N in [2, 64] so the differential
+/// harness can check it at the same small widths it checks everything
+/// else.
+///
+/// The emitter is a translator, not a compiler: one linear pass, each
+/// IR value assigned a home register for its live range (rax/rdx stay
+/// scratch for two-operand recipes and widening multiplies). It bails
+/// out cleanly — EmitResult::Ok == false, no partial code — on programs
+/// it does not handle: runtime-divisor sequences containing DivU/DivS/
+/// RemU/RemS, more than two arguments, or register-pool exhaustion.
+/// Callers treat a bail as "fall back to the interpreter".
+///
+/// Emission itself is portable C++ (bytes into a vector, runnable on
+/// any build host); only *executing* the bytes requires an x86-64 host
+/// (jit::hostSupported() in Jit.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_JIT_X86EMITTER_H
+#define GMDIV_JIT_X86EMITTER_H
+
+#include "ir/IR.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace jit {
+
+/// One emitted x86 instruction, for listings: byte range inside the
+/// code buffer, owning IR value index (-1 for prologue/epilogue), and
+/// an Intel-syntax rendering.
+struct AsmLine {
+  int IrIndex = -1;
+  size_t Offset = 0;
+  size_t NumBytes = 0;
+  std::string Text;
+};
+
+struct EmitResult {
+  bool Ok = false;
+  std::string Error;          ///< Bail reason when !Ok.
+  std::vector<uint8_t> Code;  ///< Complete function body incl. ret.
+  std::vector<AsmLine> Lines; ///< Annotated listing of Code.
+};
+
+/// Emits \p P as an x86-64 function. Never throws; inspect Ok/Error.
+EmitResult emitX86(const ir::Program &P);
+
+} // namespace jit
+} // namespace gmdiv
+
+#endif // GMDIV_JIT_X86EMITTER_H

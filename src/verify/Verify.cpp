@@ -28,6 +28,7 @@
 #include "core/MultiPrecision.h"
 #include "core/RemModSemantics.h"
 #include "ir/Interp.h"
+#include "jit/JitDivider.h"
 #include "ops/SmallWord.h"
 #include "telemetry/Json.h"
 #include "telemetry/Remarks.h"
@@ -76,6 +77,7 @@ enum Property : int {
   PCodegenDWord,
   PCodegenWideU,
   PBatchU,
+  PJitU,
   PChooseS,
   POracleS,
   PSDiv,
@@ -93,6 +95,8 @@ enum Property : int {
   PCodegenFloorRt,
   PCodegenWideS,
   PBatchS,
+  PJitS,
+  PJitFloor,
   PropertyEnd,
 };
 
@@ -112,6 +116,7 @@ constexpr PropertyInfo PropertyTable[PropertyEnd] = {
     {"codegen-dword", false, true},
     {"codegen-wide-unsigned", false, false},
     {"batch-unsigned", false, false},
+    {"jit-unsigned", false, false},
     {"choose-multiplier-signed", true, false},
     {"oracle-signed", true, false},
     {"signed-divider", true, false},
@@ -129,6 +134,8 @@ constexpr PropertyInfo PropertyTable[PropertyEnd] = {
     {"codegen-floor-runtime", true, false},
     {"codegen-wide-signed", true, false},
     {"batch-signed", true, false},
+    {"jit-signed", true, false},
+    {"jit-floor", true, false},
 };
 
 int propertyIndex(const std::string &Name) {
@@ -375,6 +382,25 @@ public:
       FloatU.emplace(DU);
       FloatS.emplace(DS);
     }
+    // JIT-executed sequences: the same generated programs, compiled to
+    // native code through the full Peephole + Scheduler + emitter
+    // pipeline. On hosts without the backend (or GMDIV_NO_JIT=1) the
+    // handles stay null and the jit-* properties record zero checks —
+    // the interpreter comparisons above still cover the sequences.
+    if (jit::enabled()) {
+      jit::CompileInfo Info;
+      Info.DivisorBits = DBits;
+      Info.HasDivisor = true;
+      Info.CaseName = "verify-unsigned";
+      JitU = jit::compile(jit::prepareForJit(PUDivRem), Info);
+      Info.CaseName = "verify-signed";
+      Info.IsSigned = true;
+      JitS = jit::compile(jit::prepareForJit(PSDivRem), Info);
+      if (PFloorMod) {
+        Info.CaseName = "verify-floor";
+        JitFloor = jit::compile(jit::prepareForJit(*PFloorMod), Info);
+      }
+    }
   }
 
   /// Per-divisor checks: CHOOSE_MULTIPLIER against Theorem 4.2 / §5, plus
@@ -562,6 +588,14 @@ public:
       R.check(PCodegenWideU, NBits / DBits, Results[0], DBits, NBits);
     }
 
+    // The same unsigned divRem sequence, JIT-executed: native code must
+    // agree with the Oracle (and hence with the interpreter runs above).
+    if (JitU) {
+      JitU->callAll(NBits, 0, Results);
+      R.check(PJitU, RU.TruncQ, Results[0], DBits, NBits);
+      R.check(PJitU, RU.TruncR, Results[1], DBits, NBits);
+    }
+
     // Figure 5.1/5.2 scalar divider (trunc), with the overflow check.
     R.check(PSDiv, RS.TruncQ, sbits(SDiv.divide(NS)), DBits, NBits);
     {
@@ -658,6 +692,18 @@ public:
       R.check(PCodegenWideS, static_cast<uint64_t>(NSigned / DSigned),
               Results[0], DBits, NBits);
       Args1[0] = NBits;
+    }
+
+    // JIT-executed signed and floor sequences.
+    if (JitS) {
+      JitS->callAll(NBits, 0, Results);
+      R.check(PJitS, RS.TruncQ, Results[0], DBits, NBits);
+      R.check(PJitS, RS.TruncR, Results[1], DBits, NBits);
+    }
+    if (JitFloor) {
+      JitFloor->callAll(NBits, 0, Results);
+      R.check(PJitFloor, RS.FloorQ, Results[0], DBits, NBits);
+      R.check(PJitFloor, RS.FloorR, Results[1], DBits, NBits);
     }
   }
 
@@ -763,6 +809,7 @@ private:
       PRemTestS2, PWideU, PWideS;
   std::optional<FloatDivider<UWord>> FloatU;
   std::optional<FloatDivider<SWord>> FloatS;
+  std::shared_ptr<const jit::CompiledSequence> JitU, JitS, JitFloor;
   uint64_t RemR0 = 0, RemR1 = 0;
   int64_t RemS1 = 0, RemS2 = 0;
   std::vector<uint64_t> Args1, Args2, Scratch, Results;

@@ -14,6 +14,7 @@
 
 #include "ir/Peephole.h"
 
+#include "codegen/DivCodeGen.h"
 #include "ir/Builder.h"
 #include "ir/Interp.h"
 
@@ -152,6 +153,84 @@ TEST(Peephole, ClearedLowBitsRoundTripBecomesAnd) {
   const Program Kept = optimize(Mismatch);
   for (uint64_t N : {0x1234ull, 0xdeadbeefull})
     EXPECT_EQ(run(Mismatch, {N})[0], run(Kept, {N})[0]);
+}
+
+TEST(Peephole, ShiftByZeroIsIdentity) {
+  // SRL/SLL/SRA/ROR by zero all collapse to the operand — the shape a
+  // sh_post of 0 leaves behind (e.g. signed division by 3 at 32 bits).
+  for (Opcode Op :
+       {Opcode::Srl, Opcode::Sll, Opcode::Sra, Opcode::Ror}) {
+    const Program P = rawProgram(
+        32, 1,
+        {makeInstr(Opcode::Arg), makeInstr(Op, 0, -1, 0),
+         makeInstr(Opcode::Add, 1, 1)},
+        {2});
+    PeepholeStats Stats;
+    const Program Optimized = optimize(P, &Stats);
+    for (const Instr &I : Optimized.instrs())
+      EXPECT_NE(I.Op, Op) << "shift-by-zero survived";
+    EXPECT_GT(Stats.total(), 0);
+    for (uint64_t N : {0ull, 1ull, 0xdeadbeefull, 0xffffffffull})
+      EXPECT_EQ(run(P, {N})[0], run(Optimized, {N})[0]);
+  }
+}
+
+TEST(Peephole, MultiplyByOneIsIdentity) {
+  // MULL(x, 1) => x, both operand orders.
+  for (bool ConstOnLhs : {false, true}) {
+    const Program P = rawProgram(
+        32, 1,
+        {makeInstr(Opcode::Arg), makeInstr(Opcode::Const, -1, -1, 1),
+         ConstOnLhs ? makeInstr(Opcode::MulL, 1, 0)
+                    : makeInstr(Opcode::MulL, 0, 1),
+         makeInstr(Opcode::Add, 2, 2)},
+        {3});
+    const Program Optimized = optimize(P);
+    for (const Instr &I : Optimized.instrs())
+      EXPECT_NE(I.Op, Opcode::MulL) << "multiply-by-one survived";
+    for (uint64_t N : {0ull, 7ull, 0xdeadbeefull, 0xffffffffull})
+      EXPECT_EQ(run(P, {N})[0], run(Optimized, {N})[0]);
+  }
+}
+
+TEST(Peephole, MulSHByOneBecomesSignMask) {
+  // MULSH(x, 1) is the high word of sign-extended x: its sign mask.
+  const Program P = rawProgram(
+      32, 1,
+      {makeInstr(Opcode::Arg), makeInstr(Opcode::Const, -1, -1, 1),
+       makeInstr(Opcode::MulSH, 0, 1)},
+      {2});
+  const Program Optimized = optimize(P);
+  for (const Instr &I : Optimized.instrs())
+    EXPECT_NE(I.Op, Opcode::MulSH);
+  for (uint64_t N : {0ull, 7ull, 0x7fffffffull, 0x80000000ull,
+                     0xffffffffull})
+    EXPECT_EQ(run(P, {N})[0], run(Optimized, {N})[0]);
+}
+
+TEST(Peephole, MulSHByZeroBecomesZero) {
+  const Program P = rawProgram(
+      32, 1,
+      {makeInstr(Opcode::Arg), makeInstr(Opcode::Const, -1, -1, 0),
+       makeInstr(Opcode::MulSH, 0, 1)},
+      {2});
+  const Program Optimized = optimize(P);
+  const Instr &Result = Optimized.instr(Optimized.results()[0]);
+  EXPECT_EQ(Result.Op, Opcode::Const);
+  EXPECT_EQ(Result.Imm, 0u);
+}
+
+TEST(Peephole, SignedDivBy3CarriesNoDeadShift) {
+  // d = 3 at 32 bits has sh_post == 0: the generated sequence must not
+  // carry an SRA-by-zero, and re-optimizing must find nothing left.
+  const Program P = codegen::genSignedDiv(32, 3);
+  for (const Instr &I : P.instrs())
+    if (I.Op == Opcode::Srl || I.Op == Opcode::Sra ||
+        I.Op == Opcode::Sll)
+      EXPECT_NE(I.Imm, 0u) << "dead shift in generated code";
+  PeepholeStats Stats;
+  const Program Optimized = optimize(P, &Stats);
+  EXPECT_EQ(Optimized.operationCount(), P.operationCount());
 }
 
 TEST(Peephole, DeadCodeElimination) {

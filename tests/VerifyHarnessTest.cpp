@@ -18,6 +18,7 @@
 #include "verify/Fuzzer.h"
 #include "verify/Verify.h"
 
+#include "jit/Jit.h"
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
 
@@ -51,8 +52,14 @@ TEST(VerifyHarness, EveryPropertyRunsAtNativeWidth) {
   // sequences, the doubleword path AND the batch backends all run, so
   // every property family must report checks.
   const VerifyReport Report = verifyWidth(8);
-  for (const PropertyCount &P : Report.Properties)
+  for (const PropertyCount &P : Report.Properties) {
+    // The jit-* properties record zero checks where compiled code
+    // cannot run (non-x86-64 hosts, GMDIV_NO_JIT=1) instead of
+    // vacuously passing on the interpreter.
+    if (!jit::enabled() && P.Name.rfind("jit-", 0) == 0)
+      continue;
     EXPECT_GT(P.Checks, 0u) << "property never exercised: " << P.Name;
+  }
 }
 
 TEST(VerifyHarness, NonNativeWidthSkipsNativeOnlyProperties) {
