@@ -41,6 +41,12 @@
 //                                        reports; exit 1 when any
 //                                        benchmark regressed beyond
 //                                        threshold + noise.
+//   gmdiv_tool metrics [prom|json] [--exercise]
+//                                        one-shot metrics snapshot in
+//                                        Prometheus text 0.0.4 (default)
+//                                        or JSON; --exercise runs a tiny
+//                                        batch + JIT workload first so
+//                                        the instruments have data.
 //
 // Global telemetry flags (usable with any command; all write stderr so
 // stdout stays a clean IR/assembly listing):
@@ -48,10 +54,14 @@
 //   --remarks=json|text   stream one remark per generated sequence.
 //   --stats               print the counter registry as one JSON line
 //                         after the command finishes (plus a second
-//                         line of latency histograms when any fired).
+//                         line of latency histograms when any fired,
+//                         plus JIT cache occupancy/hit-rate summary
+//                         lines when the cache was touched).
 //   --trace=FILE          record tracing spans and write a Chrome
 //                         trace-event JSON file on exit (load it in
 //                         Perfetto or about:tracing).
+//   --metrics=FILE        write a metrics snapshot on exit (format by
+//                         extension: .json = JSON, else Prometheus).
 //
 //===----------------------------------------------------------------------===//
 
@@ -66,6 +76,10 @@
 #include "ir/AsmPrinter.h"
 #include "ir/Parser.h"
 #include "jit/JitDivider.h"
+#include "metrics/Exporter.h"
+#include "metrics/Exposition.h"
+#include "metrics/FlightRecorder.h"
+#include "metrics/Metrics.h"
 #include "ops/Bits.h"
 #include "telemetry/BenchReport.h"
 #include "telemetry/Histogram.h"
@@ -106,13 +120,17 @@ int usage(const char *Argv0) {
                "  %s verify --replay <repro-string>\n"
                "  %s bench-diff <old.json> <new.json> [--threshold F] "
                "[--json]\n"
+               "  %s metrics [prom|json] [--exercise]\n"
                "global flags (telemetry, on stderr):\n"
                "  --remarks=json|text   one remark per generated sequence\n"
-               "  --stats               counter registry as one JSON line\n"
+               "  --stats               counter registry as one JSON line "
+               "(+ JIT cache summary)\n"
                "  --trace=FILE          write a Chrome trace-event JSON "
-               "file\n",
+               "file\n"
+               "  --metrics=FILE        write a metrics snapshot on exit "
+               "(.json = JSON, else Prometheus)\n",
                Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0,
-               Argv0);
+               Argv0, Argv0);
   return 1;
 }
 
@@ -241,6 +259,50 @@ template <typename T> int runBatch(T D, size_t Count) {
                 V256.speedup(), V256.breakEvenBatch());
   }
   return Mismatches ? 1 : 0;
+}
+
+/// A tiny deterministic workload for `metrics --exercise`: a few batch
+/// kernel calls straddling the break-even hint plus repeated JIT cache
+/// lookups, so a fresh process produces a snapshot with live series.
+void exerciseMetrics() {
+  batch::BatchDivider<uint32_t> Div(7);
+  std::vector<uint32_t> In(64), Out(64);
+  for (size_t I = 0; I < In.size(); ++I)
+    In[I] = static_cast<uint32_t>(I * 2654435761u);
+  Div.divide(In.data(), Out.data(), In.size());
+  Div.remainder(In.data(), Out.data(), 4); // Below the break-even hint.
+  for (const uint64_t D : {uint64_t{3}, uint64_t{7}, uint64_t{10}})
+    for (int Round = 0; Round < 2; ++Round) // Miss, then hit.
+      jit::compileCached(jit::CodeCache::global(),
+                         {jit::SeqKind::UDivRem, 32, D});
+}
+
+/// --stats companion: JIT cache occupancy and hit rate, aggregate plus
+/// any shard that saw traffic. Silent when the cache was never touched
+/// so non-JIT commands keep their current --stats output.
+void printJitCacheSummary() {
+  const jit::CodeCache &Cache = jit::CodeCache::global();
+  const jit::CacheStats Total = Cache.stats();
+  if (Total.Hits + Total.Misses == 0 && Total.Entries == 0)
+    return;
+  std::fprintf(stderr,
+               "jit cache: %zu/%zu entries, hits %llu (negative %llu), "
+               "misses %llu, evictions %llu, hit rate %.1f%%\n",
+               Total.Entries, Total.Capacity,
+               static_cast<unsigned long long>(Total.Hits),
+               static_cast<unsigned long long>(Total.NegativeHits),
+               static_cast<unsigned long long>(Total.Misses),
+               static_cast<unsigned long long>(Total.Evictions),
+               100.0 * Total.hitRatio());
+  const std::vector<jit::CacheStats> Shards = Cache.shardStats();
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    const jit::CacheStats &S = Shards[I];
+    if (S.Hits + S.Misses == 0 && S.Entries == 0)
+      continue;
+    std::fprintf(stderr,
+                 "  shard %2zu: %zu/%zu entries, hit rate %.1f%%\n", I,
+                 S.Entries, S.Capacity, 100.0 * S.hitRatio());
+  }
 }
 
 /// Command dispatch, after the global telemetry flags are stripped.
@@ -622,6 +684,28 @@ int runCommand(int Argc, char **Argv) {
     return AllMatch ? 0 : 1;
   }
 
+  if (Command == "metrics") {
+    std::string Format = "prom";
+    bool Exercise = false;
+    for (int I = 2; I < Argc; ++I) {
+      const std::string Arg = Argv[I];
+      if (Arg == "prom" || Arg == "json")
+        Format = Arg;
+      else if (Arg == "--exercise")
+        Exercise = true;
+      else
+        return usage(Argv[0]);
+    }
+    if (Exercise)
+      exerciseMetrics();
+    const metrics::Snapshot Snap = metrics::Registry::global().snapshot();
+    if (Format == "json")
+      std::printf("%s\n", metrics::snapshotJson(Snap).c_str());
+    else
+      std::fputs(metrics::prometheusText(Snap).c_str(), stdout);
+    return 0;
+  }
+
   return usage(Argv[0]);
 }
 
@@ -631,6 +715,7 @@ int main(int Argc, char **Argv) {
   bool ShowStats = false;
   std::string RemarksMode;
   std::string TraceFile;
+  std::string MetricsFile;
   std::vector<char *> Args;
   Args.reserve(static_cast<size_t>(Argc));
   for (int Index = 0; Index < Argc; ++Index) {
@@ -646,8 +731,17 @@ int main(int Argc, char **Argv) {
       TraceFile = Argv[Index] + 8;
       continue;
     }
+    if (std::strncmp(Argv[Index], "--metrics=", 10) == 0) {
+      MetricsFile = Argv[Index] + 10;
+      continue;
+    }
     Args.push_back(Argv[Index]);
   }
+
+  // Environment-driven observability: GMDIV_METRICS_OUT starts the
+  // background exporter, GMDIV_FLIGHT_RECORDER arms the crash dump.
+  metrics::Exporter::global().startFromEnv();
+  metrics::FlightRecorder::global().configureFromEnv();
 
   std::unique_ptr<telemetry::RemarkSink> Sink;
   if (RemarksMode == "json")
@@ -670,6 +764,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s\n", telemetry::statsJson().c_str());
     if (!telemetry::histogramsSnapshot().empty())
       std::fprintf(stderr, "%s\n", telemetry::histogramsJson().c_str());
+    printJitCacheSummary();
   }
   if (!TraceFile.empty()) {
     std::string Error;
@@ -680,5 +775,15 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "gmdiv_tool: trace written to %s\n",
                  TraceFile.c_str());
   }
+  if (!MetricsFile.empty()) {
+    std::string Error;
+    if (!metrics::Exporter::writeSnapshotFile(MetricsFile, &Error)) {
+      std::fprintf(stderr, "gmdiv_tool: --metrics: %s\n", Error.c_str());
+      return Result ? Result : 1;
+    }
+    std::fprintf(stderr, "gmdiv_tool: metrics written to %s\n",
+                 MetricsFile.c_str());
+  }
+  metrics::Exporter::global().stop();
   return Result;
 }

@@ -17,9 +17,11 @@
 
 #include "batch/BatchDivider.h"
 
+#include "metrics/Metrics.h"
 #include "telemetry/Remarks.h"
 #include "telemetry/Stats.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -117,6 +119,11 @@ bool backendAvailable(Backend B) {
 /// costs nothing and GMDIV_NO_TELEMETRY compiles it out.
 void noteBackendSelected(Backend B, const char *Source) {
   GMDIV_STAT_ADD(batch, backend_selections, 1);
+  metrics::Registry::global()
+      .counter("gmdiv_batch_backend_selected_total",
+               "Batch backend selection events by backend and source",
+               {{"backend", backendName(B)}, {"source", Source}})
+      .inc();
   if (!telemetry::remarksEnabled())
     return;
   telemetry::Remark R;
@@ -128,6 +135,42 @@ void noteBackendSelected(Backend B, const char *Source) {
   R.Details.emplace_back("backend", backendName(B));
   R.Details.emplace_back("source", Source);
   telemetry::emitRemark(R);
+}
+
+namespace {
+
+/// Calls with fewer elements than this are routed "below break-even":
+/// per §10 (and arch::estimateBatchCost) the vector setup cost has not
+/// amortized yet and the scalar per-element API would have been at
+/// least as fast. The default matches the cost model's typical
+/// break-even batch for 32-bit lanes; tools with a profile in hand can
+/// refine it via setBatchBreakEvenHint().
+std::atomic<size_t> BreakEvenHint{8};
+
+} // namespace
+
+void setBatchBreakEvenHint(size_t Elements) {
+  BreakEvenHint.store(Elements == 0 ? 1 : Elements,
+                      std::memory_order_relaxed);
+}
+
+size_t batchBreakEvenHint() {
+  return BreakEvenHint.load(std::memory_order_relaxed);
+}
+
+void noteBatchCall(size_t Count) {
+  auto &Reg = metrics::Registry::global();
+  static metrics::Counter &Calls = Reg.counter(
+      "gmdiv_batch_calls_total", "Batch kernel invocations");
+  static metrics::Counter &Elements = Reg.counter(
+      "gmdiv_batch_elements_total", "Elements processed by batch kernels");
+  static metrics::Counter &BelowBreakEven = Reg.counter(
+      "gmdiv_batch_calls_below_break_even_total",
+      "Batch calls smaller than the break-even batch size");
+  Calls.inc();
+  Elements.add(Count);
+  if (Count < BreakEvenHint.load(std::memory_order_relaxed))
+    BelowBreakEven.inc();
 }
 
 Backend activeBackend() {

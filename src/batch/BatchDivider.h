@@ -70,6 +70,20 @@ bool backendAvailable(Backend B);
 /// emits one "batch.backend" telemetry remark.
 Backend activeBackend();
 
+/// Break-even routing accounting (the metrics plane's
+/// gmdiv_batch_calls_below_break_even_total): calls with fewer than
+/// this many elements have not amortized the vector setup cost (§10).
+/// Defaults to 8; tools with an arch::estimateBatchCost profile in
+/// hand can tighten it.
+void setBatchBreakEvenHint(size_t Elements);
+size_t batchBreakEvenHint();
+
+/// Internal: records one kernel call (call count, element count,
+/// break-even routing) in the metrics plane. Called by every
+/// BatchDivider array entry point; a few ns against a whole-array
+/// kernel.
+void noteBatchCall(size_t Count);
+
 /// Divides many dividends by one invariant divisor. The constructor
 /// runs the divisor-dependent precomputation once (reusing
 /// UnsignedDivider / SignedDivider / ExactUnsignedDivider); every array
@@ -94,16 +108,19 @@ public:
   /// Out[i] = In[i] / d for i < Count (⌊n/d⌋ unsigned, trunc signed).
   /// In and Out may alias exactly (in-place) but not partially overlap.
   void divide(const T *In, T *Out, size_t Count) const {
+    noteBatchCall(Count);
     Kernels.Divide(State, In, Out, Count);
   }
 
   /// Out[i] = In[i] rem d (unsigned mod; C `%` for signed).
   void remainder(const T *In, T *Out, size_t Count) const {
+    noteBatchCall(Count);
     Kernels.Remainder(State, In, Out, Count);
   }
 
   /// Fused quotient+remainder: one multiply chain, two result streams.
   void divRem(const T *In, T *Quot, T *Rem, size_t Count) const {
+    noteBatchCall(Count);
     Kernels.DivRem(State, In, Quot, Rem, Count);
   }
 
@@ -112,18 +129,21 @@ public:
   template <typename U = T,
             typename = std::enable_if_t<std::is_unsigned_v<U>>>
   void divisible(const T *In, uint8_t *Out, size_t Count) const {
+    noteBatchCall(Count);
     Kernels.Divisible(State, In, Out, Count);
   }
 
   /// ⌊n/d⌋ per element. Signed lane types only.
   template <typename U = T, typename = std::enable_if_t<std::is_signed_v<U>>>
   void floorDivide(const T *In, T *Out, size_t Count) const {
+    noteBatchCall(Count);
     Kernels.FloorDivide(State, In, Out, Count);
   }
 
   /// ⌈n/d⌉ per element. Signed lane types only.
   template <typename U = T, typename = std::enable_if_t<std::is_signed_v<U>>>
   void ceilDivide(const T *In, T *Out, size_t Count) const {
+    noteBatchCall(Count);
     Kernels.CeilDivide(State, In, Out, Count);
   }
 

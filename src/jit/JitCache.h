@@ -30,13 +30,14 @@
 #define GMDIV_JIT_JITCACHE_H
 
 #include "jit/Jit.h"
+#include "metrics/Metrics.h"
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -88,18 +89,33 @@ struct CacheKeyHash {
 };
 
 /// Point-in-time counter snapshot (also mirrored into the global
-/// jit.cache_* stats for --stats output).
+/// jit.cache_* stats for --stats output). Hits counts every lookup
+/// that found an entry; NegativeHits is the subset that found a cached
+/// compile *failure* (null entry). Inserts counts entries added
+/// (Misses == Inserts, kept separately as a consistency check).
 struct CacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t NegativeHits = 0;
   uint64_t Evictions = 0;
+  uint64_t Inserts = 0;
   size_t Entries = 0;
+  size_t Capacity = 0;
+
+  /// Hits / (Hits + Misses); 0 before any lookup.
+  double hitRatio() const {
+    const uint64_t Lookups = Hits + Misses;
+    return Lookups ? static_cast<double>(Hits) /
+                         static_cast<double>(Lookups)
+                   : 0.0;
+  }
 };
 
 class CodeCache {
 public:
   /// \p ShardCapacity is per shard; total capacity is the product.
   explicit CodeCache(size_t NumShards = 16, size_t ShardCapacity = 128);
+  ~CodeCache();
 
   using Compiler =
       std::function<std::shared_ptr<const CompiledSequence>()>;
@@ -111,14 +127,31 @@ public:
   std::shared_ptr<const CompiledSequence> getOrCompile(const CacheKey &Key,
                                                        const Compiler &Compile);
 
+  /// Aggregate over every shard.
   CacheStats stats() const;
+  /// Per-shard counters, index = shard number. The hit-rate telemetry
+  /// the metrics plane exposes per shard comes from here.
+  std::vector<CacheStats> shardStats() const;
   size_t numShards() const { return Shards.size(); }
   size_t shardCapacity() const { return ShardCapacity; }
+
+  /// Compile-latency distribution (ns), aggregated over all shards;
+  /// per-shard histograms are reachable through the metrics snapshot.
+  const metrics::Histogram &compileLatency() const { return CompileNsAll; }
 
   /// Drops every entry (counters keep accumulating).
   void clear();
 
-  /// The process-wide cache all JitDivider instances share.
+  /// Registers this cache's counters, occupancy gauges, hit-rate gauge
+  /// and compile-latency histograms with the global metrics registry
+  /// under \p Prefix (e.g. "gmdiv_jit_cache" publishes
+  /// gmdiv_jit_cache_shard_hits_total{shard="..."} and friends).
+  /// Idempotent; the destructor unregisters, so test-local caches are
+  /// safe to export under their own prefix.
+  void exportMetrics(const std::string &Prefix);
+
+  /// The process-wide cache all JitDivider instances share; exported
+  /// to the metrics registry as gmdiv_jit_cache_*.
   static CodeCache &global();
 
 private:
@@ -131,17 +164,32 @@ private:
     std::list<Entry> Lru; ///< Front = most recently used.
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
         Map;
+    // Counters are written and read under Mutex: the lock is already
+    // taken on every path that touches them, so snapshots are exact.
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t NegativeHits = 0;
+    uint64_t Evictions = 0;
+    uint64_t Inserts = 0;
   };
 
   Shard &shardFor(const CacheKey &Key) {
-    return Shards[CacheKeyHash()(Key) % Shards.size()];
+    return Shards[shardIndexFor(Key)];
   }
+  size_t shardIndexFor(const CacheKey &Key) const {
+    return CacheKeyHash()(Key) % Shards.size();
+  }
+
+  void collect(metrics::SnapshotBuilder &B) const;
 
   std::vector<Shard> Shards;
   size_t ShardCapacity;
-  std::atomic<uint64_t> Hits{0};
-  std::atomic<uint64_t> Misses{0};
-  std::atomic<uint64_t> Evictions{0};
+  /// Compile latency in ns: one histogram per shard plus the aggregate
+  /// (each compile records into both; compiles are rare).
+  std::vector<std::unique_ptr<metrics::Histogram>> CompileNs;
+  metrics::Histogram CompileNsAll;
+  std::string MetricsPrefix;
+  uint64_t CollectorHandle = 0;
 };
 
 } // namespace jit

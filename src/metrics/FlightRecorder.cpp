@@ -1,0 +1,201 @@
+//===- metrics/FlightRecorder.cpp - Crash-time state dump -----------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/FlightRecorder.h"
+
+#include "metrics/Exposition.h"
+#include "metrics/Metrics.h"
+#include "telemetry/Json.h"
+#include "trace/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace gmdiv;
+using namespace gmdiv::metrics;
+
+namespace {
+
+struct State {
+  std::mutex Mutex;
+  FlightRecorder::Options Opts;
+};
+
+State &state() {
+  static State *S = new State;
+  return *S;
+}
+
+/// One-shot guard: a crash inside the dump itself must not recurse.
+std::atomic<bool> Dumping{false};
+
+const char *signalName(int Signal) {
+  switch (Signal) {
+  case SIGSEGV:
+    return "sigsegv";
+  case SIGABRT:
+    return "sigabrt";
+  default:
+    return "signal";
+  }
+}
+
+void onFatalSignal(int Signal) {
+  if (!Dumping.exchange(true)) {
+    // Best effort: not async-signal-safe (see FlightRecorder.h), but a
+    // lost report on an allocator crash beats no report on any crash.
+    FlightRecorder::global().dump(signalName(Signal));
+  }
+  // SA_RESETHAND restored the default action at handler entry, so the
+  // re-raise terminates with the original semantics.
+  raise(Signal);
+}
+
+} // namespace
+
+FlightRecorder &FlightRecorder::global() {
+  static FlightRecorder *F = new FlightRecorder;
+  return *F;
+}
+
+void FlightRecorder::configure(const Options &O) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Opts = O;
+  if (S.Opts.MaxSpans == 0)
+    S.Opts.MaxSpans = 1;
+}
+
+FlightRecorder::Options FlightRecorder::options() const {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  return S.Opts;
+}
+
+bool FlightRecorder::configureFromEnv() {
+  const char *Path = std::getenv("GMDIV_FLIGHT_RECORDER");
+  if (!Path || !Path[0])
+    return false;
+  Options O = options();
+  O.Path = Path;
+  configure(O);
+  installSignalHandlers();
+  return true;
+}
+
+void FlightRecorder::installSignalHandlers() {
+  static bool Installed = [] {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onFatalSignal;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = SA_RESETHAND;
+    sigaction(SIGSEGV, &SA, nullptr);
+    sigaction(SIGABRT, &SA, nullptr);
+    return true;
+  }();
+  (void)Installed;
+}
+
+std::string FlightRecorder::reportJson(const char *Reason) const {
+  using telemetry::json::Writer;
+  const Options Opts = options();
+
+  // Merge every thread's surviving spans, newest kept: sort by start
+  // time and keep the last MaxSpans.
+  uint64_t Recorded = 0, Dropped = 0;
+  std::vector<trace::TraceEvent> Spans;
+  for (const trace::ThreadSnapshot &T : trace::snapshot()) {
+    Recorded += T.Recorded;
+    Dropped += T.Dropped;
+    Spans.insert(Spans.end(), T.Events.begin(), T.Events.end());
+  }
+  std::sort(Spans.begin(), Spans.end(),
+            [](const trace::TraceEvent &A, const trace::TraceEvent &B) {
+              return A.StartNs < B.StartNs;
+            });
+  if (Spans.size() > Opts.MaxSpans)
+    Spans.erase(Spans.begin(),
+                Spans.end() - static_cast<ptrdiff_t>(Opts.MaxSpans));
+
+  const Snapshot Metrics = Registry::global().snapshot();
+
+  Writer W;
+  W.beginObject()
+      .key("gmdiv_flight_record")
+      .value(int64_t{1})
+      .key("reason")
+      .value(Reason)
+      .key("unix_ms")
+      .value(Metrics.UnixMs)
+      .key("spans_kept")
+      .value(static_cast<uint64_t>(Spans.size()))
+      .key("spans_recorded")
+      .value(Recorded)
+      .key("spans_dropped")
+      .value(Dropped);
+  W.key("spans").beginArray();
+  for (const trace::TraceEvent &E : Spans) {
+    W.beginObject()
+        .key("thread")
+        .value(static_cast<uint64_t>(E.ThreadId))
+        .key("cat")
+        .value(E.Category)
+        .key("name")
+        .value(E.Name)
+        .key("start_ns")
+        .value(E.StartNs)
+        .key("dur_ns")
+        .value(E.DurNs)
+        .key("arg")
+        .value(E.Arg)
+        .key("depth")
+        .value(static_cast<uint64_t>(E.Depth))
+        .endObject();
+  }
+  W.endArray().endObject();
+  std::string Out = W.str();
+  // Splice the metrics document in as a nested object: it is already a
+  // complete JSON document from the same writer family.
+  Out.pop_back(); // trailing '}'
+  Out += ",\"metrics\":" + snapshotJson(Metrics) + "}";
+  return Out;
+}
+
+bool FlightRecorder::dump(const char *Reason, std::string *Error) {
+  const Options Opts = options();
+  const std::string Body = reportJson(Reason);
+  const std::string Tmp = Opts.Path + ".tmp";
+  std::FILE *Out = std::fopen(Tmp.c_str(), "w");
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open " + Tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  const size_t Written = std::fwrite(Body.data(), 1, Body.size(), Out);
+  const bool Closed = std::fclose(Out) == 0;
+  if (Written != Body.size() || !Closed) {
+    if (Error)
+      *Error = "short write to " + Tmp;
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Opts.Path.c_str()) != 0) {
+    if (Error)
+      *Error = "cannot rename " + Tmp + ": " + std::strerror(errno);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,83 @@
+//===- metrics/FlightRecorder.h - Crash-time state dump ---------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A crash-time flight recorder: on SIGSEGV/SIGABRT (or an explicit
+/// dump() call) it writes one JSON crash report combining the last-N
+/// trace spans from the per-thread rings with a full metrics snapshot —
+/// the "what was the process doing" record the service layer needs when
+/// a JIT'd sequence or a batch kernel goes down in production.
+///
+/// Report schema (docs/OBSERVABILITY.md):
+///   {"gmdiv_flight_record":1,"reason":"sigsegv|sigabrt|explicit|...",
+///    "unix_ms":...,"spans_kept":N,"spans_recorded":...,
+///    "spans_dropped":...,
+///    "spans":[{"thread":...,"cat":...,"name":...,"start_ns":...,
+///              "dur_ns":...,"arg":...,"depth":...},...],
+///    "metrics":{...snapshotJson() document...}}
+///
+/// The signal path is best effort by design: report construction
+/// allocates, which is not async-signal-safe, so a crash inside the
+/// allocator itself may lose the report — acceptable for a diagnostic
+/// artifact, and the common crashes (bad JIT'd code, logic errors)
+/// happen outside the allocator. A re-entry guard prevents handler
+/// recursion, and handlers are installed with SA_RESETHAND so the
+/// original crash semantics (core dump, abort) are preserved by
+/// re-raising after the dump.
+///
+/// Environment wiring: GMDIV_FLIGHT_RECORDER=<path> makes
+/// configureFromEnv() arm the recorder and install the handlers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_METRICS_FLIGHTRECORDER_H
+#define GMDIV_METRICS_FLIGHTRECORDER_H
+
+#include <cstddef>
+#include <string>
+
+namespace gmdiv {
+namespace metrics {
+
+class FlightRecorder {
+public:
+  struct Options {
+    std::string Path = "gmdiv-flight.json";
+    /// Most recent spans kept in the report, across all threads.
+    size_t MaxSpans = 256;
+  };
+
+  /// The process-wide recorder (leaked singleton).
+  static FlightRecorder &global();
+
+  void configure(const Options &O);
+
+  /// Reads GMDIV_FLIGHT_RECORDER; when set, configures the path and
+  /// installs the signal handlers. Returns true iff armed.
+  bool configureFromEnv();
+
+  /// Installs SIGSEGV/SIGABRT handlers (idempotent) that dump and
+  /// re-raise. configure() first to control the output path.
+  void installSignalHandlers();
+
+  /// Writes the crash report to the configured path now. \p Reason
+  /// lands in the report ("explicit" for manual dumps).
+  bool dump(const char *Reason = "explicit", std::string *Error = nullptr);
+
+  /// The report document without writing it (tests, remote shipping).
+  std::string reportJson(const char *Reason) const;
+
+  Options options() const;
+
+private:
+  FlightRecorder() = default;
+};
+
+} // namespace metrics
+} // namespace gmdiv
+
+#endif // GMDIV_METRICS_FLIGHTRECORDER_H

@@ -1,0 +1,295 @@
+//===- metrics/Metrics.h - Unified runtime metrics registry -----*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime metrics plane: typed instruments (monotonic counters,
+/// gauges, log-scaled histograms) behind one process-wide Registry,
+/// with a point-in-time Snapshot model that the Prometheus/JSON
+/// exposition writers (metrics/Exposition.h) serialize.
+///
+/// The hot path is wait-free: a Counter spreads increments over 64
+/// cache-line-sized stripes indexed by a thread-local id, so 16 threads
+/// incrementing the same counter touch 16 different cache lines — one
+/// relaxed fetch_add each, no CAS loop, no lock (bench/bench_metrics.cpp
+/// holds this at a few ns/op with near-linear thread scaling). Stripes
+/// merge at snapshot time.
+///
+/// Sources that already keep their own counters (the JIT code cache,
+/// the legacy Stats registry, the trace rings) plug in as *collectors*:
+/// callbacks the Registry runs at snapshot time to append samples.
+/// Registry::snapshot() bridges the legacy telemetry surfaces
+/// (Stats -> counter families, LatencyHistogram -> summary families,
+/// trace ring drop counts, remark drop accounting) so `--stats` and the
+/// Prometheus exposition are views of the same numbers. When a native
+/// instrument and a bridged stat share a family name and label set the
+/// native sample wins (instruments are appended before collectors), so
+/// the two surfaces can never disagree.
+///
+///   auto &Hits = metrics::Registry::global().counter(
+///       "gmdiv_jit_cache_hits_total", "Cache lookups that hit");
+///   Hits.inc();                       // wait-free
+///   metrics::Snapshot S = metrics::Registry::global().snapshot();
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_METRICS_METRICS_H
+#define GMDIV_METRICS_METRICS_H
+
+#include "telemetry/Histogram.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gmdiv {
+namespace metrics {
+
+/// Ordered key/value label pairs. Order is preserved in the exposition;
+/// two label sets are equal iff they have the same pairs in the same
+/// order (instrument lookups use the serialized form as the key).
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Prometheus metric kinds the exposition understands.
+enum class Kind { Counter, Gauge, Histogram, Summary };
+
+const char *kindName(Kind K);
+
+namespace detail {
+/// Thread-local stripe id (dense, assigned on first use); callers mask
+/// it down to the stripe count.
+unsigned allocateStripe();
+inline unsigned stripeIndex() {
+  thread_local unsigned Index = allocateStripe();
+  return Index;
+}
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Instruments
+//===----------------------------------------------------------------------===//
+
+/// Monotonic counter. Increments go to one of 64 cache-line-aligned
+/// stripes chosen by thread id, so concurrent writers on different
+/// threads do not share a cache line; value() merges the stripes.
+/// More than 64 live threads alias stripes — still wait-free, just
+/// (rarely) shared lines.
+class Counter {
+public:
+  Counter() = default;
+  Counter(const Counter &) = delete;
+  Counter &operator=(const Counter &) = delete;
+
+  void add(uint64_t By) {
+    Stripes[detail::stripeIndex() & (NumStripes - 1)].V.fetch_add(
+        By, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  uint64_t value() const {
+    uint64_t Total = 0;
+    for (const Stripe &S : Stripes)
+      Total += S.V.load(std::memory_order_relaxed);
+    return Total;
+  }
+
+private:
+  static constexpr size_t NumStripes = 64;
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> V{0};
+  };
+  Stripe Stripes[NumStripes];
+};
+
+/// Last-value-wins gauge (occupancy, ratios scaled by the caller).
+class Gauge {
+public:
+  Gauge() = default;
+  Gauge(const Gauge &) = delete;
+  Gauge &operator=(const Gauge &) = delete;
+
+  void set(double V) { Bits.store(pack(V), std::memory_order_relaxed); }
+  double value() const { return unpack(Bits.load(std::memory_order_relaxed)); }
+
+private:
+  static uint64_t pack(double V);
+  static double unpack(uint64_t Bits);
+  std::atomic<uint64_t> Bits{0};
+};
+
+/// Log-scaled histogram over uint64 values (callers use ns), reusing
+/// the LatencyHistogram bucketing: 16 exact buckets below 16, then
+/// power-of-two majors split 16 ways — 1/32 relative bucket error over
+/// the full range. record() is two relaxed adds plus one bucket add.
+class Histogram {
+public:
+  Histogram() = default;
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  void record(uint64_t Value) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    Buckets[telemetry::LatencyHistogram::bucketIndex(Value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+
+  /// Cumulative (le, count) pairs for the Prometheus exposition:
+  /// upper bounds 1, 3, 7, 15, then 2^k - 1 per major bucket, trimmed
+  /// after the first bound that covers every recorded value. The +Inf
+  /// bucket is implicit (equals count()).
+  struct Cumulative {
+    std::vector<std::pair<double, uint64_t>> Bounds;
+    uint64_t Count = 0;
+    double Sum = 0;
+  };
+  Cumulative cumulative() const;
+
+private:
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Buckets[telemetry::LatencyHistogram::NumBuckets];
+};
+
+//===----------------------------------------------------------------------===//
+// Snapshot model
+//===----------------------------------------------------------------------===//
+
+/// One sample (time series) inside a family.
+struct Sample {
+  LabelSet Labels;
+  /// Counter / gauge value.
+  double Value = 0;
+  /// Histogram-only: cumulative (le, count) pairs, +Inf implicit.
+  std::vector<std::pair<double, uint64_t>> CumulativeBuckets;
+  /// Summary-only: (quantile, value) pairs.
+  std::vector<std::pair<double, double>> Quantiles;
+  /// Histogram and summary: total of observations and their sum.
+  uint64_t Count = 0;
+  double Sum = 0;
+};
+
+/// All samples of one metric name.
+struct Family {
+  std::string Name;
+  std::string Help;
+  Kind K = Kind::Counter;
+  std::vector<Sample> Samples;
+};
+
+/// Point-in-time view of every family, sorted by name.
+struct Snapshot {
+  int64_t UnixMs = 0; ///< Wall clock at snapshot time.
+  std::vector<Family> Families;
+
+  /// First sample matching (name, labels); nullptr when absent.
+  const Sample *find(const std::string &Name, const LabelSet &Labels = {}) const;
+  /// Value of a counter/gauge sample; \p Default when absent.
+  double valueOr(const std::string &Name, const LabelSet &Labels,
+                 double Default) const;
+};
+
+/// Collector-facing sink: appends samples to the snapshot under
+/// construction. The first writer of a (name, labels) series wins —
+/// native instruments run before collectors, collectors in
+/// registration order.
+class SnapshotBuilder {
+public:
+  void counter(const std::string &Name, const std::string &Help,
+               const LabelSet &Labels, double Value);
+  void gauge(const std::string &Name, const std::string &Help,
+             const LabelSet &Labels, double Value);
+  void histogram(const std::string &Name, const std::string &Help,
+                 const LabelSet &Labels,
+                 std::vector<std::pair<double, uint64_t>> CumulativeBuckets,
+                 uint64_t Count, double Sum);
+  void summary(const std::string &Name, const std::string &Help,
+               const LabelSet &Labels,
+               std::vector<std::pair<double, double>> Quantiles,
+               uint64_t Count, double Sum);
+
+  /// Finalizes: families sorted by name, samples in insertion order.
+  Snapshot take();
+
+private:
+  Sample *addSample(const std::string &Name, const std::string &Help, Kind K,
+                    const LabelSet &Labels);
+
+  std::map<std::string, Family> Families;
+  /// Serialized (name, labels) of every accepted sample, for dedupe.
+  std::map<std::string, bool> Seen;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+class Registry {
+public:
+  Registry();
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  /// The process-wide registry (leaked singleton, safe at teardown).
+  static Registry &global();
+
+  /// Get-or-create by (name, labels): the same key always returns the
+  /// same instrument, so function-local `static auto &C = ...` caching
+  /// is safe and the idiomatic hot-path pattern. A name must keep one
+  /// kind; Help is taken from the first registration.
+  Counter &counter(const std::string &Name, const std::string &Help = "",
+                   const LabelSet &Labels = {});
+  Gauge &gauge(const std::string &Name, const std::string &Help = "",
+               const LabelSet &Labels = {});
+  Histogram &histogram(const std::string &Name, const std::string &Help = "",
+                       const LabelSet &Labels = {});
+
+  /// Snapshot-time callback appending samples (for sources that keep
+  /// their own counters). Returns a handle for removeCollector.
+  using Collector = std::function<void(SnapshotBuilder &)>;
+  uint64_t addCollector(Collector C);
+  void removeCollector(uint64_t Handle);
+
+  /// Merges every instrument, then every collector, then the legacy
+  /// telemetry bridges (Stats, LatencyHistogram, trace drop counts,
+  /// remark drop accounting) into one Snapshot.
+  Snapshot snapshot() const;
+
+private:
+  template <typename T> struct Entry {
+    std::string Name;
+    std::string Help;
+    LabelSet Labels;
+    std::unique_ptr<T> Instrument;
+  };
+
+  mutable std::mutex Mutex;
+  std::vector<Entry<Counter>> Counters;
+  std::vector<Entry<Gauge>> Gauges;
+  std::vector<Entry<Histogram>> Histograms;
+  std::map<std::string, size_t> CounterIndex, GaugeIndex, HistogramIndex;
+  std::vector<std::pair<uint64_t, Collector>> Collectors;
+  uint64_t NextCollector = 1;
+};
+
+/// Serialized "name{k=\"v\",...}" form used as the instrument key and
+/// for sample dedupe (exact Prometheus series syntax).
+std::string seriesKey(const std::string &Name, const LabelSet &Labels);
+
+} // namespace metrics
+} // namespace gmdiv
+
+#endif // GMDIV_METRICS_METRICS_H

@@ -178,6 +178,12 @@ std::string json::Writer::str() const {
 
 namespace {
 
+/// Containers nested deeper than this fail the parse: both parsers are
+/// recursive-descent, so the bound turns a potential stack overflow on
+/// adversarial input ("[[[[...") into a clean rejection. 256 is far
+/// beyond any document the project emits.
+constexpr int MaxParseDepth = 256;
+
 /// Recursive-descent JSON validator over a character range.
 class Parser {
 public:
@@ -234,11 +240,13 @@ private:
   }
 
   bool parseObject() {
-    if (!eat('{'))
+    if (!eat('{') || ++Depth > MaxParseDepth)
       return false;
     skipWs();
-    if (eat('}'))
+    if (eat('}')) {
+      --Depth;
       return true;
+    }
     while (true) {
       skipWs();
       if (!parseString())
@@ -250,26 +258,32 @@ private:
       if (!parseValue())
         return false;
       skipWs();
-      if (eat('}'))
+      if (eat('}')) {
+        --Depth;
         return true;
+      }
       if (!eat(','))
         return false;
     }
   }
 
   bool parseArray() {
-    if (!eat('['))
+    if (!eat('[') || ++Depth > MaxParseDepth)
       return false;
     skipWs();
-    if (eat(']'))
+    if (eat(']')) {
+      --Depth;
       return true;
+    }
     while (true) {
       skipWs();
       if (!parseValue())
         return false;
       skipWs();
-      if (eat(']'))
+      if (eat(']')) {
+        --Depth;
         return true;
+      }
       if (!eat(','))
         return false;
     }
@@ -356,6 +370,7 @@ private:
 
   const char *Cur;
   const char *End;
+  int Depth = 0;
 };
 
 } // namespace
@@ -495,11 +510,12 @@ private:
   }
 
   bool parseObject(json::Value &Out) {
-    if (!eat('{'))
+    if (!eat('{') || ++Depth > MaxParseDepth)
       return false;
     std::vector<std::pair<std::string, json::Value>> Members;
     skipWs();
     if (eat('}')) {
+      --Depth;
       Out = json::Value::makeObject(std::move(Members));
       return true;
     }
@@ -518,6 +534,7 @@ private:
       Members.emplace_back(std::move(Key), std::move(Member));
       skipWs();
       if (eat('}')) {
+        --Depth;
         Out = json::Value::makeObject(std::move(Members));
         return true;
       }
@@ -527,11 +544,12 @@ private:
   }
 
   bool parseArray(json::Value &Out) {
-    if (!eat('['))
+    if (!eat('[') || ++Depth > MaxParseDepth)
       return false;
     std::vector<json::Value> Elements;
     skipWs();
     if (eat(']')) {
+      --Depth;
       Out = json::Value::makeArray(std::move(Elements));
       return true;
     }
@@ -543,6 +561,7 @@ private:
       Elements.push_back(std::move(Element));
       skipWs();
       if (eat(']')) {
+        --Depth;
         Out = json::Value::makeArray(std::move(Elements));
         return true;
       }
@@ -708,6 +727,7 @@ private:
 
   const char *Cur;
   const char *End;
+  int Depth = 0;
 };
 
 } // namespace

@@ -70,7 +70,9 @@ private:
 
 /// Strict validating parse of one JSON document (object, array, or any
 /// other value) with nothing but whitespace around it. Returns true iff
-/// \p Text is well-formed per RFC 8259.
+/// \p Text is well-formed per RFC 8259. Containers nested deeper than
+/// 256 levels are rejected: the parser is recursive-descent, and the
+/// bound keeps adversarial "[[[[..." inputs from overflowing the stack.
 bool isValid(const std::string &Text);
 
 /// A parsed JSON value. The tree is plain data: objects keep insertion

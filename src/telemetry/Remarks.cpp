@@ -86,6 +86,9 @@ Dispatcher &dispatcher() {
 /// Fast-path flag: nonzero iff any sink is installed.
 std::atomic<int> SinkCount{0};
 
+std::atomic<uint64_t> RemarksEmitted{0};
+std::atomic<uint64_t> RemarksDropped{0};
+
 } // namespace
 
 void telemetry::addRemarkSink(RemarkSink *Sink) {
@@ -116,10 +119,18 @@ bool telemetry::remarksEnabled() {
 #endif
 
 void telemetry::emitRemark(const Remark &R) {
-  if (SinkCount.load(std::memory_order_acquire) == 0)
+  if (SinkCount.load(std::memory_order_acquire) == 0) {
+    RemarksDropped.fetch_add(1, std::memory_order_relaxed);
     return;
+  }
+  RemarksEmitted.fetch_add(1, std::memory_order_relaxed);
   Dispatcher &D = dispatcher();
   std::lock_guard<std::mutex> Lock(D.Mutex);
   for (RemarkSink *Sink : D.Sinks)
     Sink->handle(R);
+}
+
+void telemetry::remarkCounts(uint64_t &Emitted, uint64_t &Dropped) {
+  Emitted = RemarksEmitted.load(std::memory_order_relaxed);
+  Dropped = RemarksDropped.load(std::memory_order_relaxed);
 }

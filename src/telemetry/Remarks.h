@@ -107,6 +107,13 @@ void removeRemarkSink(RemarkSink *Sink);
 /// Fans a remark out to every installed sink.
 void emitRemark(const Remark &R);
 
+/// Dispatch accounting: \p Emitted counts remarks delivered to at least
+/// one sink, \p Dropped counts remarks handed to emitRemark() with no
+/// sink installed (remarksEnabled()-guarded emitters never build those,
+/// so Dropped only grows at unguarded call sites). Exposed through the
+/// metrics plane as gmdiv_remarks_{emitted,dropped}_total.
+void remarkCounts(uint64_t &Emitted, uint64_t &Dropped);
+
 #ifdef GMDIV_NO_TELEMETRY
 /// Telemetry compiled out: guards become if(false) and dead-strip.
 constexpr bool remarksEnabled() { return false; }

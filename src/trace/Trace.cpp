@@ -166,6 +166,30 @@ uint64_t trace::droppedEvents() {
   return Total;
 }
 
+std::vector<ThreadDropCounts> trace::dropCounts() {
+  std::vector<ThreadRing *> Rings;
+  {
+    Registry &Reg = registry();
+    std::lock_guard<std::mutex> Lock(Reg.Mutex);
+    Rings = Reg.Rings;
+  }
+  std::vector<ThreadDropCounts> Out;
+  Out.reserve(Rings.size());
+  for (const ThreadRing *Ring : Rings) {
+    ThreadDropCounts C;
+    C.ThreadId = Ring->ThreadId;
+    C.Recorded = Ring->Next.load(std::memory_order_acquire);
+    // Same accounting as snapshot(): once wrapped, one extra slot past
+    // the logical oldest event is conceded to the write frontier.
+    uint64_t Keep = C.Recorded;
+    if (Keep > RingCapacity)
+      Keep = RingCapacity - 1;
+    C.Dropped = C.Recorded - Keep;
+    Out.push_back(C);
+  }
+  return Out;
+}
+
 void trace::clear() {
   Registry &Reg = registry();
   std::lock_guard<std::mutex> Lock(Reg.Mutex);

@@ -109,6 +109,15 @@ std::vector<ThreadSnapshot> snapshot();
 /// Total events dropped to wraparound across all threads.
 uint64_t droppedEvents();
 
+/// Per-thread recorded/dropped tallies without copying any events —
+/// the cheap form the metrics plane polls on every snapshot.
+struct ThreadDropCounts {
+  uint32_t ThreadId = 0;
+  uint64_t Recorded = 0;
+  uint64_t Dropped = 0;
+};
+std::vector<ThreadDropCounts> dropCounts();
+
 /// Resets every ring (counts and events). For tests and multi-phase
 /// tools; concurrent recorders may keep a stale index for one event.
 void clear();

@@ -7,6 +7,7 @@
 
 #include "verify/Fuzzer.h"
 
+#include "metrics/Metrics.h"
 #include "telemetry/Json.h"
 #include "trace/Trace.h"
 
@@ -174,6 +175,10 @@ FuzzReport verify::runFuzzer(const FuzzOptions &Options) {
                                                      DwordPairs));
     }
     ++Report.Rounds;
+    static metrics::Counter &RoundsMetric =
+        metrics::Registry::global().counter("gmdiv_verify_fuzz_rounds_total",
+                                            "Fuzz campaign rounds completed");
+    RoundsMetric.inc();
   }
   Report.ElapsedSeconds = elapsed();
 

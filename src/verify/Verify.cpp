@@ -29,6 +29,7 @@
 #include "core/RemModSemantics.h"
 #include "ir/Interp.h"
 #include "jit/JitDivider.h"
+#include "metrics/Metrics.h"
 #include "ops/SmallWord.h"
 #include "telemetry/Json.h"
 #include "telemetry/Remarks.h"
@@ -216,7 +217,14 @@ public:
     }
     Report.Failures = std::move(Failures);
     Failures.clear();
+    // Mirrored natively into the metrics plane under the same family
+    // name the Stats bridge would synthesize, so the exposition keeps
+    // counting under GMDIV_NO_TELEMETRY (the native sample shadows the
+    // bridged one; both read the same flush, so they cannot disagree).
     GMDIV_STAT_ADD(verify, checks, Total - Flushed);
+    static metrics::Counter &ChecksMetric = metrics::Registry::global().counter(
+        "gmdiv_verify_checks_total", "Differential properties checked");
+    ChecksMetric.add(Total - Flushed);
     Flushed = Total;
     return Report;
   }
@@ -235,6 +243,10 @@ private:
       return true;
     ++Counts[P].Mismatches;
     GMDIV_STAT(verify, mismatches);
+    static metrics::Counter &MismatchMetric =
+        metrics::Registry::global().counter("gmdiv_verify_mismatches_total",
+                                            "Differential mismatches found");
+    MismatchMetric.inc();
     recordFailure(P, Expected, Actual, DBits, NBits, N2Bits, HasN2);
     return false;
   }

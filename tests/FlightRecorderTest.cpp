@@ -1,0 +1,123 @@
+//===- tests/FlightRecorderTest.cpp - Crash-time flight recorder ----------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit-dump path of the flight recorder (the signal path is
+/// the same code minus the handler): the report must parse as JSON,
+/// carry the recent trace spans, and embed a full metrics snapshot —
+/// everything a postmortem needs from one file.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/FlightRecorder.h"
+
+#include "metrics/Metrics.h"
+#include "telemetry/Json.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace gmdiv;
+using namespace gmdiv::metrics;
+
+namespace json = gmdiv::telemetry::json;
+
+namespace {
+
+void recordSomeSpans(int Count) {
+  trace::setEnabled(true);
+  for (int I = 0; I < Count; ++I) {
+    trace::Span S("flight_test", "unit_span", static_cast<uint64_t>(I));
+  }
+}
+
+TEST(FlightRecorder, ReportIsParseableAndCarriesSpansAndMetrics) {
+  recordSomeSpans(3);
+  Registry::global().counter("gmdiv_test_flight_total").inc();
+
+  const std::string Doc =
+      FlightRecorder::global().reportJson("unit_test");
+  ASSERT_TRUE(json::isValid(Doc));
+  json::Value Root;
+  ASSERT_TRUE(json::parse(Doc, Root));
+
+  EXPECT_EQ(Root.numberOr("gmdiv_flight_record", 0), 1.0);
+  EXPECT_EQ(Root.stringOr("reason", ""), "unit_test");
+  EXPECT_GT(Root.numberOr("unix_ms", 0), 0.0);
+  EXPECT_GE(Root.numberOr("spans_kept", 0), 1.0);
+
+  // At least one span, and our category is among them.
+  const json::Value *Spans = Root.find("spans");
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_GE(Spans->array().size(), 1u);
+  bool SawOurs = false;
+  for (const json::Value &Span : Spans->array()) {
+    EXPECT_NE(Span.find("thread"), nullptr);
+    EXPECT_NE(Span.find("start_ns"), nullptr);
+    EXPECT_NE(Span.find("dur_ns"), nullptr);
+    if (Span.stringOr("cat", "") == "flight_test" &&
+        Span.stringOr("name", "") == "unit_span")
+      SawOurs = true;
+  }
+  EXPECT_TRUE(SawOurs) << Doc;
+
+  // The embedded metrics snapshot is the full snapshotJson document.
+  const json::Value *Metrics = Root.find("metrics");
+  ASSERT_NE(Metrics, nullptr);
+  EXPECT_EQ(Metrics->numberOr("gmdiv_metrics", 0), 1.0);
+  bool FoundCounter = false;
+  for (const json::Value &F : Metrics->find("families")->array())
+    if (F.stringOr("name", "") == "gmdiv_test_flight_total")
+      FoundCounter = true;
+  EXPECT_TRUE(FoundCounter) << Doc;
+}
+
+TEST(FlightRecorder, DumpWritesTheConfiguredFile) {
+  recordSomeSpans(2);
+  FlightRecorder &FR = FlightRecorder::global();
+  FlightRecorder::Options O;
+  O.Path = testing::TempDir() + "gmdiv_flight_test.json";
+  O.MaxSpans = 64;
+  FR.configure(O);
+  EXPECT_EQ(FR.options().Path, O.Path);
+
+  std::string Error;
+  ASSERT_TRUE(FR.dump("explicit", &Error)) << Error;
+  std::ifstream In(O.Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  json::Value Root;
+  ASSERT_TRUE(json::parse(Buf.str(), Root));
+  EXPECT_EQ(Root.stringOr("reason", ""), "explicit");
+  EXPECT_GE(Root.find("spans")->array().size(), 1u);
+  std::remove(O.Path.c_str());
+}
+
+TEST(FlightRecorder, MaxSpansKeepsOnlyTheMostRecent) {
+  recordSomeSpans(40);
+  FlightRecorder &FR = FlightRecorder::global();
+  FlightRecorder::Options O;
+  O.Path = testing::TempDir() + "gmdiv_flight_capped.json";
+  O.MaxSpans = 8;
+  FR.configure(O);
+
+  json::Value Root;
+  ASSERT_TRUE(json::parse(FR.reportJson("capped"), Root));
+  EXPECT_LE(Root.find("spans")->array().size(), 8u);
+  EXPECT_LE(Root.numberOr("spans_kept", 99), 8.0);
+  // The recorder reports how much it recorded vs kept, so the cap is
+  // visible, not silent.
+  EXPECT_GE(Root.numberOr("spans_recorded", 0), 8.0);
+}
+
+} // namespace

@@ -18,6 +18,7 @@
 #include "jit/JitCache.h"
 
 #include "jit/JitDivider.h"
+#include "metrics/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -173,6 +174,160 @@ TEST(JitCache, EvictedSequencesStillExecute) {
   EXPECT_GE(Cache.stats().Evictions, 1u);
   EXPECT_EQ(First->call(1000), 1000u / 7u);
   EXPECT_EQ(Second->call(1000), 1000u / 11u);
+}
+
+TEST(JitCache, CountersExactUnderFourThreadContention) {
+  // Shard counters are plain integers mutated under the shard mutex,
+  // so even with four threads hammering the same keys the totals are
+  // exact, not approximate.
+  CodeCache Cache(4, 64);
+  constexpr int NumThreads = 4;
+  constexpr int RoundsPerThread = 1000;
+  constexpr int NumKeys = 16;
+  std::atomic<int> Compiles{0};
+  const auto Worker = [&] {
+    for (int Round = 0; Round < RoundsPerThread; ++Round) {
+      const CacheKey Key{SeqKind::UDiv, 32,
+                         static_cast<uint64_t>(3 + 2 * (Round % NumKeys))};
+      Cache.getOrCompile(Key, [&] {
+        ++Compiles;
+        return makeDummy();
+      });
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+
+  const CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits + S.Misses,
+            static_cast<uint64_t>(NumThreads) * RoundsPerThread);
+  EXPECT_EQ(S.Misses, static_cast<uint64_t>(NumKeys));
+  EXPECT_EQ(S.Inserts, S.Misses);
+  EXPECT_EQ(S.NegativeHits, 0u);
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.Entries, static_cast<size_t>(NumKeys));
+  EXPECT_EQ(Compiles.load(), NumKeys);
+  // One compile-latency observation per miss, none lost.
+  EXPECT_EQ(Cache.compileLatency().count(),
+            static_cast<uint64_t>(NumKeys));
+  EXPECT_DOUBLE_EQ(S.hitRatio(),
+                   static_cast<double>(S.Hits) /
+                       static_cast<double>(S.Hits + S.Misses));
+}
+
+TEST(JitCache, NegativeHitsAreTheCachedFailureSubset) {
+  CodeCache Cache(2, 8);
+  std::atomic<int> Compiles{0};
+  const auto Failing = [&]() -> std::shared_ptr<const CompiledSequence> {
+    ++Compiles;
+    return nullptr;
+  };
+  const CacheKey Bad{SeqKind::SDiv, 32, 0};
+  Cache.getOrCompile(Bad, Failing); // Miss, caches the failure.
+  Cache.getOrCompile(Bad, Failing); // Hit on the null entry.
+  Cache.getOrCompile(Bad, Failing);
+  // A successful entry's hits are NOT negative hits.
+  const CacheKey Good{SeqKind::UDiv, 32, 7};
+  Cache.getOrCompile(Good, [&] { return makeDummy(); });
+  Cache.getOrCompile(Good, [&] { return makeDummy(); });
+
+  const CacheStats S = Cache.stats();
+  EXPECT_EQ(Compiles.load(), 1);
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.NegativeHits, 2u);
+}
+
+TEST(JitCache, ShardStatsSumToAggregate) {
+  CodeCache Cache(8, 4);
+  std::atomic<int> Compiles{0};
+  const auto Compiler = [&] {
+    ++Compiles;
+    return makeDummy();
+  };
+  // Enough keys to spread over shards and force some evictions.
+  for (int Round = 0; Round < 3; ++Round)
+    for (uint64_t D = 3; D < 120; D += 2)
+      Cache.getOrCompile({SeqKind::UDiv, 32, D}, Compiler);
+
+  const std::vector<CacheStats> PerShard = Cache.shardStats();
+  ASSERT_EQ(PerShard.size(), Cache.numShards());
+  CacheStats Sum;
+  for (const CacheStats &Row : PerShard) {
+    EXPECT_EQ(Row.Capacity, Cache.shardCapacity());
+    EXPECT_LE(Row.Entries, Row.Capacity);
+    Sum.Hits += Row.Hits;
+    Sum.Misses += Row.Misses;
+    Sum.NegativeHits += Row.NegativeHits;
+    Sum.Evictions += Row.Evictions;
+    Sum.Inserts += Row.Inserts;
+    Sum.Entries += Row.Entries;
+    Sum.Capacity += Row.Capacity;
+  }
+  const CacheStats Total = Cache.stats();
+  EXPECT_EQ(Sum.Hits, Total.Hits);
+  EXPECT_EQ(Sum.Misses, Total.Misses);
+  EXPECT_EQ(Sum.NegativeHits, Total.NegativeHits);
+  EXPECT_EQ(Sum.Evictions, Total.Evictions);
+  EXPECT_EQ(Sum.Inserts, Total.Inserts);
+  EXPECT_EQ(Sum.Entries, Total.Entries);
+  EXPECT_EQ(Sum.Capacity, Total.Capacity);
+  EXPECT_EQ(Total.Misses, static_cast<uint64_t>(Compiles.load()));
+  EXPECT_GT(Total.Evictions, 0u) << "8x4 cache with 59 keys must evict";
+}
+
+TEST(JitCache, ExportMetricsPublishesPerShardAndAggregateSeries) {
+  CodeCache Cache(2, 8);
+  Cache.exportMetrics("gmdiv_test_jitcache");
+  const auto Compiler = [] { return makeDummy(); };
+  for (uint64_t D = 3; D < 13; D += 2) {
+    Cache.getOrCompile({SeqKind::UDiv, 32, D}, Compiler);
+    Cache.getOrCompile({SeqKind::UDiv, 32, D}, Compiler);
+  }
+  const CacheStats Total = Cache.stats();
+
+  const metrics::Snapshot Snap = metrics::Registry::global().snapshot();
+  // Aggregate gauges.
+  EXPECT_EQ(Snap.valueOr("gmdiv_test_jitcache_entries", {}, -1),
+            static_cast<double>(Total.Entries));
+  EXPECT_EQ(Snap.valueOr("gmdiv_test_jitcache_capacity", {}, -1), 16.0);
+  EXPECT_DOUBLE_EQ(Snap.valueOr("gmdiv_test_jitcache_hit_ratio", {}, -1),
+                   Total.hitRatio());
+  // Per-shard counters sum back to the aggregate.
+  double ShardHits = 0, ShardMisses = 0;
+  for (int I = 0; I < 2; ++I) {
+    const metrics::LabelSet L = {{"shard", std::to_string(I)}};
+    ShardHits +=
+        Snap.valueOr("gmdiv_test_jitcache_shard_hits_total", L, 0);
+    ShardMisses +=
+        Snap.valueOr("gmdiv_test_jitcache_shard_misses_total", L, 0);
+  }
+  EXPECT_EQ(ShardHits, static_cast<double>(Total.Hits));
+  EXPECT_EQ(ShardMisses, static_cast<double>(Total.Misses));
+  // The compile-latency histogram counts exactly the misses.
+  const metrics::Sample *Latency =
+      Snap.find("gmdiv_test_jitcache_compile_ns");
+  ASSERT_NE(Latency, nullptr);
+  EXPECT_EQ(Latency->Count, Total.Misses);
+}
+
+TEST(JitCache, DestructionUnregistersTheCollector) {
+  {
+    CodeCache Cache(2, 8);
+    Cache.exportMetrics("gmdiv_test_jitcache_scoped");
+    Cache.getOrCompile({SeqKind::UDiv, 32, 3}, [] { return makeDummy(); });
+    EXPECT_GE(metrics::Registry::global().snapshot().valueOr(
+                  "gmdiv_test_jitcache_scoped_entries", {}, -1),
+              1.0);
+  }
+  // After the cache dies its collector must be gone, or the next
+  // snapshot would touch freed memory.
+  EXPECT_EQ(metrics::Registry::global().snapshot().valueOr(
+                "gmdiv_test_jitcache_scoped_entries", {}, -1),
+            -1.0);
 }
 
 TEST(JitCache, GlobalCacheSharesAcrossDividers) {

@@ -200,6 +200,86 @@ TEST(Json, ValidatorRejectsMalformedDocuments) {
   EXPECT_FALSE(json::isValid("{} extra"));
 }
 
+TEST(Json, DeepNestingIsBoundedNotFatal) {
+  // Both parsers are recursive-descent with a 256-level container
+  // bound: comfortably deep documents parse, adversarial "[[[[..."
+  // input is rejected cleanly instead of overflowing the stack.
+  const auto nestedArray = [](int Depth) {
+    return std::string(static_cast<size_t>(Depth), '[') + "1" +
+           std::string(static_cast<size_t>(Depth), ']');
+  };
+  json::Value V;
+  EXPECT_TRUE(json::isValid(nestedArray(200)));
+  EXPECT_TRUE(json::parse(nestedArray(200), V));
+  EXPECT_TRUE(json::isValid(nestedArray(256)));
+  EXPECT_FALSE(json::isValid(nestedArray(257)));
+  EXPECT_FALSE(json::parse(nestedArray(257), V));
+  EXPECT_FALSE(json::isValid(nestedArray(100000)));
+  EXPECT_FALSE(json::parse(nestedArray(100000), V));
+
+  // Same bound for objects.
+  std::string DeepObject;
+  for (int I = 0; I < 300; ++I)
+    DeepObject += "{\"k\":";
+  DeepObject += "0";
+  for (int I = 0; I < 300; ++I)
+    DeepObject += '}';
+  EXPECT_FALSE(json::isValid(DeepObject));
+  EXPECT_FALSE(json::parse(DeepObject, V));
+}
+
+TEST(Json, DuplicateKeysKeepInsertionOrderAndFindReturnsFirst) {
+  // RFC 8259 leaves duplicate member names to the implementation; ours
+  // keeps every member in insertion order and find() returns the first.
+  const std::string Doc = "{\"a\":1,\"b\":2,\"a\":3}";
+  EXPECT_TRUE(json::isValid(Doc));
+  json::Value Root;
+  ASSERT_TRUE(json::parse(Doc, Root));
+  ASSERT_EQ(Root.object().size(), 3u);
+  EXPECT_EQ(Root.find("a")->asNumber(), 1.0);
+  EXPECT_EQ(Root.object()[2].second.asNumber(), 3.0);
+}
+
+TEST(Json, NumbersAtIntegerAndDoubleBoundaries) {
+  json::Value V;
+  // UINT64_MAX: beyond double precision, so it rounds — but it must
+  // parse, and to the nearest representable double.
+  ASSERT_TRUE(json::parse("18446744073709551615", V));
+  EXPECT_DOUBLE_EQ(V.asNumber(), 18446744073709551615.0);
+  // INT64_MIN.
+  ASSERT_TRUE(json::parse("-9223372036854775808", V));
+  EXPECT_DOUBLE_EQ(V.asNumber(), -9223372036854775808.0);
+  // 2^53 and 2^53 + 1: the edge of exact integer representation (the
+  // latter rounds to the former).
+  ASSERT_TRUE(json::parse("9007199254740992", V));
+  EXPECT_EQ(V.asNumber(), 9007199254740992.0);
+  ASSERT_TRUE(json::parse("9007199254740993", V));
+  EXPECT_EQ(V.asNumber(), 9007199254740992.0);
+  // Double range extremes: near-max, subnormal-min, and an exponent
+  // past the representable range (strtod saturates to infinity — the
+  // grammar accepts it; consumers see a non-finite number).
+  ASSERT_TRUE(json::parse("1.7976931348623157e308", V));
+  EXPECT_DOUBLE_EQ(V.asNumber(),
+                   std::numeric_limits<double>::max());
+  ASSERT_TRUE(json::parse("5e-324", V));
+  EXPECT_GT(V.asNumber(), 0.0);
+  ASSERT_TRUE(json::parse("1e999", V));
+  EXPECT_TRUE(std::isinf(V.asNumber()));
+}
+
+TEST(Json, LoneSurrogateSplitsValidatorAndTreeParser) {
+  // Documented contract (telemetry/Json.h): the validator checks only
+  // that \u escapes are four hex digits, while the tree parser must
+  // decode UTF-16 and so rejects unpaired surrogates. A lone surrogate
+  // is the one class of input where isValid() and parse() disagree.
+  for (const char *Doc : {"\"\\ud800\"", "\"\\udbff\"", "\"\\udc00\"",
+                          "\"\\udfff\"", "\"\\ud83d \\ude00\""}) {
+    EXPECT_TRUE(json::isValid(Doc)) << Doc;
+    json::Value V;
+    EXPECT_FALSE(json::parse(Doc, V)) << Doc;
+  }
+}
+
 TEST(Remarks, CollectingSinkReceivesStructuredRemark) {
   CollectingRemarkSink Sink;
 #ifndef GMDIV_NO_TELEMETRY
@@ -228,6 +308,37 @@ TEST(Remarks, CollectingSinkReceivesStructuredRemark) {
             "codegen: d=7, N=32 -> Figure 4.2 long form (m >= 2^N); "
             "m_minus_2N=0x24924925, sh_post=3");
   EXPECT_TRUE(json::isValid(Got.toJson())) << Got.toJson();
+}
+
+TEST(Remarks, DropAccountingSplitsEmittedFromDropped) {
+  // The counters are process-global and monotone, so assert on deltas.
+  uint64_t Emitted0 = 0, Dropped0 = 0;
+  remarkCounts(Emitted0, Dropped0);
+
+  Remark R;
+  R.Kind = "drop-accounting";
+  R.WordBits = 32;
+  R.DivisorBits = 7;
+
+  // No sink installed: the remark is dropped, and the drop is counted
+  // (the metrics plane exposes this as gmdiv_remarks_dropped_total).
+  emitRemark(R);
+  uint64_t Emitted = 0, Dropped = 0;
+  remarkCounts(Emitted, Dropped);
+  EXPECT_EQ(Emitted, Emitted0);
+  EXPECT_EQ(Dropped, Dropped0 + 1);
+
+  // With a sink installed the same remark counts as emitted instead.
+  CollectingRemarkSink Sink;
+  {
+    ScopedRemarkSink Guard(&Sink);
+    emitRemark(R);
+  }
+  remarkCounts(Emitted, Dropped);
+  EXPECT_EQ(Emitted, Emitted0 + 1);
+  EXPECT_EQ(Dropped, Dropped0 + 1);
+  ASSERT_EQ(Sink.remarks().size(), 1u);
+  EXPECT_EQ(Sink.remarks()[0].Kind, "drop-accounting");
 }
 
 TEST(Remarks, DivisorStringHandlesSignAndRuntime) {

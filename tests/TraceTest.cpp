@@ -58,6 +58,43 @@ TEST_F(TraceTest, SpanRecordsOneEventWithTiming) {
   EXPECT_EQ(Events[0].Depth, 0u);
 }
 
+TEST_F(TraceTest, DropCountsTrackPerThreadWraparound) {
+  // Fewer spans than the ring holds: nothing dropped.
+  for (int I = 0; I < 10; ++I) {
+    Span S("test", "underfill");
+  }
+  std::vector<ThreadDropCounts> Counts = dropCounts();
+  uint64_t Recorded = 0, Dropped = 0;
+  for (const ThreadDropCounts &C : Counts) {
+    Recorded += C.Recorded;
+    Dropped += C.Dropped;
+  }
+  EXPECT_EQ(Recorded, 10u);
+  EXPECT_EQ(Dropped, 0u);
+
+  // Overfill the ring: the per-thread row must show the loss, and the
+  // totals must agree with droppedEvents() (the metrics plane exposes
+  // these rows as gmdiv_trace_{recorded,dropped}_spans_total{thread=}).
+  const uint64_t Total = RingCapacity + 100;
+  for (uint64_t I = 10; I < Total; ++I) {
+    Span S("test", "overfill");
+  }
+  Counts = dropCounts();
+  Recorded = Dropped = 0;
+  for (const ThreadDropCounts &C : Counts) {
+    Recorded += C.Recorded;
+    Dropped += C.Dropped;
+  }
+  EXPECT_EQ(Recorded, Total);
+  EXPECT_GT(Dropped, 0u);
+  EXPECT_EQ(Dropped, droppedEvents());
+  // What survived plus what dropped is everything recorded.
+  uint64_t Survived = 0;
+  for (const ThreadSnapshot &T : snapshot())
+    Survived += T.Events.size();
+  EXPECT_EQ(Survived + Dropped, Recorded);
+}
+
 TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
   {
     Span Outer("test", "outer");

@@ -13,19 +13,22 @@
 // comparison agreed; 1 means mismatches (the minimized repro strings
 // are in the summary and can be replayed here). Usage:
 //
-//   fuzz [--trace=FILE] [seconds] [seed]
+//   fuzz [--trace=FILE] [--metrics=FILE] [seconds] [seed]
 //                                (defaults: 10 seconds, random seed)
 //   fuzz --replay <repro-string>
 //
 // CTest runs a 2-second smoke under the `fuzz` label; CI's sanitizer
 // leg runs 60 seconds; a release manager can run hours. --trace=FILE
 // records campaign/round spans and writes a Chrome trace-event JSON
-// file on exit.
+// file on exit. --metrics=FILE writes a metrics snapshot on exit
+// (.json = JSON document, anything else the Prometheus text format)
+// with the campaign's properties-checked / mismatch / round counters.
 //
 //===----------------------------------------------------------------------===//
 
 #include "verify/Fuzzer.h"
 
+#include "metrics/Exporter.h"
 #include "telemetry/Remarks.h"
 #include "trace/Trace.h"
 
@@ -41,10 +44,13 @@ using namespace gmdiv::verify;
 
 int main(int ArgcIn, char **ArgvIn) {
   const char *TraceFile = nullptr;
+  const char *MetricsFile = nullptr;
   std::vector<char *> Args;
   for (int I = 0; I < ArgcIn; ++I) {
     if (std::strncmp(ArgvIn[I], "--trace=", 8) == 0)
       TraceFile = ArgvIn[I] + 8;
+    else if (std::strncmp(ArgvIn[I], "--metrics=", 10) == 0)
+      MetricsFile = ArgvIn[I] + 10;
     else
       Args.push_back(ArgvIn[I]);
   }
@@ -101,6 +107,14 @@ int main(int ArgcIn, char **ArgvIn) {
       return Result ? Result : 1;
     }
     std::fprintf(stderr, "fuzz: trace written to %s\n", TraceFile);
+  }
+  if (MetricsFile) {
+    std::string Error;
+    if (!metrics::Exporter::writeSnapshotFile(MetricsFile, &Error)) {
+      std::fprintf(stderr, "fuzz: --metrics: %s\n", Error.c_str());
+      return Result ? Result : 1;
+    }
+    std::fprintf(stderr, "fuzz: metrics written to %s\n", MetricsFile);
   }
   return Result;
 }

@@ -11,13 +11,15 @@
 // progress line per round. Any mismatch aborts with the reproducing
 // seed. Usage:
 //
-//   soak [--trace=FILE] [seconds] [seed]
+//   soak [--trace=FILE] [--metrics=FILE] [seconds] [seed]
 //                               (defaults: 10 seconds, random seed)
 //
 // CTest runs a 2-second smoke; CI or a release manager can run hours.
 // --trace=FILE records one span per round and writes a Chrome
 // trace-event JSON file on exit; round latency also feeds a telemetry
-// histogram reported in the end-of-run summary.
+// histogram reported in the end-of-run summary. --metrics=FILE writes a
+// metrics snapshot on exit (.json = JSON document, anything else the
+// Prometheus text format) — CI's TSan leg scrapes it as an artifact.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +30,8 @@
 #include "core/DWordDivider.h"
 #include "core/ExactDiv.h"
 #include "ir/Interp.h"
+#include "metrics/Exporter.h"
+#include "metrics/FlightRecorder.h"
 #include "telemetry/Histogram.h"
 #include "telemetry/Json.h"
 #include "telemetry/Stats.h"
@@ -221,10 +225,13 @@ template <typename SWord> void soakBatchSignedRound() {
 
 int main(int Argc, char **Argv) {
   const char *TraceFile = nullptr;
+  const char *MetricsFile = nullptr;
   std::vector<char *> Args;
   for (int I = 0; I < Argc; ++I) {
     if (std::strncmp(Argv[I], "--trace=", 8) == 0)
       TraceFile = Argv[I] + 8;
+    else if (std::strncmp(Argv[I], "--metrics=", 10) == 0)
+      MetricsFile = Argv[I] + 10;
     else
       Args.push_back(Argv[I]);
   }
@@ -233,6 +240,10 @@ int main(int Argc, char **Argv) {
                          : std::random_device{}();
   if (TraceFile)
     trace::setEnabled(true);
+  // Long-running by design, so honor the exporter/flight-recorder env
+  // wiring (GMDIV_METRICS_OUT, GMDIV_FLIGHT_RECORDER) like the tool.
+  metrics::Exporter::global().startFromEnv();
+  metrics::FlightRecorder::global().configureFromEnv();
   Rng.seed(Seed);
   std::printf("soak: %.1f seconds, seed %llu\n", Seconds,
               static_cast<unsigned long long>(Seed));
@@ -320,5 +331,14 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr, "soak: trace written to %s\n", TraceFile);
   }
+  if (MetricsFile) {
+    std::string Error;
+    if (!metrics::Exporter::writeSnapshotFile(MetricsFile, &Error)) {
+      std::fprintf(stderr, "soak: --metrics: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "soak: metrics written to %s\n", MetricsFile);
+  }
+  metrics::Exporter::global().stop();
   return 0;
 }
