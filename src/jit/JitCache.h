@@ -29,6 +29,7 @@
 #ifndef GMDIV_JIT_JITCACHE_H
 #define GMDIV_JIT_JITCACHE_H
 
+#include "jit/CachePolicy.h"
 #include "jit/Jit.h"
 #include "metrics/Metrics.h"
 
@@ -75,41 +76,17 @@ struct CacheKey {
 
 struct CacheKeyHash {
   size_t operator()(const CacheKey &Key) const {
-    // splitmix64-style mix over the packed key.
-    uint64_t X = Key.Divisor ^
-                 (static_cast<uint64_t>(Key.WordBits) << 8) ^
-                 static_cast<uint64_t>(Key.Kind);
-    X ^= X >> 30;
-    X *= 0xbf58476d1ce4e5b9ULL;
-    X ^= X >> 27;
-    X *= 0x94d049bb133111ebULL;
-    X ^= X >> 31;
-    return static_cast<size_t>(X);
+    // splitmix64-style mix over the packed key (cache::mixBits).
+    return static_cast<size_t>(cache::mixBits(
+        Key.Divisor ^ (static_cast<uint64_t>(Key.WordBits) << 8) ^
+        static_cast<uint64_t>(Key.Kind)));
   }
 };
 
-/// Point-in-time counter snapshot (also mirrored into the global
-/// jit.cache_* stats for --stats output). Hits counts every lookup
-/// that found an entry; NegativeHits is the subset that found a cached
-/// compile *failure* (null entry). Inserts counts entries added
-/// (Misses == Inserts, kept separately as a consistency check).
-struct CacheStats {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
-  uint64_t NegativeHits = 0;
-  uint64_t Evictions = 0;
-  uint64_t Inserts = 0;
-  size_t Entries = 0;
-  size_t Capacity = 0;
-
-  /// Hits / (Hits + Misses); 0 before any lookup.
-  double hitRatio() const {
-    const uint64_t Lookups = Hits + Misses;
-    return Lookups ? static_cast<double>(Hits) /
-                         static_cast<double>(Lookups)
-                   : 0.0;
-  }
-};
+/// Counter vocabulary shared with the service registry; see
+/// jit/CachePolicy.h. Mirrored into the global jit.cache_* stats for
+/// --stats output.
+using CacheStats = cache::CacheStats;
 
 class CodeCache {
 public:

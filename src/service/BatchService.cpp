@@ -1,0 +1,185 @@
+//===- service/BatchService.cpp - Async batch division front door ---------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/BatchService.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace gmdiv {
+namespace service {
+
+namespace {
+
+size_t envSize(const char *Name, size_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  const long long Parsed = std::atoll(V);
+  return Parsed > 0 ? static_cast<size_t>(Parsed) : Default;
+}
+
+uint64_t steadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+BatchService::Options BatchService::Options::fromEnv() {
+  Options O;
+  O.Workers = envSize("GMDIV_SERVICE_WORKERS", O.Workers);
+  O.QueueCapacity = envSize("GMDIV_SERVICE_QUEUE", O.QueueCapacity);
+  return O;
+}
+
+BatchService::BatchService(DividerRegistry &Registry, Options Opts)
+    : Reg(Registry), QueueCapacity(std::max<size_t>(1, Opts.QueueCapacity)) {
+  const size_t N = std::max<size_t>(1, Opts.Workers);
+  Pool.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+BatchService::~BatchService() {
+  if (CollectorHandle != 0)
+    metrics::Registry::global().removeCollector(CollectorHandle);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  NotEmpty.notify_all();
+  for (std::thread &W : Pool)
+    W.join();
+}
+
+std::future<BatchResult> BatchService::enqueue(const Key &K, Op O,
+                                               const void *In, void *OutA,
+                                               void *OutB, size_t Count,
+                                               bool SizesOk) {
+  if (!K.valid() || !SizesOk) {
+    Rejected.inc();
+    std::promise<BatchResult> P;
+    P.set_exception(std::make_exception_ptr(std::invalid_argument(
+        !SizesOk ? "gmdiv service: span lengths must match"
+                 : "gmdiv service: invalid key (zero divisor or "
+                   "unsupported width)")));
+    return P.get_future();
+  }
+
+  Job J;
+  J.Run = std::packaged_task<BatchResult()>(
+      [this, K, O, In, OutA, OutB, Count]() -> BatchResult {
+        const uint64_t T0 = steadyNs();
+        const DividerRegistry::EntryHandle E = Reg.acquire(K);
+        if (!E)
+          throw std::runtime_error("gmdiv service: admission failed");
+        switch (O) {
+        case Op::Divide:
+          E->divideArray(In, OutA, Count);
+          break;
+        case Op::Remainder:
+          E->remainderArray(In, OutA, Count);
+          break;
+        case Op::DivRem:
+          E->divRemArray(In, OutA, OutB, Count);
+          break;
+        }
+        BatchResult R;
+        R.K = K;
+        R.Elements = Count;
+        R.Backend = E->batchBackend();
+        R.JobNs = steadyNs() - T0;
+        return R;
+      });
+  std::future<BatchResult> F = J.Run.get_future();
+
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock, [this] { return Queue.size() < QueueCapacity; });
+    Queue.push_back(std::move(J));
+  }
+  Submitted.inc();
+  Elements.add(Count);
+  NotEmpty.notify_one();
+  return F;
+}
+
+void BatchService::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      NotEmpty.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        // Stopping and drained: exit. Accepted jobs always run first,
+        // so no future is ever abandoned.
+        return;
+      }
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    NotFull.notify_one();
+
+    const uint64_t T0 = steadyNs();
+    J.Run(); // exceptions land in the future via the packaged_task
+    JobNs.record(steadyNs() - T0);
+    Completed.inc();
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Running;
+    }
+    Idle.notify_all();
+  }
+}
+
+void BatchService::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+size_t BatchService::pending() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size() + Running;
+}
+
+void BatchService::collect(metrics::SnapshotBuilder &B) const {
+  const std::string &P = MetricsPrefix;
+  B.counter(P + "_submitted_total", "Batch jobs accepted", {},
+            static_cast<double>(Submitted.value()));
+  B.counter(P + "_completed_total", "Batch jobs completed", {},
+            static_cast<double>(Completed.value()));
+  B.counter(P + "_rejected_total",
+            "Batch submissions rejected up front (invalid key or span "
+            "mismatch)",
+            {}, static_cast<double>(Rejected.value()));
+  B.counter(P + "_elements_total", "Lanes processed by batch jobs", {},
+            static_cast<double>(Elements.value()));
+  B.gauge(P + "_queue_depth", "Jobs accepted but not yet completed", {},
+          static_cast<double>(pending()));
+  B.gauge(P + "_workers", "Worker threads", {},
+          static_cast<double>(Pool.size()));
+  metrics::Histogram::Cumulative C = JobNs.cumulative();
+  B.histogram(P + "_job_ns",
+              "Worker-side job latency: registry resolve + kernel (ns)",
+              {}, std::move(C.Bounds), C.Count, C.Sum);
+}
+
+void BatchService::exportMetrics(const std::string &Prefix) {
+  if (CollectorHandle != 0)
+    return;
+  MetricsPrefix = Prefix;
+  CollectorHandle = metrics::Registry::global().addCollector(
+      [this](metrics::SnapshotBuilder &B) { collect(B); });
+}
+
+} // namespace service
+} // namespace gmdiv

@@ -1,0 +1,160 @@
+//===- service/BatchService.h - Async batch division front door --*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Future-based front door for array division: submit(divisor, spans)
+/// returns immediately with a std::future<BatchResult> and a small
+/// worker pool resolves the divisor through the DividerRegistry
+/// (admitting it on first sight) and runs the BatchDivider SIMD
+/// kernels over the spans. Callers pipeline: submit a window of
+/// batches, then collect futures, overlapping precompute + kernels
+/// with their own work.
+///
+/// Semantics:
+///  - Jobs complete in FIFO order per worker; with Workers == 1 the
+///    service is strictly FIFO (the ordering the tests pin down).
+///  - Invalid requests (zero divisor, span length mismatch) never
+///    enqueue: the returned future holds std::invalid_argument.
+///  - The caller owns the spans and must keep them alive until the
+///    future resolves; the service never copies lane data.
+///  - submit() applies backpressure: it blocks while the queue is at
+///    QueueCapacity.
+///  - The destructor drains every accepted job before joining, so a
+///    returned future never ends up with broken_promise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_SERVICE_BATCHSERVICE_H
+#define GMDIV_SERVICE_BATCHSERVICE_H
+
+#include "metrics/Metrics.h"
+#include "service/Registry.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gmdiv {
+namespace service {
+
+/// What a completed batch reports back through its future.
+struct BatchResult {
+  Key K;
+  size_t Elements = 0;
+  /// Batch backend that ran the kernel ("avx2", "sse2", "scalar", ...).
+  const char *Backend = "";
+  /// Worker-side latency: registry resolve + kernel, ns.
+  uint64_t JobNs = 0;
+};
+
+class BatchService {
+public:
+  struct Options {
+    /// Worker threads. 0 is clamped to 1.
+    size_t Workers = 2;
+    /// Accepted-but-unstarted jobs before submit() blocks.
+    size_t QueueCapacity = 1024;
+
+    /// Reads GMDIV_SERVICE_WORKERS and GMDIV_SERVICE_QUEUE.
+    static Options fromEnv();
+  };
+
+  /// \p Reg must outlive the service. The global registry is the usual
+  /// choice: BatchService Svc(DividerRegistry::global()).
+  explicit BatchService(DividerRegistry &Reg,
+                        Options Opts = Options::fromEnv());
+  ~BatchService();
+
+  BatchService(const BatchService &) = delete;
+  BatchService &operator=(const BatchService &) = delete;
+
+  /// Out[i] = In[i] / Divisor (trunc for signed T).
+  template <typename T>
+  std::future<BatchResult> submitDivide(T Divisor, std::span<const T> In,
+                                        std::span<T> Out) {
+    return enqueue(keyFor<T>(Divisor), Op::Divide, In.data(), Out.data(),
+                   nullptr, In.size(), In.size() == Out.size());
+  }
+
+  /// Out[i] = In[i] % Divisor (sign of the dividend for signed T).
+  template <typename T>
+  std::future<BatchResult> submitRemainder(T Divisor, std::span<const T> In,
+                                           std::span<T> Out) {
+    return enqueue(keyFor<T>(Divisor), Op::Remainder, In.data(), Out.data(),
+                   nullptr, In.size(), In.size() == Out.size());
+  }
+
+  /// Quotients and remainders together.
+  template <typename T>
+  std::future<BatchResult> submitDivRem(T Divisor, std::span<const T> In,
+                                        std::span<T> Quot,
+                                        std::span<T> Rem) {
+    return enqueue(keyFor<T>(Divisor), Op::DivRem, In.data(), Quot.data(),
+                   Rem.data(), In.size(),
+                   In.size() == Quot.size() && In.size() == Rem.size());
+  }
+
+  /// Blocks until every accepted job has completed.
+  void drain();
+
+  /// Jobs accepted but not yet completed (queued + running).
+  size_t pending() const;
+
+  size_t workers() const { return Pool.size(); }
+
+  /// Submitted/completed/failed counters, queue-depth gauge and job
+  /// latency histogram under \p Prefix (e.g. "gmdiv_service_batch").
+  /// Idempotent; the destructor unregisters.
+  void exportMetrics(const std::string &Prefix);
+
+private:
+  enum class Op : uint8_t { Divide, Remainder, DivRem };
+
+  struct Job {
+    std::packaged_task<BatchResult()> Run;
+  };
+
+  std::future<BatchResult> enqueue(const Key &K, Op O, const void *In,
+                                   void *OutA, void *OutB, size_t Count,
+                                   bool SizesOk);
+  void workerLoop();
+  void collect(metrics::SnapshotBuilder &B) const;
+
+  DividerRegistry &Reg;
+  size_t QueueCapacity;
+
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::condition_variable Idle;
+  std::deque<Job> Queue;
+  size_t Running = 0;
+  bool Stopping = false;
+
+  std::vector<std::thread> Pool;
+
+  metrics::Counter Submitted;
+  metrics::Counter Completed;
+  metrics::Counter Rejected;
+  metrics::Counter Elements;
+  metrics::Histogram JobNs;
+  std::string MetricsPrefix;
+  uint64_t CollectorHandle = 0;
+};
+
+} // namespace service
+} // namespace gmdiv
+
+#endif // GMDIV_SERVICE_BATCHSERVICE_H

@@ -1,0 +1,94 @@
+//===- service/Key.h - Registry key: (kind, width, divisor) ------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service registry serves precomputed dividers keyed by the same
+/// triple the JIT code cache uses: operation kind, word width, and the
+/// divisor's bit pattern. The divisor is stored masked to the width
+/// (zero-extended), so keyFor<int32_t>(-7) and keyFor<uint32_t>(...)
+/// with the same bits are distinct only through Kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_SERVICE_KEY_H
+#define GMDIV_SERVICE_KEY_H
+
+#include "jit/CachePolicy.h"
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace gmdiv {
+namespace service {
+
+/// Which divider family an entry implements. Unsigned is Figure 4.1
+/// (UnsignedDivider), Signed is the trunc-rounding Figure 5.1
+/// (SignedDivider). Floor/ceil variants stay on the core/jit surface;
+/// the service tier serves the router/partitioner cases.
+enum class OpKind : uint8_t {
+  Unsigned = 0,
+  Signed = 1,
+};
+
+const char *opKindName(OpKind Kind);
+
+/// (op-kind, width, divisor bit pattern). DivisorBits holds the
+/// divisor masked to WordBits — for signed kinds it is the two's
+/// complement pattern zero-extended to 64 bits.
+struct Key {
+  OpKind Kind = OpKind::Unsigned;
+  uint8_t WordBits = 0;
+  uint64_t DivisorBits = 0;
+
+  bool operator==(const Key &Other) const {
+    return Kind == Other.Kind && WordBits == Other.WordBits &&
+           DivisorBits == Other.DivisorBits;
+  }
+
+  /// True when the key can be admitted: a supported width, no stray
+  /// bits above it, and a nonzero divisor. (There is no "negative
+  /// caching" in the registry — invalid keys are rejected up front and
+  /// never occupy a slot.)
+  bool valid() const {
+    if (WordBits != 8 && WordBits != 16 && WordBits != 32 && WordBits != 64)
+      return false;
+    if (WordBits < 64 && (DivisorBits >> WordBits) != 0)
+      return false;
+    return DivisorBits != 0;
+  }
+
+  /// "u32/7", "i16/-3": the form used in remarks and describe() output.
+  std::string describe() const;
+};
+
+struct KeyHash {
+  size_t operator()(const Key &K) const {
+    // Same packing as jit::CacheKeyHash so both caches spread a dense
+    // divisor range identically.
+    return static_cast<size_t>(cache::mixBits(
+        K.DivisorBits ^ (static_cast<uint64_t>(K.WordBits) << 8) ^
+        static_cast<uint64_t>(K.Kind)));
+  }
+};
+
+/// Canonical key for dividing native \p T values by \p Divisor.
+template <typename T> Key keyFor(T Divisor) {
+  static_assert(std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                "service keys cover native integer lanes");
+  using U = std::make_unsigned_t<T>;
+  Key K;
+  K.Kind = std::is_signed_v<T> ? OpKind::Signed : OpKind::Unsigned;
+  K.WordBits = static_cast<uint8_t>(sizeof(T) * 8);
+  K.DivisorBits = static_cast<uint64_t>(static_cast<U>(Divisor));
+  return K;
+}
+
+} // namespace service
+} // namespace gmdiv
+
+#endif // GMDIV_SERVICE_KEY_H

@@ -337,8 +337,9 @@ TEST(JitCache, GlobalCacheSharesAcrossDividers) {
   const CacheStats After = CodeCache::global().stats();
   // The second divider's three sequences were all cache hits.
   EXPECT_GE(After.Hits - Before.Hits, 3u);
-  if (One.usesJit())
+  if (One.usesJit()) {
     EXPECT_EQ(One.compiledDiv(), Two.compiledDiv());
+  }
   for (uint32_t N : {0u, 1u, 54322u, 54323u, 0xffffffffu}) {
     EXPECT_EQ(One.divide(N), N / 54323u);
     EXPECT_EQ(Two.remainder(N), N % 54323u);
