@@ -1,0 +1,100 @@
+//===- arch/FamilySelect.h - cross-family auto-selection --------*- C++ -*-===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Picks the cheapest *correct* divider family for a call site. The
+/// repo carries four multiplicative families plus the hardware divide:
+///
+///   gm       — the paper's Figure 4.1/5.1 sequences (always correct)
+///   fastmod  — LKK direct remainder/divisibility (needs 2N-bit
+///              multiplies in one host word, LKK §3)
+///   roundup  — round-up/increment variant at the Optimal Bounds
+///              minimal shift (word multiplier where one exists)
+///   narrow   — ceil(2^2N/d) high-multiply, no shift, no fixup (needs
+///              2N-bit multiplies, the 32-on-64 trick)
+///
+/// selectFamily() prices each family for (op, operand width, divisor)
+/// on a Table 1.1 target profile, using the same operation counting the
+/// paper's own cost arguments use (multiplies at the profile's MULUH
+/// latency, everything else at SimpleOpCycles), amortizing the one-time
+/// precompute over \p BatchSize calls. Families whose preconditions
+/// fail on the target are marked ineligible with a reason and are never
+/// chosen, regardless of price — the fastmod-at-full-width refusal is
+/// the canonical case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GMDIV_ARCH_FAMILYSELECT_H
+#define GMDIV_ARCH_FAMILYSELECT_H
+
+#include "arch/Arch.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdiv {
+namespace arch {
+
+/// What the call site needs from the divider.
+enum class DivOp {
+  Divide,        ///< quotient only
+  Remainder,     ///< remainder only
+  DivRem,        ///< both
+  Divisibility,  ///< the boolean d | n
+};
+
+enum class Family {
+  GM,          ///< the paper's own sequences
+  FastMod,     ///< LKK direct remainder
+  RoundUp,     ///< round-up/increment, Optimal Bounds shift
+  Narrow,      ///< 2N-bit high multiply, no fixup (32-on-64 style)
+  HardwareDiv, ///< the machine's divide instruction
+};
+
+const char *divOpName(DivOp Op);
+const char *familyName(Family F);
+/// Parses the lowercase names ("divide", "rem", "divrem", "divisible");
+/// returns false on unknown input.
+bool parseDivOp(const std::string &Text, DivOp &Out);
+
+/// One family's scorecard for a call site.
+struct FamilyCandidate {
+  Family Fam = Family::GM;
+  bool Eligible = false;
+  std::string Reason;        ///< why ineligible; empty when eligible
+  double CyclesPerOp = 0;    ///< steady-state cost, setup excluded
+  double SetupCycles = 0;    ///< one-time precompute cost
+  double EffectiveCycles = 0;///< CyclesPerOp + SetupCycles/BatchSize
+  int MultiplierBits = 0;    ///< multiplier width the family needs (0 =
+                             ///< none: hardware divide, or d a power of 2
+                             ///< served by a plain shift)
+};
+
+/// Result of selectFamily: the winner plus every candidate's scorecard
+/// (in fixed order GM, FastMod, RoundUp, Narrow, HardwareDiv) so tools
+/// can print the whole comparison.
+struct FamilyChoice {
+  Family Chosen = Family::GM;
+  std::vector<FamilyCandidate> Candidates;
+
+  const FamilyCandidate &chosen() const;
+  const FamilyCandidate &candidate(Family F) const;
+};
+
+/// Prices every family for dividing \p WidthBits-bit operands by the
+/// invariant \p Divisor on \p Target and returns the cheapest eligible
+/// one. \p Divisor is the unsigned bit pattern (nonzero); \p WidthBits
+/// must be 8, 16, 32 or 64; \p BatchSize >= 1 amortizes precompute.
+/// Ties break toward the earlier family in the fixed order above.
+FamilyChoice selectFamily(DivOp Op, int WidthBits, uint64_t Divisor,
+                          const ArchProfile &Target, uint64_t BatchSize = 1);
+
+} // namespace arch
+} // namespace gmdiv
+
+#endif // GMDIV_ARCH_FAMILYSELECT_H

@@ -24,7 +24,10 @@
 #include "core/DWordDivider.h"
 #include "core/Divider.h"
 #include "core/ExactDiv.h"
+#include "core/FastModDivider.h"
 #include "core/FloatDiv.h"
+#include "core/NarrowDivider.h"
+#include "core/RoundUpDivider.h"
 #include "core/MultiPrecision.h"
 #include "core/RemModSemantics.h"
 #include "ir/Interp.h"
@@ -60,6 +63,11 @@ struct PropertyInfo {
   const char *Name;
   bool IsSigned; ///< Repro strings print signed decimals.
   bool HasN2;    ///< Uses the n2 operand (doubleword high part).
+  /// Divider family the property exercises. "gm" (the paper's own
+  /// algorithms) is the default and is omitted from repro strings; the
+  /// successor families tag their repros with ":f=<family>" so a replay
+  /// targets the exact implementation that produced the mismatch.
+  const char *Family = "gm";
 };
 
 enum Property : int {
@@ -79,6 +87,11 @@ enum Property : int {
   PCodegenWideU,
   PBatchU,
   PJitU,
+  PFastModU,
+  PFastModDivis,
+  PRoundUpU,
+  PRoundUpBounds,
+  PNarrowU,
   PChooseS,
   POracleS,
   PSDiv,
@@ -98,6 +111,8 @@ enum Property : int {
   PBatchS,
   PJitS,
   PJitFloor,
+  PFastModS,
+  PNarrowS,
   PropertyEnd,
 };
 
@@ -118,6 +133,11 @@ constexpr PropertyInfo PropertyTable[PropertyEnd] = {
     {"codegen-wide-unsigned", false, false},
     {"batch-unsigned", false, false},
     {"jit-unsigned", false, false},
+    {"fastmod-unsigned", false, false, "fastmod"},
+    {"fastmod-divisible", false, false, "fastmod"},
+    {"roundup-unsigned", false, false, "roundup"},
+    {"roundup-bounds", false, false, "roundup"},
+    {"narrow32-unsigned", false, false, "narrow32"},
     {"choose-multiplier-signed", true, false},
     {"oracle-signed", true, false},
     {"signed-divider", true, false},
@@ -137,6 +157,8 @@ constexpr PropertyInfo PropertyTable[PropertyEnd] = {
     {"batch-signed", true, false},
     {"jit-signed", true, false},
     {"jit-floor", true, false},
+    {"fastmod-signed", true, false, "fastmod"},
+    {"narrow32-signed", true, false, "narrow32"},
 };
 
 int propertyIndex(const std::string &Name) {
@@ -261,6 +283,7 @@ private:
     Rep.NBits = NBits;
     Rep.N2Bits = N2Bits;
     Rep.HasN2 = HasN2;
+    Rep.Family = PropertyTable[P].Family;
     const std::string Text = reproString(Rep);
     if (std::find(Failures.begin(), Failures.end(), Text) != Failures.end())
       return; // Same input already recorded (a sibling comparison).
@@ -362,6 +385,7 @@ public:
         GFloor(DS), Ceil(DS), ConvTrunc(DS, RemainderConvention::Truncated),
         ConvFloor(DS, RemainderConvention::Floored),
         ConvEuclid(DS, RemainderConvention::Euclidean), ExactS(DS),
+        FMU(DU), FMS(DS), RUp(DU), Nar(DU), NarS(DS),
         PUDivRem(codegen::genUnsignedDivRem(W, DBits)),
         PAlv(codegen::genUnsignedDivAlverson(W, DBits)),
         ProgExactU(codegen::genExactUnsignedDiv(W, DBits)),
@@ -445,6 +469,54 @@ public:
                                                 InfoS.Log2Ceil);
     R.check(PChooseS, 1, CkS.ok() ? 1 : 0, DBits, 0);
     R.check(PChooseS, 1, (AbsD == 1 || CkS.FitsWord) ? 1 : 0, DBits, 1);
+
+    // Optimal Bounds certificate for the round-up family: the chosen
+    // (mode, m, k) must satisfy the exact arXiv:2412.03680 predicate,
+    // fit a word, and be k-minimal — no admissible multiplier of either
+    // variant exists at any smaller shift (probe indices in the n slot,
+    // mirroring the choose-multiplier checks above).
+    {
+      using Choice = RoundUpChoice<UWord>;
+      const Choice &C = RUp.choice();
+      const UDWord One = Traits::udFromWord(static_cast<UWord>(1));
+      const auto AdmissibleAt = [&](int K, bool Inc) {
+        const auto QR = Traits::udDivModPow2(K, Traits::udFromWord(DU));
+        const UDWord M = Inc ? QR.first : static_cast<UDWord>(QR.first + One);
+        return checkRoundUpMultiplier(DU, M, K, Inc);
+      };
+      switch (C.Mode) {
+      case Choice::Kind::Shift:
+        R.check(PRoundUpBounds, 1, isPowerOf2(DU) ? 1 : 0, DBits, 0);
+        break;
+      case Choice::Kind::RoundUp:
+      case Choice::Kind::Increment: {
+        const bool Inc = C.Mode == Choice::Kind::Increment;
+        R.check(PRoundUpBounds, 1,
+                checkRoundUpMultiplier(DU, C.Multiplier, C.TotalShift, Inc)
+                    ? 1
+                    : 0,
+                DBits, 0);
+        R.check(PRoundUpBounds, 1, C.MultiplierBits <= W ? 1 : 0, DBits, 1);
+        bool SmallerWorks = false;
+        for (int K = W; K < C.TotalShift && !SmallerWorks; ++K)
+          SmallerWorks = AdmissibleAt(K, false) || AdmissibleAt(K, true);
+        R.check(PRoundUpBounds, 0, SmallerWorks ? 1 : 0, DBits, 2);
+        if (Inc) // round-up is preferred at equal k, so it must not fit
+          R.check(PRoundUpBounds, 0,
+                  AdmissibleAt(C.TotalShift, false) ? 1 : 0, DBits, 3);
+        break;
+      }
+      case Choice::Kind::Fixup: {
+        // GM fallback is only legitimate when no k in [N, 2N-1] admits a
+        // word-sized multiplier of either variant.
+        bool AnyWorks = false;
+        for (int K = W; K <= 2 * W - 1 && !AnyWorks; ++K)
+          AnyWorks = AdmissibleAt(K, false) || AdmissibleAt(K, true);
+        R.check(PRoundUpBounds, 0, AnyWorks ? 1 : 0, DBits, 0);
+        break;
+      }
+      }
+    }
 
     // §8 doubleword division, sampled over boundary high/low halves.
     const uint64_t HighProbe[] = {0, 1, DBits / 2, DBits - 1};
@@ -544,6 +616,28 @@ public:
     R.check(PAlverson, RU.TruncQ, ubits(Alv.divide(NU)), DBits, NBits);
     R.check(PAlverson, RU.TruncR, ubits(Alv.remainder(NU)), DBits, NBits);
 
+    // Successor families (docs/FAMILIES.md). LKK fastmod: quotient,
+    // direct remainder, and the one-multiply divisibility test.
+    R.check(PFastModU, RU.TruncQ, ubits(FMU.divide(NU)), DBits, NBits);
+    R.check(PFastModU, RU.TruncR, ubits(FMU.remainder(NU)), DBits, NBits);
+    {
+      const auto [Q, Rm] = FMU.divRem(NU);
+      R.check(PFastModU, RU.TruncQ, ubits(Q), DBits, NBits);
+      R.check(PFastModU, RU.TruncR, ubits(Rm), DBits, NBits);
+    }
+    R.check(PFastModDivis, RU.Divisible ? 1 : 0, FMU.isDivisible(NU) ? 1 : 0,
+            DBits, NBits);
+
+    // Round-up / optimal-bounds variant (fixup-free where a word-sized
+    // multiplier exists; GM fallback otherwise — both paths must agree).
+    R.check(PRoundUpU, RU.TruncQ, ubits(RUp.divide(NU)), DBits, NBits);
+    R.check(PRoundUpU, RU.TruncR, ubits(RUp.remainder(NU)), DBits, NBits);
+
+    // Narrow (Mitsunari–Hoshino 32-on-64 style) form: one doubleword
+    // multiply, no shift, no fixup.
+    R.check(PNarrowU, RU.TruncQ, ubits(Nar.divide(NU)), DBits, NBits);
+    R.check(PNarrowU, RU.TruncR, ubits(Nar.remainder(NU)), DBits, NBits);
+
     // §9 exact division and remainder filters.
     R.check(PExactU, RU.Divisible ? 1 : 0, ExactU.isDivisible(NU) ? 1 : 0,
             DBits, NBits);
@@ -622,6 +716,16 @@ public:
       R.check(PSDiv, RS.TruncQ, sbits(Q), DBits, NBits);
       R.check(PSDiv, RS.TruncR, sbits(Rm), DBits, NBits);
     }
+
+    // Signed successor families: |n|,|d| through the unsigned cores with
+    // the EOR/subtract sign patch-up; the INT_MIN / -1 wrap is covered
+    // because the Oracle's overflow policy matches.
+    R.check(PFastModS, RS.TruncQ, sbits(FMS.divide(NS)), DBits, NBits);
+    R.check(PFastModS, RS.TruncR, sbits(FMS.remainder(NS)), DBits, NBits);
+    R.check(PFastModS, RS.Divisible ? 1 : 0, FMS.isDivisible(NS) ? 1 : 0,
+            DBits, NBits);
+    R.check(PNarrowS, RS.TruncQ, sbits(NarS.divide(NS)), DBits, NBits);
+    R.check(PNarrowS, RS.TruncR, sbits(NarS.remainder(NS)), DBits, NBits);
 
     // §6 floor/ceil dividers and the §2 convention matrix.
     R.check(PFloorDiv, RS.FloorQ, sbits(Floor.divide(NS)), DBits, NBits);
@@ -815,6 +919,11 @@ private:
   CeilDivider<SWord> Ceil;
   ConventionDivider<SWord> ConvTrunc, ConvFloor, ConvEuclid;
   ExactSignedDivider<SWord> ExactS;
+  FastModDivider<UWord> FMU;
+  FastModSignedDivider<SWord> FMS;
+  RoundUpDivider<UWord> RUp;
+  NarrowDivider<UWord> Nar;
+  NarrowSignedDivider<SWord> NarS;
   ir::Program PUDivRem, PAlv, ProgExactU, PDivisU, PDword, PSDivRem,
       ProgExactS, PDivisS, PFloorRt;
   std::optional<ir::Program> PRemTest0, PRemTest1, PFloorMod, PRemTestS1,
@@ -923,6 +1032,14 @@ std::string verify::reproString(const Repro &R) {
   Text += ":n=" + decString(R.NBits, R.WordBits, IsSigned);
   if (R.HasN2)
     Text += ":n2=" + decString(R.N2Bits, R.WordBits, false);
+  // Family tag: explicit tag wins, else the property's registered
+  // family; the default "gm" stays implicit so pre-existing repro
+  // strings remain byte-identical.
+  std::string Family = R.Family;
+  if (Family.empty() && Index >= 0)
+    Family = PropertyTable[Index].Family;
+  if (!Family.empty() && Family != "gm")
+    Text += ":f=" + Family;
   return Text;
 }
 
@@ -972,7 +1089,7 @@ bool parseField(const std::string &Part, const char *Key, uint64_t &Out,
 
 bool verify::parseRepro(const std::string &Text, Repro &Out) {
   const std::vector<std::string> Parts = splitColons(Text);
-  if (Parts.size() < 6 || Parts.size() > 7)
+  if (Parts.size() < 6 || Parts.size() > 8)
     return false;
   if (Parts[0] != "gmdiv" || Parts[1] != "v1")
     return false;
@@ -988,11 +1105,24 @@ bool verify::parseRepro(const std::string &Text, Repro &Out) {
     return false;
   if (!parseField(Parts[5], "n", R.NBits, R.WordBits))
     return false;
-  if (Parts.size() == 7) {
-    if (!parseField(Parts[6], "n2", R.N2Bits, R.WordBits))
+  size_t Next = 6;
+  if (Next < Parts.size() && Parts[Next].compare(0, 3, "n2=") == 0) {
+    if (!parseField(Parts[Next], "n2", R.N2Bits, R.WordBits))
       return false;
     R.HasN2 = true;
+    ++Next;
   }
+  if (Next < Parts.size()) {
+    // Optional trailing family tag, always last.
+    if (Parts[Next].compare(0, 2, "f=") != 0)
+      return false;
+    R.Family = Parts[Next].substr(2);
+    if (R.Family.empty())
+      return false;
+    ++Next;
+  }
+  if (Next != Parts.size())
+    return false;
   Out = R;
   return true;
 }
@@ -1062,6 +1192,13 @@ bool verify::checkOne(const Repro &R, std::string *DetailOut) {
   if (PropertyTable[Index].HasN2 && (R.N2Bits & Mask) >= DBits) {
     if (DetailOut)
       *DetailOut = "invalid repro: dword high part must be below the divisor";
+    return false;
+  }
+  if (!R.Family.empty() && R.Family != PropertyTable[Index].Family) {
+    if (DetailOut)
+      *DetailOut = "invalid repro: family tag '" + R.Family +
+                   "' does not match property " + R.Property + " (family " +
+                   PropertyTable[Index].Family + ")";
     return false;
   }
   Reporter Rep(R.WordBits);

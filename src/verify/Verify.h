@@ -21,9 +21,13 @@
 ///
 /// Failures are recorded as standalone repro strings
 ///   gmdiv:v1:<property>:N=<bits>:d=<divisor>:n=<dividend>[:n2=<extra>]
+///     [:f=<family>]
 /// (signed properties print signed decimals; n2 carries the high word
-/// for doubleword properties). checkOne() replays one repro, which is
-/// also how the fuzzer minimizes failures.
+/// for doubleword properties; f names the divider family for the
+/// successor-family properties — "fastmod", "roundup", "narrow32" — and
+/// is omitted for the paper's own "gm" algorithms). checkOne() replays
+/// one repro against exactly that family, which is also how the fuzzer
+/// minimizes failures.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +110,10 @@ struct Repro {
   uint64_t NBits = 0;  ///< Dividend bit pattern.
   uint64_t N2Bits = 0; ///< Extra operand (doubleword high part).
   bool HasN2 = false;
+  /// Divider family tag ("gm", "fastmod", "roundup", "narrow32").
+  /// Empty means unspecified; when set it must match the property's
+  /// registered family or checkOne() rejects the repro.
+  std::string Family;
 };
 
 /// Formats \p R as a gmdiv:v1 repro string (signed properties print

@@ -18,8 +18,12 @@
 
 #include "codegen/DivCodeGen.h"
 #include "core/Divider.h"
+#include "core/FastModDivider.h"
 #include "core/FloatDiv.h"
+#include "core/NarrowDivider.h"
+#include "core/RoundUpDivider.h"
 #include "ir/Interp.h"
+#include "verify/Oracle.h"
 
 #include <gtest/gtest.h>
 
@@ -92,6 +96,32 @@ TEST_P(UnsignedDivisorMatrix, RemainderPathsAgree32) {
     ASSERT_EQ(Remainder, N % D);
     ASSERT_EQ(QR[0], N / D);
     ASSERT_EQ(QR[1], N % D);
+  }
+}
+
+TEST_P(UnsignedDivisorMatrix, SuccessorFamiliesAgree32) {
+  // The successor families against the wide-integer Oracle AND the
+  // paper's own Figure 4.1 divider, per (family, op) cell: fastmod on
+  // divide/rem/divRem/isDivisible, roundup and narrow on divide/rem.
+  const uint32_t D = GetParam();
+  const verify::Oracle Ref(32, D, /*IsSigned=*/false);
+  const UnsignedDivider<uint32_t> GM(D);
+  const FastModDivider<uint32_t> FM(D);
+  const RoundUpDivider<uint32_t> RU(D);
+  const NarrowDivider<uint32_t> Nar(D);
+  for (uint32_t N : unsignedDividends(D)) {
+    const verify::DivRef R = Ref.ref(N);
+    ASSERT_EQ(GM.divide(N), R.TruncQ) << "gm, n=" << N;
+    ASSERT_EQ(FM.divide(N), R.TruncQ) << "fastmod, n=" << N;
+    ASSERT_EQ(FM.remainder(N), R.TruncR) << "fastmod rem, n=" << N;
+    ASSERT_EQ(FM.isDivisible(N), R.Divisible) << "fastmod divis, n=" << N;
+    const auto QR = FM.divRem(N);
+    ASSERT_EQ(QR.Quotient, GM.divide(N));
+    ASSERT_EQ(QR.Remainder, GM.remainder(N));
+    ASSERT_EQ(RU.divide(N), R.TruncQ) << RU.describe() << ", n=" << N;
+    ASSERT_EQ(RU.remainder(N), GM.remainder(N)) << "roundup rem, n=" << N;
+    ASSERT_EQ(Nar.divide(N), R.TruncQ) << "narrow, n=" << N;
+    ASSERT_EQ(Nar.remainder(N), R.TruncR) << "narrow rem, n=" << N;
   }
 }
 
@@ -188,6 +218,41 @@ TEST_P(SignedDivisorMatrix, FloorFamilyConsistent32) {
   }
 }
 
+TEST_P(SignedDivisorMatrix, SuccessorFamiliesAgree32) {
+  // The signed successor wrappers against the signed Oracle and the
+  // Figure 5.1 divider — including the INT_MIN / -1 row, where all of
+  // them follow the Oracle's documented wrap-to-INT_MIN policy.
+  const int32_t D = GetParam();
+  const verify::Oracle Ref(32, static_cast<uint32_t>(D), /*IsSigned=*/true);
+  const SignedDivider<int32_t> GM(D);
+  const FastModSignedDivider<int32_t> FM(D);
+  const NarrowSignedDivider<int32_t> Nar(D);
+
+  std::vector<int32_t> Dividends = {0,     1,      -1,    D,     -D,
+                                    2 * D, -2 * D, 0x7fffffff,
+                                    static_cast<int32_t>(0x80000001),
+                                    std::numeric_limits<int32_t>::min()};
+  for (int I = 0; I < 200; ++I)
+    Dividends.push_back(static_cast<int32_t>(rng()()));
+
+  for (int32_t N : Dividends) {
+    const verify::DivRef R = Ref.ref(static_cast<uint32_t>(N));
+    const int32_t WantQ = static_cast<int32_t>(R.TruncQ);
+    const int32_t WantR = static_cast<int32_t>(R.TruncR);
+    // Figure 5.1 leaves INT_MIN / -1 unspecified; the successor
+    // wrappers commit to the Oracle's wrap policy, so only the GM
+    // comparison skips the overflow row.
+    if (!R.Overflow)
+      ASSERT_EQ(GM.divide(N), WantQ) << "gm, n=" << N;
+    ASSERT_EQ(FM.divide(N), WantQ) << "fastmod-signed, n=" << N;
+    ASSERT_EQ(FM.remainder(N), WantR) << "fastmod-signed rem, n=" << N;
+    ASSERT_EQ(FM.isDivisible(N), R.Divisible)
+        << "fastmod-signed divis, n=" << N;
+    ASSERT_EQ(Nar.divide(N), WantQ) << "narrow-signed, n=" << N;
+    ASSERT_EQ(Nar.remainder(N), WantR) << "narrow-signed rem, n=" << N;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     PaperGallery, SignedDivisorMatrix,
     ::testing::Values(1, -1, 2, -2, 3, -3, 5, -5, 7, -7, 9, -9, 10, -10,
@@ -236,6 +301,35 @@ TEST_P(Unsigned64DivisorMatrix, AllImplementationsAgree64) {
         << "Figure 4.2, n=" << N;
     ASSERT_EQ(ir::run(SignedOnly, {N})[0], Expected)
         << "§3 identity form, n=" << N;
+  }
+}
+
+TEST_P(Unsigned64DivisorMatrix, SuccessorFamiliesAgree64) {
+  // At full 64-bit width fastmod and narrow run on the emulated 128-bit
+  // doubleword (the portable path arch::selectFamily refuses to *price*
+  // on a 64-bit target but the templates still prove correct), roundup
+  // on the native word. All three against the Oracle and Figure 4.1.
+  const uint64_t D = GetParam();
+  const verify::Oracle Ref(64, D, /*IsSigned=*/false);
+  const UnsignedDivider<uint64_t> GM(D);
+  const FastModDivider<uint64_t> FM(D);
+  const RoundUpDivider<uint64_t> RU(D);
+  const NarrowDivider<uint64_t> Nar(D);
+  std::vector<uint64_t> Dividends = {0, 1, D - 1, D, D + 1,
+                                     ~uint64_t{0} - 1, ~uint64_t{0},
+                                     uint64_t{1} << 63};
+  for (int I = 0; I < 200; ++I)
+    Dividends.push_back(rng()());
+  for (uint64_t N : Dividends) {
+    const verify::DivRef R = Ref.ref(N);
+    ASSERT_EQ(GM.divide(N), R.TruncQ) << "gm, n=" << N;
+    ASSERT_EQ(FM.divide(N), R.TruncQ) << "fastmod, n=" << N;
+    ASSERT_EQ(FM.remainder(N), R.TruncR) << "fastmod rem, n=" << N;
+    ASSERT_EQ(FM.isDivisible(N), R.Divisible) << "fastmod divis, n=" << N;
+    ASSERT_EQ(RU.divide(N), R.TruncQ) << RU.describe() << ", n=" << N;
+    ASSERT_EQ(RU.remainder(N), R.TruncR) << "roundup rem, n=" << N;
+    ASSERT_EQ(Nar.divide(N), R.TruncQ) << "narrow, n=" << N;
+    ASSERT_EQ(Nar.remainder(N), R.TruncR) << "narrow rem, n=" << N;
   }
 }
 

@@ -17,7 +17,10 @@
 #include "batch/BatchDivider.h"
 #include "core/Divider.h"
 #include "core/ExactDiv.h"
+#include "core/FastModDivider.h"
+#include "core/NarrowDivider.h"
 #include "core/RemModSemantics.h"
+#include "core/RoundUpDivider.h"
 
 #include <gtest/gtest.h>
 
@@ -145,6 +148,72 @@ TEST(Exhaustive16, BatchBackendsSignedFullStateSpace) {
       if (Quot[I] != Trunc || FloorQ[I] != Floor || CeilQ[I] != Ceil)
         FAIL() << "n=" << N << " d=" << D << " trunc=" << Quot[I]
                << " floor=" << FloorQ[I] << " ceil=" << CeilQ[I];
+    }
+  }
+}
+
+TEST(Exhaustive16, FamilyGalleryUnsignedAllDividends) {
+  // The successor families — fastmod (LKK), roundup (Optimal Bounds)
+  // and narrow (Mitsunari–Hoshino) — over every 16-bit dividend for the
+  // divisor gallery where their theorems bind: powers of two, 2^k +/- 1
+  // (where the round-up error term is extremal), and the top of the
+  // divisor range. The all-divisor sweeps run in the verify harness at
+  // N = 4..12; this pins the 16-bit instantiation.
+  std::vector<uint32_t> Divisors = {1, 3, 5, 7, 9, 641};
+  for (int K = 1; K <= 16; ++K) {
+    const uint32_t P = 1u << (K - 1);
+    for (uint32_t D : {P - 1, P, P + 1})
+      if (D >= 1 && D <= 0xffff)
+        Divisors.push_back(D);
+  }
+  for (uint32_t D : {0xfffeu, 0xffffu})
+    Divisors.push_back(D);
+  for (uint32_t D : Divisors) {
+    const FastModDivider<uint16_t> FM(static_cast<uint16_t>(D));
+    const RoundUpDivider<uint16_t> RU(static_cast<uint16_t>(D));
+    const NarrowDivider<uint16_t> Nar(static_cast<uint16_t>(D));
+    for (uint32_t N = 0; N <= 0xffff; ++N) {
+      const uint16_t Q = static_cast<uint16_t>(N / D);
+      const uint16_t R = static_cast<uint16_t>(N % D);
+      const uint16_t Word = static_cast<uint16_t>(N);
+      if (FM.divide(Word) != Q || FM.remainder(Word) != R ||
+          FM.isDivisible(Word) != (R == 0))
+        FAIL() << "fastmod: n=" << N << " d=" << D;
+      if (RU.divide(Word) != Q || RU.remainder(Word) != R)
+        FAIL() << "roundup[" << RoundUpChoice<uint16_t>::kindName(RU.mode())
+               << "]: n=" << N << " d=" << D;
+      if (Nar.divide(Word) != Q || Nar.remainder(Word) != R)
+        FAIL() << "narrow: n=" << N << " d=" << D;
+    }
+  }
+}
+
+TEST(Exhaustive16, FamilyGallerySignedAllDividends) {
+  // The signed wrappers across the INT_MIN-adjacent divisor rows and
+  // sign boundaries, every dividend including the INT16_MIN / -1 wrap.
+  const std::vector<int32_t> Divisors = {
+      1,     -1,     2,      -2,     3,     -3,     7,     -7,
+      255,   -255,   256,    -256,   257,   -257,   16383, -16383,
+      16384, -16384, 16385,  -16385, 32767, -32767, -32768};
+  for (int32_t D : Divisors) {
+    const FastModSignedDivider<int16_t> FM(static_cast<int16_t>(D));
+    const NarrowSignedDivider<int16_t> Nar(static_cast<int16_t>(D));
+    for (int32_t N = -32768; N <= 32767; ++N) {
+      const int16_t Word = static_cast<int16_t>(N);
+      if (N == -32768 && D == -1) {
+        // Defined to wrap with remainder 0 (the Oracle's policy).
+        if (FM.divide(Word) != INT16_MIN || FM.remainder(Word) != 0 ||
+            Nar.divide(Word) != INT16_MIN || Nar.remainder(Word) != 0)
+          FAIL() << "INT_MIN/-1 wrap";
+        continue;
+      }
+      const int16_t Q = static_cast<int16_t>(N / D);
+      const int16_t R = static_cast<int16_t>(N % D);
+      if (FM.divide(Word) != Q || FM.remainder(Word) != R ||
+          FM.isDivisible(Word) != (R == 0))
+        FAIL() << "fastmod-signed: n=" << N << " d=" << D;
+      if (Nar.divide(Word) != Q || Nar.remainder(Word) != R)
+        FAIL() << "narrow-signed: n=" << N << " d=" << D;
     }
   }
 }

@@ -142,6 +142,59 @@ TEST(VerifyRepro, RoundTripDword) {
   EXPECT_EQ(Back.NBits, 42u);
 }
 
+TEST(VerifyRepro, RoundTripFamilyTag) {
+  // Successor-family properties tag their repros with :f=<family>; the
+  // paper's own "gm" family stays implicit, so pre-existing repro
+  // strings are byte-identical.
+  Repro R;
+  R.Property = "fastmod-unsigned";
+  R.WordBits = 16;
+  R.DBits = 7;
+  R.NBits = 65535;
+  R.Family = "fastmod";
+  const std::string Text = reproString(R);
+  EXPECT_EQ(Text, "gmdiv:v1:fastmod-unsigned:N=16:d=7:n=65535:f=fastmod");
+  Repro Back;
+  ASSERT_TRUE(parseRepro(Text, Back));
+  EXPECT_EQ(Back.Property, "fastmod-unsigned");
+  EXPECT_EQ(Back.Family, "fastmod");
+
+  // An untagged family repro gains the property's registered tag when
+  // re-serialized (reproString consults the property table).
+  Back.Family.clear();
+  EXPECT_EQ(reproString(Back), Text);
+}
+
+TEST(VerifyRepro, CheckOnePassesOnSuccessorFamilies) {
+  for (const char *Text : {
+           "gmdiv:v1:fastmod-unsigned:N=16:d=7:n=65535:f=fastmod",
+           "gmdiv:v1:fastmod-divisible:N=16:d=7:n=49:f=fastmod",
+           "gmdiv:v1:fastmod-signed:N=16:d=-7:n=-32768:f=fastmod",
+           "gmdiv:v1:roundup-unsigned:N=16:d=641:n=65535:f=roundup",
+           "gmdiv:v1:roundup-bounds:N=16:d=641:n=0:f=roundup",
+           "gmdiv:v1:narrow32-unsigned:N=16:d=10:n=65535:f=narrow32",
+           "gmdiv:v1:narrow32-signed:N=16:d=-10:n=-32768:f=narrow32",
+       }) {
+    Repro R;
+    ASSERT_TRUE(parseRepro(Text, R)) << Text;
+    std::string Detail;
+    EXPECT_TRUE(checkOne(R, &Detail)) << Text << ": " << Detail;
+    EXPECT_NE(Detail.find("PASS"), std::string::npos) << Detail;
+  }
+}
+
+TEST(VerifyRepro, CheckOneRejectsFamilyMismatch) {
+  // A tag naming a different family than the property's registered one
+  // is a corrupt repro, not a request to cross-check: reject it.
+  Repro R;
+  ASSERT_TRUE(parseRepro(
+      "gmdiv:v1:fastmod-unsigned:N=16:d=7:n=65535:f=narrow32", R));
+  EXPECT_EQ(R.Family, "narrow32");
+  std::string Detail;
+  EXPECT_FALSE(checkOne(R, &Detail));
+  EXPECT_NE(Detail.find("family"), std::string::npos) << Detail;
+}
+
 TEST(VerifyRepro, ParseRejectsMalformed) {
   Repro Out;
   EXPECT_FALSE(parseRepro("", Out));
@@ -261,6 +314,30 @@ TEST(VerifyInjection, ReportJsonCarriesFailures) {
   const std::string Json = reportJson(Report);
   EXPECT_NE(Json.find("\"clean\":false"), std::string::npos);
   EXPECT_NE(Json.find("gmdiv:v1:"), std::string::npos);
+}
+
+TEST(VerifyInjection, SuccessorFamilyPropertiesOwnTheirMismatches) {
+  // Period 1 corrupts every comparison, so each successor-family
+  // property must tally mismatches under its own name — proving the new
+  // checkers route failures to their property row rather than a
+  // neighbour's — and every recorded failure must replay clean once the
+  // injection is off.
+  setInjectedMismatchPeriod(1);
+  std::vector<uint64_t> Ns;
+  for (uint64_t N = 0; N < 256; ++N)
+    Ns.push_back(N);
+  const VerifyReport Report = checkDivisor(8, 7, Ns, {});
+  setInjectedMismatchPeriod(0);
+
+  for (const char *Property :
+       {"fastmod-unsigned", "fastmod-divisible", "fastmod-signed",
+        "roundup-unsigned", "roundup-bounds", "narrow32-unsigned",
+        "narrow32-signed"}) {
+    EXPECT_GT(Report.mismatches(Property), 0u) << Property;
+  }
+
+  for (const std::string &Text : Report.Failures)
+    EXPECT_TRUE(replayRepro(Text)) << Text;
 }
 
 #ifndef GMDIV_NO_TELEMETRY
