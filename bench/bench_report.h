@@ -26,13 +26,17 @@
 /// Knobs (env wins over defaults; explicit --benchmark_* flags win
 /// over both): GMDIV_BENCH_SMOKE=1 (3 reps, 10 ms min time — the CI
 /// bench-smoke setting), GMDIV_BENCH_REPS, GMDIV_BENCH_MIN_TIME,
-/// GMDIV_BENCH_WARMUP, GMDIV_BENCH_NO_COUNTERS=1.
+/// GMDIV_BENCH_WARMUP, GMDIV_BENCH_NO_COUNTERS=1. GMDIV_PROF=<hz>
+/// additionally arms the sampling profiler for the whole run and
+/// writes BENCH_<name>.prof.folded — the hook used to measure the
+/// profiler's own overhead (docs/OBSERVABILITY.md).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GMDIV_BENCH_REPORT_H
 #define GMDIV_BENCH_REPORT_H
 
+#include "prof/Profiler.h"
 #include "telemetry/BenchReport.h"
 #include "trace/HwCounters.h"
 
@@ -187,6 +191,10 @@ inline int runReported(const char *Name, int argc, char **argv) {
   const RunnerConfig Config = RunnerConfig::fromEnv();
   std::vector<std::string> UserArgs(argv, argv + argc);
 
+  // GMDIV_PROF=<hz> profiles the whole run (warmup, reps and counter
+  // passes alike); stacks land next to the JSON report.
+  const bool Profiling = gmdiv::prof::Profiler::global().startFromEnv();
+
   // Pure query modes: defer to Google Benchmark, no report.
   if (hasFlag(UserArgs, "--benchmark_list_tests") ||
       hasFlag(UserArgs, "--help") || hasFlag(UserArgs, "--version"))
@@ -270,6 +278,19 @@ inline int runReported(const char *Name, int argc, char **argv) {
   if (!tb::writeFile(Path, Report, &Error)) {
     std::fprintf(stderr, "gmdiv-bench: %s\n", Error.c_str());
     return 1;
+  }
+  if (Profiling) {
+    gmdiv::prof::Profiler &P = gmdiv::prof::Profiler::global();
+    P.stop();
+    const std::string ProfPath =
+        std::string("BENCH_") + Name + ".prof.folded";
+    if (!P.writeCollapsed(ProfPath, &Error))
+      std::fprintf(stderr, "gmdiv-bench: profile: %s\n", Error.c_str());
+    else
+      std::fprintf(stderr,
+                   "gmdiv-bench: %llu profile samples (%d Hz) in %s\n",
+                   static_cast<unsigned long long>(P.sampleCount()),
+                   P.rateHz(), ProfPath.c_str());
   }
   std::fprintf(stderr,
                "gmdiv-bench: wrote %s (%zu benchmarks, %d reps, "

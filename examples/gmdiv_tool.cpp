@@ -58,6 +58,13 @@
 //                                        or JSON; --exercise runs a tiny
 //                                        batch + JIT workload first so
 //                                        the instruments have data.
+//   gmdiv_tool top [--keys K] [--ops N]  drive a skewed synthetic
+//                                        workload through the divider
+//                                        registry and the JIT cache,
+//                                        then print each heavy-hitter
+//                                        sketch as a ranked table,
+//                                        cross-referenced against the
+//                                        underlying eviction counters.
 //   gmdiv_tool service [--threads N] [--keys K] [--ops M]
 //                      [--seconds S] [--batch B] [--workers W]
 //                                        hammer the divider registry
@@ -84,6 +91,9 @@
 //                         Perfetto or about:tracing).
 //   --metrics=FILE        write a metrics snapshot on exit (format by
 //                         extension: .json = JSON, else Prometheus).
+//   --profile=FILE        arm the SIGPROF sampling profiler for the
+//                         whole command (GMDIV_PROF_HZ, default 97 Hz)
+//                         and write collapsed stacks on exit.
 //
 //===----------------------------------------------------------------------===//
 
@@ -108,6 +118,7 @@
 #include "metrics/FlightRecorder.h"
 #include "metrics/Metrics.h"
 #include "ops/Bits.h"
+#include "prof/Profiler.h"
 #include "service/BatchService.h"
 #include "service/Registry.h"
 #include "telemetry/BenchReport.h"
@@ -128,6 +139,7 @@
 #include <iterator>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -156,6 +168,7 @@ int usage(const char *Argv0) {
                "  %s metrics [prom|json] [--exercise]\n"
                "  %s service [--threads N] [--keys K] [--ops M] "
                "[--seconds S] [--batch B] [--workers W]\n"
+               "  %s top [--keys K] [--ops N]\n"
                "global flags (telemetry, on stderr):\n"
                "  --remarks=json|text   one remark per generated sequence\n"
                "  --stats               counter registry as one JSON line "
@@ -163,9 +176,11 @@ int usage(const char *Argv0) {
                "  --trace=FILE          write a Chrome trace-event JSON "
                "file\n"
                "  --metrics=FILE        write a metrics snapshot on exit "
-               "(.json = JSON, else Prometheus)\n",
+               "(.json = JSON, else Prometheus)\n"
+               "  --profile=FILE        sampling profiler on; write "
+               "collapsed stacks on exit\n",
                Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0,
-               Argv0, Argv0, Argv0, Argv0);
+               Argv0, Argv0, Argv0, Argv0, Argv0);
   return 1;
 }
 
@@ -446,7 +461,16 @@ uint64_t hammerService(size_t Threads, size_t KeyCount, size_t OpsPerThread,
   if (BatchJobs > 0) {
     service::BatchService::Options BOpts;
     BOpts.Workers = Workers;
-    service::BatchService Svc(Reg, BOpts);
+    // Function-local static so the service (and the metrics collector
+    // exportMetrics registers) outlives this command: the --metrics
+    // snapshot is written at main exit and must still see the
+    // gmdiv_service_batch_* families, queue_wait_ns included. First
+    // touched after the metrics registry singleton, so it is destroyed
+    // (workers joined, collector removed) before the registry goes.
+    static std::optional<service::BatchService> SvcHolder;
+    SvcHolder.emplace(Reg, BOpts);
+    service::BatchService &Svc = *SvcHolder;
+    Svc.exportMetrics("gmdiv_service_batch");
     constexpr size_t Lanes = 4096;
     std::vector<uint64_t> In(Lanes);
     for (size_t I = 0; I < Lanes; ++I)
@@ -1060,6 +1084,83 @@ int runCommand(int Argc, char **Argv) {
     return 0;
   }
 
+  if (Command == "top") {
+    size_t Keys = 64;
+    size_t Ops = 200000;
+    for (int I = 2; I + 1 < Argc; I += 2) {
+      const std::string Arg = Argv[I];
+      const char *Val = Argv[I + 1];
+      if (Arg == "--keys")
+        Keys = std::strtoull(Val, nullptr, 0);
+      else if (Arg == "--ops")
+        Ops = std::strtoull(Val, nullptr, 0);
+      else
+        return usage(Argv[0]);
+    }
+    if (Keys == 0 || Ops == 0)
+      return usage(Argv[0]);
+
+    // Skewed synthetic workload: seven of eight ops hit one of eight
+    // hot divisors (geometrically skewed inside the hot set so the
+    // ranks are distinct), the eighth spreads over the full key range.
+    // The JIT cache sees the same stream decimated 1-in-16 — its offer
+    // point is per-construction, not per-divide.
+    service::DividerRegistry &Reg = service::DividerRegistry::global();
+    uint64_t Rng = 0x5eed;
+    for (size_t I = 0; I < Ops; ++I) {
+      const uint64_t Mix = cache::mixBits(Rng += 0x9e3779b97f4a7c15ULL);
+      const uint64_t D = (Mix & 7) != 0
+                             ? 3 + ((Mix >> 3) & (Mix >> 6) & 7)
+                             : 3 + ((Mix >> 9) % Keys);
+      const service::Key K =
+          service::keyFor<uint32_t>(static_cast<uint32_t>(D));
+      if (!Reg.withEntry(K, [](const service::DividerEntry &) {}))
+        Reg.acquire(K);
+      if (I % 16 == 0)
+        jit::compileCached(jit::CodeCache::global(),
+                           {jit::SeqKind::UDivRem, 32, D});
+    }
+
+    const auto PrintSketch = [](const char *What, const auto &Sketch,
+                                uint64_t CacheEvictions,
+                                auto &&Describe) {
+      const auto Items = Sketch.items();
+      std::printf("%s top-%zu (sketch capacity %zu, %llu offered, "
+                  "sketch evictions %llu%s):\n",
+                  What, Items.size(), Sketch.capacity(),
+                  static_cast<unsigned long long>(Sketch.totalOffered()),
+                  static_cast<unsigned long long>(Sketch.evictions()),
+                  Sketch.evictions() == 0 ? " — counts exact" : "");
+      std::printf("  %4s  %-18s %12s %10s\n", "rank", "key", "est.count",
+                  "max.err");
+      const size_t Rows = Items.size() < 10 ? Items.size() : 10;
+      for (size_t I = 0; I < Rows; ++I)
+        std::printf("  %4zu  %-18s %12llu %10llu\n", I,
+                    Describe(Items[I].Key).c_str(),
+                    static_cast<unsigned long long>(Items[I].Count),
+                    static_cast<unsigned long long>(Items[I].Error));
+      if (Items.size() > Rows)
+        std::printf("  ... %zu more tracked keys\n", Items.size() - Rows);
+      std::printf("  cross-reference: %llu cache evictions — %s\n",
+                  static_cast<unsigned long long>(CacheEvictions),
+                  CacheEvictions == 0
+                      ? "every hot key admitted once and stayed resident"
+                      : "hot keys may have been re-admitted; compare "
+                        "ranks against the per-shard _evictions_total "
+                        "counters");
+    };
+
+    PrintSketch("service registry", Reg.hotKeys(), Reg.stats().Evictions,
+                [](const service::Key &K) { return K.describe(); });
+    std::printf("\n");
+    PrintSketch("jit cache", jit::CodeCache::global().hotKeys(),
+                jit::CodeCache::global().stats().Evictions,
+                [](const jit::CacheKey &K) {
+                  return jit::describeCacheKey(K);
+                });
+    return 0;
+  }
+
   return usage(Argv[0]);
 }
 
@@ -1070,6 +1171,7 @@ int main(int Argc, char **Argv) {
   std::string RemarksMode;
   std::string TraceFile;
   std::string MetricsFile;
+  std::string ProfileFile;
   std::vector<char *> Args;
   Args.reserve(static_cast<size_t>(Argc));
   for (int Index = 0; Index < Argc; ++Index) {
@@ -1089,13 +1191,27 @@ int main(int Argc, char **Argv) {
       MetricsFile = Argv[Index] + 10;
       continue;
     }
+    if (std::strncmp(Argv[Index], "--profile=", 10) == 0) {
+      ProfileFile = Argv[Index] + 10;
+      continue;
+    }
     Args.push_back(Argv[Index]);
   }
 
   // Environment-driven observability: GMDIV_METRICS_OUT starts the
-  // background exporter, GMDIV_FLIGHT_RECORDER arms the crash dump.
+  // background exporter, GMDIV_FLIGHT_RECORDER arms the crash dump,
+  // GMDIV_PROF arms the sampling profiler without a dump file.
   metrics::Exporter::global().startFromEnv();
   metrics::FlightRecorder::global().configureFromEnv();
+  if (!ProfileFile.empty()) {
+    int Hz = prof::Profiler::DefaultHz;
+    if (const char *HzEnv = std::getenv("GMDIV_PROF_HZ"))
+      if (const long Value = std::strtol(HzEnv, nullptr, 10); Value > 0)
+        Hz = static_cast<int>(Value);
+    prof::Profiler::global().start(Hz);
+  } else {
+    prof::Profiler::global().startFromEnv();
+  }
 
   std::unique_ptr<telemetry::RemarkSink> Sink;
   if (RemarksMode == "json")
@@ -1138,6 +1254,19 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr, "gmdiv_tool: metrics written to %s\n",
                  MetricsFile.c_str());
+  }
+  if (!ProfileFile.empty()) {
+    prof::Profiler::global().stop();
+    std::string Error;
+    if (!prof::Profiler::global().writeCollapsed(ProfileFile, &Error)) {
+      std::fprintf(stderr, "gmdiv_tool: --profile: %s\n", Error.c_str());
+      return Result ? Result : 1;
+    }
+    std::fprintf(stderr,
+                 "gmdiv_tool: %llu profile samples written to %s\n",
+                 static_cast<unsigned long long>(
+                     prof::Profiler::global().sampleCount()),
+                 ProfileFile.c_str());
   }
   metrics::Exporter::global().stop();
   return Result;

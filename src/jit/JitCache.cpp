@@ -48,6 +48,29 @@ const char *gmdiv::jit::seqKindName(SeqKind Kind) {
   return "?";
 }
 
+std::string gmdiv::jit::describeCacheKey(const CacheKey &Key) {
+  std::string Out = seqKindName(Key.Kind);
+  const bool Signed = Key.Kind == SeqKind::SDiv || Key.Kind == SeqKind::SRem ||
+                      Key.Kind == SeqKind::SDivRem ||
+                      Key.Kind == SeqKind::FloorDiv ||
+                      Key.Kind == SeqKind::FloorMod ||
+                      Key.Kind == SeqKind::FloorDivMod;
+  Out += Signed ? "/i" : "/u";
+  Out += std::to_string(static_cast<unsigned>(Key.WordBits));
+  Out += '/';
+  if (Signed) {
+    // Divisor is the zero-extended WordBits-wide pattern; sign-extend
+    // so i32/-3 prints as -3, not 4294967293.
+    uint64_t V = Key.Divisor;
+    if (Key.WordBits < 64 && (V >> (Key.WordBits - 1)) & 1)
+      V |= ~((uint64_t{1} << Key.WordBits) - 1);
+    Out += std::to_string(static_cast<int64_t>(V));
+  } else {
+    Out += std::to_string(Key.Divisor);
+  }
+  return Out;
+}
+
 CodeCache::CodeCache(size_t NumShards, size_t ShardCapacity)
     : Shards(NumShards == 0 ? 1 : NumShards),
       ShardCapacity(ShardCapacity == 0 ? 1 : ShardCapacity) {
@@ -65,6 +88,9 @@ std::shared_ptr<const CompiledSequence>
 CodeCache::getOrCompile(const CacheKey &Key, const Compiler &Compile) {
   const size_t ShardIndex = shardIndexFor(Key);
   Shard &S = Shards[ShardIndex];
+  // Every requested key feeds the heavy-hitter sketch (hits included):
+  // this path runs per JitDivider construction, not per divide.
+  HotKeys.offer(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
 
   auto Found = S.Map.find(Key);
@@ -183,6 +209,25 @@ void CodeCache::collect(metrics::SnapshotBuilder &B) const {
   metrics::Histogram::Cumulative C = CompileNsAll.cumulative();
   B.histogram(P + "_compile_ns", "Compile latency, all shards (ns)", {},
               std::move(C.Bounds), C.Count, C.Sum);
+  // Heavy-hitter sketch over requested sequence keys; counts are
+  // space-saving estimates (exact while _topk_evictions_total is 0).
+  const auto Hot = HotKeys.items();
+  for (size_t I = 0; I < Hot.size(); ++I) {
+    const metrics::LabelSet L = {{"key", describeCacheKey(Hot[I].Key)},
+                                 {"rank", std::to_string(I)}};
+    B.gauge(P + "_topk",
+            "Estimated getOrCompile calls for the hottest sequence keys "
+            "(space-saving sketch)",
+            L, static_cast<double>(Hot[I].Count));
+    B.gauge(P + "_topk_error",
+            "Overestimate bound for the matching _topk sample", L,
+            static_cast<double>(Hot[I].Error));
+  }
+  B.gauge(P + "_topk_capacity", "Heavy-hitter sketch slots", {},
+          static_cast<double>(HotKeys.capacity()));
+  B.counter(P + "_topk_evictions_total",
+            "Space-saving sketch evictions (0 means counts are exact)",
+            {}, static_cast<double>(HotKeys.evictions()));
 }
 
 void CodeCache::exportMetrics(const std::string &Prefix) {

@@ -32,6 +32,7 @@
 #include "jit/CachePolicy.h"
 #include "jit/Jit.h"
 #include "metrics/Metrics.h"
+#include "prof/TopK.h"
 
 #include <cstdint>
 #include <functional>
@@ -61,6 +62,10 @@ enum class SeqKind : uint8_t {
 };
 
 const char *seqKindName(SeqKind Kind);
+
+/// "udiv/u32/7": the human form used by the top-K exposition and
+/// `gmdiv_tool top`.
+std::string describeCacheKey(const struct CacheKey &Key);
 
 /// (op-kind, width, divisor bit pattern).
 struct CacheKey {
@@ -116,6 +121,12 @@ public:
   /// per-shard histograms are reachable through the metrics snapshot.
   const metrics::Histogram &compileLatency() const { return CompileNsAll; }
 
+  /// Heavy-hitter sketch over requested sequence keys (every
+  /// getOrCompile call, hits included). Exported as <prefix>_topk.
+  const prof::TopK<CacheKey, CacheKeyHash> &hotKeys() const {
+    return HotKeys;
+  }
+
   /// Drops every entry (counters keep accumulating).
   void clear();
 
@@ -161,6 +172,10 @@ private:
 
   std::vector<Shard> Shards;
   size_t ShardCapacity;
+  /// Hottest sequence keys; capacity from GMDIV_TOPK (default 32).
+  /// getOrCompile is a per-JitDivider-construction path, not
+  /// per-divide, so the sketch mutex is uncontended in practice.
+  prof::TopK<CacheKey, CacheKeyHash> HotKeys{prof::topKCapacityFromEnv(32)};
   /// Compile latency in ns: one histogram per shard plus the aggregate
   /// (each compile records into both; compiles are rare).
   std::vector<std::unique_ptr<metrics::Histogram>> CompileNs;

@@ -40,6 +40,9 @@ State &state() {
 /// One-shot guard: a crash inside the dump itself must not recurse.
 std::atomic<bool> Dumping{false};
 
+/// Profiler hook (see FlightRecorder::setProfileProvider).
+std::atomic<std::string (*)()> ProfileProvider{nullptr};
+
 const char *signalName(int Signal) {
   switch (Signal) {
   case SIGSEGV:
@@ -94,6 +97,10 @@ bool FlightRecorder::configureFromEnv() {
   return true;
 }
 
+void FlightRecorder::setProfileProvider(std::string (*Provider)()) {
+  ProfileProvider.store(Provider, std::memory_order_release);
+}
+
 void FlightRecorder::installSignalHandlers() {
   static bool Installed = [] {
     struct sigaction SA;
@@ -134,7 +141,7 @@ std::string FlightRecorder::reportJson(const char *Reason) const {
   Writer W;
   W.beginObject()
       .key("gmdiv_flight_record")
-      .value(int64_t{1})
+      .value(int64_t{2})
       .key("reason")
       .value(Reason)
       .key("unix_ms")
@@ -160,15 +167,19 @@ std::string FlightRecorder::reportJson(const char *Reason) const {
         .value(E.DurNs)
         .key("arg")
         .value(E.Arg)
+        .key("flow")
+        .value(E.Flow)
         .key("depth")
         .value(static_cast<uint64_t>(E.Depth))
         .endObject();
   }
   W.endArray().endObject();
   std::string Out = W.str();
-  // Splice the metrics document in as a nested object: it is already a
-  // complete JSON document from the same writer family.
+  // Splice the profile and metrics documents in as nested objects: both
+  // are complete JSON documents from the same writer family.
   Out.pop_back(); // trailing '}'
+  std::string (*Provider)() = ProfileProvider.load(std::memory_order_acquire);
+  Out += ",\"profile\":" + (Provider ? Provider() : std::string("null"));
   Out += ",\"metrics\":" + snapshotJson(Metrics) + "}";
   return Out;
 }

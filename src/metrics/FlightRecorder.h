@@ -12,13 +12,17 @@
 /// the "what was the process doing" record the service layer needs when
 /// a JIT'd sequence or a batch kernel goes down in production.
 ///
-/// Report schema (docs/OBSERVABILITY.md):
-///   {"gmdiv_flight_record":1,"reason":"sigsegv|sigabrt|explicit|...",
+/// Report schema v2 (docs/OBSERVABILITY.md):
+///   {"gmdiv_flight_record":2,"reason":"sigsegv|sigabrt|explicit|...",
 ///    "unix_ms":...,"spans_kept":N,"spans_recorded":...,
 ///    "spans_dropped":...,
 ///    "spans":[{"thread":...,"cat":...,"name":...,"start_ns":...,
-///              "dur_ns":...,"arg":...,"depth":...},...],
+///              "dur_ns":...,"arg":...,"flow":...,"depth":...},...],
+///    "profile":{...profiler samples, or null when never armed...},
 ///    "metrics":{...snapshotJson() document...}}
+/// v1 -> v2: spans gained "flow" (request-flow id, 0 = none) and the
+/// report gained the "profile" section; readers keying on
+/// gmdiv_flight_record get a clean version bump.
 ///
 /// The signal path is best effort by design: report construction
 /// allocates, which is not async-signal-safe, so a crash inside the
@@ -70,6 +74,13 @@ public:
 
   /// The report document without writing it (tests, remote shipping).
   std::string reportJson(const char *Reason) const;
+
+  /// Supplier of the report's "profile" section: a complete JSON object
+  /// document (prof::Profiler::profileJson()). Registered by the
+  /// profiler on start so gmdiv_metrics never depends on gmdiv_prof;
+  /// while unset the report carries "profile":null. Pass nullptr to
+  /// unregister (tests).
+  static void setProfileProvider(std::string (*Provider)());
 
   Options options() const;
 

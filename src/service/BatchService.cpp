@@ -7,6 +7,8 @@
 
 #include "service/BatchService.h"
 
+#include "trace/Trace.h"
+
 #include <chrono>
 #include <cstdlib>
 
@@ -100,9 +102,16 @@ std::future<BatchResult> BatchService::enqueue(const Key &K, Op O,
       });
   std::future<BatchResult> F = J.Run.get_future();
 
+  // One flow id per job links the submit, queue-wait and execute spans
+  // across the submitter/worker thread boundary in the exported trace.
+  J.Flow = trace::enabled() ? trace::nextFlowId() : 0;
   {
+    trace::FlowScope Scope(J.Flow);
+    trace::Span Submit("service", "submit", static_cast<uint64_t>(Count));
     std::unique_lock<std::mutex> Lock(Mutex);
     NotFull.wait(Lock, [this] { return Queue.size() < QueueCapacity; });
+    J.EnqueueSteadyNs = steadyNs();
+    J.EnqueueTraceNs = trace::nowNs();
     Queue.push_back(std::move(J));
   }
   Submitted.inc();
@@ -129,7 +138,19 @@ void BatchService::workerLoop() {
     NotFull.notify_one();
 
     const uint64_t T0 = steadyNs();
-    J.Run(); // exceptions land in the future via the packaged_task
+    const uint64_t Wait =
+        T0 >= J.EnqueueSteadyNs ? T0 - J.EnqueueSteadyNs : 0;
+    QueueWaitNs.record(Wait);
+    if (J.Flow != 0)
+      // Back-date the wait the worker just observed so the trace shows
+      // queue time as its own span, not folded into execution.
+      trace::recordSpan("service", "queue_wait", J.EnqueueTraceNs, Wait, 0,
+                        J.Flow);
+    {
+      trace::FlowScope Scope(J.Flow);
+      trace::Span Exec("service", "execute");
+      J.Run(); // exceptions land in the future via the packaged_task
+    }
     JobNs.record(steadyNs() - T0);
     Completed.inc();
 
@@ -171,6 +192,11 @@ void BatchService::collect(metrics::SnapshotBuilder &B) const {
   B.histogram(P + "_job_ns",
               "Worker-side job latency: registry resolve + kernel (ns)",
               {}, std::move(C.Bounds), C.Count, C.Sum);
+  metrics::Histogram::Cumulative QW = QueueWaitNs.cumulative();
+  B.histogram(P + "_queue_wait_ns",
+              "Time a job waited in the queue before a worker picked it "
+              "up (ns), separate from job execution time",
+              {}, std::move(QW.Bounds), QW.Count, QW.Sum);
 }
 
 void BatchService::exportMetrics(const std::string &Prefix) {

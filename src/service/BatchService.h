@@ -124,6 +124,14 @@ private:
 
   struct Job {
     std::packaged_task<BatchResult()> Run;
+    /// Request-flow id allocated at submit; the worker's queue-wait and
+    /// execute spans carry it so the trace shows one linked request.
+    uint64_t Flow = 0;
+    /// steady_clock ns at enqueue (for the queue-wait histogram).
+    uint64_t EnqueueSteadyNs = 0;
+    /// Trace-epoch ns at enqueue (so the back-dated queue-wait span
+    /// lands at the right ts in the exported trace).
+    uint64_t EnqueueTraceNs = 0;
   };
 
   std::future<BatchResult> enqueue(const Key &K, Op O, const void *In,
@@ -150,6 +158,9 @@ private:
   metrics::Counter Rejected;
   metrics::Counter Elements;
   metrics::Histogram JobNs;
+  /// Time between enqueue and a worker picking the job up — the queue
+  /// component of tail latency, kept separate from JobNs on purpose.
+  metrics::Histogram QueueWaitNs;
   std::string MetricsPrefix;
   uint64_t CollectorHandle = 0;
 };

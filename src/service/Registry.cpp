@@ -39,6 +39,7 @@ DividerRegistry::Options DividerRegistry::Options::fromEnv() {
   O.UseJit = !envFlag("GMDIV_SERVICE_NO_JIT");
   O.SampleEvery = static_cast<uint32_t>(
       envSize("GMDIV_SERVICE_SAMPLE", O.SampleEvery));
+  O.TopKSlots = prof::topKCapacityFromEnv(O.TopKSlots);
   return O;
 }
 
@@ -48,7 +49,8 @@ DividerRegistry::DividerRegistry(Options Opts)
       BucketsPerShard(cache::ceilPow2(std::max<size_t>(8, ShardCapacity * 2))),
       UseJit(Opts.UseJit),
       SampleMask(static_cast<uint32_t>(
-          cache::ceilPow2(std::max<uint32_t>(1, Opts.SampleEvery)) - 1)) {
+          cache::ceilPow2(std::max<uint32_t>(1, Opts.SampleEvery)) - 1)),
+      HotKeys(Opts.TopKSlots) {
   LookupNs.reserve(Shards.size());
   for (Shard &S : Shards) {
     S.Current.store(new Table(BucketsPerShard), std::memory_order_release);
@@ -106,6 +108,7 @@ DividerRegistry::EntryHandle DividerRegistry::lookup(const Key &K) {
     if (Sampled) {
       E->LastUseNs.store(T0, std::memory_order_relaxed);
       recordLookupNs(S, steadyNs() - T0);
+      HotKeys.offer(K, SampleMask + uint64_t{1});
     }
   } else {
     S.Misses.inc();
@@ -131,6 +134,7 @@ DividerRegistry::EntryHandle DividerRegistry::acquire(const Key &K) {
       if (Sampled) {
         E->LastUseNs.store(T0, std::memory_order_relaxed);
         recordLookupNs(S, steadyNs() - T0);
+        HotKeys.offer(K, SampleMask + uint64_t{1});
       }
       return E;
     }
@@ -189,6 +193,9 @@ DividerRegistry::EntryHandle DividerRegistry::acquire(const Key &K) {
   if (Victim)
     S.Evictions.fetch_add(1, std::memory_order_relaxed);
   S.Inserts.fetch_add(1, std::memory_order_relaxed);
+  // Admissions always reach the sketch, so cold-start traffic is
+  // attributed even before any sampled hit lands.
+  HotKeys.offer(K);
   publish(S, NewT);
   return E;
 }
@@ -299,6 +306,26 @@ void DividerRegistry::collect(metrics::SnapshotBuilder &B) const {
   B.histogram(P + "_admit_ns",
               "Entry construction latency on admission (ns)", {},
               std::move(CA.Bounds), CA.Count, CA.Sum);
+  // Heavy-hitter sketch: estimated traffic per hot key. Counts are
+  // space-saving estimates (overestimate by at most _topk_error); with
+  // zero sketch evictions they are exact.
+  const auto Hot = HotKeys.items();
+  for (size_t I = 0; I < Hot.size(); ++I) {
+    const metrics::LabelSet L = {{"key", Hot[I].Key.describe()},
+                                 {"rank", std::to_string(I)}};
+    B.gauge(P + "_topk",
+            "Estimated operations for the hottest divisor keys "
+            "(space-saving sketch)",
+            L, static_cast<double>(Hot[I].Count));
+    B.gauge(P + "_topk_error",
+            "Overestimate bound for the matching _topk sample", L,
+            static_cast<double>(Hot[I].Error));
+  }
+  B.gauge(P + "_topk_capacity", "Heavy-hitter sketch slots", {},
+          static_cast<double>(HotKeys.capacity()));
+  B.counter(P + "_topk_evictions_total",
+            "Space-saving sketch evictions (0 means counts are exact)",
+            {}, static_cast<double>(HotKeys.evictions()));
 }
 
 void DividerRegistry::exportMetrics(const std::string &Prefix) {

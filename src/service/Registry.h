@@ -46,6 +46,7 @@
 
 #include "jit/CachePolicy.h"
 #include "metrics/Metrics.h"
+#include "prof/TopK.h"
 #include "service/DividerEntry.h"
 #include "service/Epoch.h"
 #include "service/Key.h"
@@ -74,9 +75,12 @@ public:
     /// to a power of two. 1 = every hit (deterministic LRU, used by
     /// tests); default 64 keeps clock reads off the common hit path.
     uint32_t SampleEvery = 64;
+    /// Heavy-hitter sketch slots for the hottest divisor keys
+    /// (gmdiv_service_registry_topk, `gmdiv_tool top`).
+    size_t TopKSlots = 32;
 
     /// Reads GMDIV_SERVICE_SHARDS, GMDIV_SERVICE_SHARD_CAPACITY,
-    /// GMDIV_SERVICE_NO_JIT, GMDIV_SERVICE_SAMPLE.
+    /// GMDIV_SERVICE_NO_JIT, GMDIV_SERVICE_SAMPLE, GMDIV_TOPK.
     static Options fromEnv();
   };
 
@@ -124,6 +128,9 @@ public:
         if (Sampled) {
           B->E->LastUseNs.store(T0, std::memory_order_relaxed);
           recordLookupNs(S, steadyNs() - T0);
+          // Sampled heavy-hitter credit, scaled back up to an estimate
+          // of the unsampled stream.
+          HotKeys.offer(K, SampleMask + uint64_t{1});
         }
         S.Hits.inc();
         return true;
@@ -147,6 +154,11 @@ public:
   /// Drops every entry (counters keep accumulating). Takes every
   /// writer lock; concurrent readers stay safe via the epoch domain.
   void clear();
+
+  /// Heavy-hitter sketch over divisor keys: sampled hits (weighted by
+  /// the sampling period) plus every admission. Exported as
+  /// <prefix>_topk and printed by `gmdiv_tool top`.
+  const prof::TopK<Key, KeyHash> &hotKeys() const { return HotKeys; }
 
   /// Sampled hit-path lookup latency (ns), aggregated over shards.
   const metrics::Histogram &lookupLatency() const { return LookupNsAll; }
@@ -234,6 +246,9 @@ private:
   size_t BucketsPerShard;
   bool UseJit;
   uint32_t SampleMask;
+  /// Space-saving sketch of the hottest keys (its own mutex; touched
+  /// only on sampled hits and admissions, never the common hit path).
+  prof::TopK<Key, KeyHash> HotKeys;
   metrics::Counter InvalidKeys;
   /// Sampled lookup latency: per shard + aggregate (mirrors the JIT
   /// cache's per-shard compile histograms).

@@ -357,10 +357,34 @@ int DiffReport::improvements() const {
   return N;
 }
 
+namespace {
+
+// A field differs only when both reports actually recorded it;
+// "unknown" and "" mean the probe failed, not that the machines match
+// or differ.
+bool fieldsDiffer(const std::string &Old, const std::string &New) {
+  if (Old.empty() || New.empty() || Old == "unknown" || New == "unknown")
+    return false;
+  return Old != New;
+}
+
+} // namespace
+
+bool DiffReport::machineMismatch() const {
+  if (fieldsDiffer(OldMachine.CpuModel, NewMachine.CpuModel))
+    return true;
+  if (OldMachine.Cpus > 0 && NewMachine.Cpus > 0 &&
+      OldMachine.Cpus != NewMachine.Cpus)
+    return true;
+  return fieldsDiffer(OldMachine.Governor, NewMachine.Governor);
+}
+
 DiffReport bench::compareReports(const BenchReport &Old,
                                  const BenchReport &New, double Threshold) {
   DiffReport Diff;
   Diff.Threshold = Threshold;
+  Diff.OldMachine = Old.Machine;
+  Diff.NewMachine = New.Machine;
   for (const BenchmarkResult &NewB : New.Benchmarks) {
     const BenchmarkResult *OldB = nullptr;
     for (const BenchmarkResult &Candidate : Old.Benchmarks)
@@ -417,6 +441,18 @@ std::string bench::diffText(const DiffReport &Diff) {
     NameWidth = std::max(NameWidth, E.Name.size());
   std::ostringstream Out;
   char Line[256];
+  if (Diff.machineMismatch()) {
+    Out << "*** WARNING: reports come from different machines; "
+           "timings are NOT comparable ***\n";
+    std::snprintf(Line, sizeof(Line), "***   old: %s, %d cpus, %s\n",
+                  Diff.OldMachine.CpuModel.c_str(), Diff.OldMachine.Cpus,
+                  Diff.OldMachine.Governor.c_str());
+    Out << Line;
+    std::snprintf(Line, sizeof(Line), "***   new: %s, %d cpus, %s\n",
+                  Diff.NewMachine.CpuModel.c_str(), Diff.NewMachine.Cpus,
+                  Diff.NewMachine.Governor.c_str());
+    Out << Line;
+  }
   std::snprintf(Line, sizeof(Line), "%-*s %12s %12s %8s %8s  %s\n",
                 static_cast<int>(NameWidth), "benchmark", "old(ns)",
                 "new(ns)", "ratio", "noise", "verdict");
@@ -464,8 +500,27 @@ std::string bench::diffJson(const DiffReport &Diff) {
       .value(static_cast<int64_t>(Diff.regressions()))
       .key("improvements")
       .value(static_cast<int64_t>(Diff.improvements()))
-      .key("entries")
-      .beginArray();
+      .key("machine_mismatch")
+      .value(Diff.machineMismatch());
+  W.key("machine_old")
+      .beginObject()
+      .key("cpu_model")
+      .value(Diff.OldMachine.CpuModel)
+      .key("cpus")
+      .value(static_cast<int64_t>(Diff.OldMachine.Cpus))
+      .key("governor")
+      .value(Diff.OldMachine.Governor)
+      .endObject();
+  W.key("machine_new")
+      .beginObject()
+      .key("cpu_model")
+      .value(Diff.NewMachine.CpuModel)
+      .key("cpus")
+      .value(static_cast<int64_t>(Diff.NewMachine.Cpus))
+      .key("governor")
+      .value(Diff.NewMachine.Governor)
+      .endObject();
+  W.key("entries").beginArray();
   for (const DiffEntry &E : Diff.Entries) {
     const char *Verdict = "ok";
     switch (E.V) {

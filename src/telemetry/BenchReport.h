@@ -121,9 +121,19 @@ struct DiffEntry {
 
 struct DiffReport {
   double Threshold = 0.15;
+  /// Machine context of the two compared reports, so the diff can say
+  /// whether its numbers are even comparable.
+  MachineInfo OldMachine;
+  MachineInfo NewMachine;
   std::vector<DiffEntry> Entries;
   int regressions() const;
   int improvements() const;
+  /// True when the two reports visibly came from different hardware or
+  /// tuning: CPU model, core count, or cpufreq governor differ (fields
+  /// one side did not record are not compared). Cross-machine medians
+  /// say nothing about a code change, so diffText leads with a loud
+  /// warning when this is set.
+  bool machineMismatch() const;
 };
 
 /// Pairs benchmarks by name and flags medians that moved more than

@@ -9,6 +9,7 @@
 
 #include "telemetry/Json.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -70,6 +71,12 @@ ThreadRing &threadRing() {
   return *Ring;
 }
 
+/// Process-wide flow id allocator; 0 is reserved for "no flow".
+std::atomic<uint64_t> NextFlow{1};
+
+/// The calling thread's open flow (set by FlowScope, read by Span).
+thread_local uint64_t CurrentFlow = 0;
+
 } // namespace
 
 bool trace::enabled() {
@@ -85,6 +92,49 @@ void trace::setEnabled(bool On) {
   TraceEnabled.store(On, std::memory_order_relaxed);
 }
 
+uint64_t trace::nowNs() {
+  const int64_t Epoch = EpochNs.load(std::memory_order_relaxed);
+  const int64_t Now = steadyNowNs();
+  return Now > Epoch ? static_cast<uint64_t>(Now - Epoch) : 0;
+}
+
+uint64_t trace::nextFlowId() {
+  return NextFlow.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t trace::currentFlow() { return CurrentFlow; }
+
+FlowScope::FlowScope(uint64_t Flow) : Prev(CurrentFlow), Active(Flow != 0) {
+  if (Active)
+    CurrentFlow = Flow;
+}
+
+FlowScope::~FlowScope() {
+  if (Active)
+    CurrentFlow = Prev;
+}
+
+void trace::recordSpan(const char *Category, const char *Name,
+                       uint64_t StartNs, uint64_t DurNs, uint64_t Arg,
+                       uint64_t Flow) {
+  if (!enabled())
+    return;
+  ThreadRing &Ring = threadRing();
+  const uint64_t Slot = Ring.Next.load(std::memory_order_relaxed);
+  TraceEvent &E = Ring.Events[Slot % RingCapacity];
+  E.Category = Category;
+  E.Name = Name;
+  E.Arg = Arg;
+  E.Flow = Flow;
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  E.StartTsc = 0;
+  E.DurTsc = 0;
+  E.ThreadId = Ring.ThreadId;
+  E.Depth = Ring.Depth;
+  Ring.Next.store(Slot + 1, std::memory_order_release);
+}
+
 uint64_t trace::readTsc() {
 #if defined(__x86_64__) || defined(__i386__)
   return __rdtsc();
@@ -98,8 +148,8 @@ uint64_t trace::readTsc() {
 }
 
 Span::Span(const char *Category, const char *Name, uint64_t Arg)
-    : Category(Category), Name(Name), Arg(Arg), StartNs(0), StartTsc(0),
-      Active(enabled()) {
+    : Category(Category), Name(Name), Arg(Arg), Flow(CurrentFlow), StartNs(0),
+      StartTsc(0), Active(enabled()) {
   if (!Active)
     return;
   ThreadRing &Ring = threadRing();
@@ -121,6 +171,7 @@ Span::~Span() {
   E.Category = Category;
   E.Name = Name;
   E.Arg = Arg;
+  E.Flow = Flow;
   E.StartNs = StartNs;
   E.DurNs = EndNs >= StartNs ? EndNs - StartNs : 0;
   E.StartTsc = StartTsc;
@@ -225,6 +276,8 @@ std::string trace::chromeTraceJson() {
           .beginObject()
           .key("arg")
           .value(E.Arg)
+          .key("flow")
+          .value(E.Flow)
           .key("depth")
           .value(static_cast<uint64_t>(E.Depth))
           .key("tsc_start")
@@ -234,6 +287,54 @@ std::string trace::chromeTraceJson() {
           .endObject()
           .endObject();
     }
+  }
+  // Flow arrows: for every flow id that tags more than one span, emit a
+  // "s" (start) / "t" (step) / "f" (finish) chain so Perfetto draws
+  // submit -> queue-wait -> execute as one linked request across
+  // threads. Each link's ts sits at the midpoint of its span so the
+  // viewer binds it to the enclosing slice.
+  struct FlowRef {
+    uint64_t Flow;
+    uint64_t MidNs;
+    uint32_t ThreadId;
+  };
+  std::vector<FlowRef> Refs;
+  for (const ThreadSnapshot &S : Threads)
+    for (const TraceEvent &E : S.Events)
+      if (E.Flow != 0)
+        Refs.push_back({E.Flow, E.StartNs + E.DurNs / 2, E.ThreadId});
+  std::sort(Refs.begin(), Refs.end(), [](const FlowRef &A, const FlowRef &B) {
+    return A.Flow != B.Flow ? A.Flow < B.Flow : A.MidNs < B.MidNs;
+  });
+  for (size_t I = 0; I < Refs.size();) {
+    size_t End = I;
+    while (End < Refs.size() && Refs[End].Flow == Refs[I].Flow)
+      ++End;
+    if (End - I >= 2) {
+      for (size_t J = I; J < End; ++J) {
+        const bool First = J == I;
+        const bool Last = J + 1 == End;
+        W.beginObject()
+            .key("name")
+            .value("flow")
+            .key("cat")
+            .value("flow")
+            .key("ph")
+            .value(First ? "s" : (Last ? "f" : "t"));
+        if (Last)
+          W.key("bp").value("e");
+        W.key("id")
+            .value(Refs[J].Flow)
+            .key("ts")
+            .value(static_cast<double>(Refs[J].MidNs) / 1000.0)
+            .key("pid")
+            .value(int64_t{1})
+            .key("tid")
+            .value(static_cast<uint64_t>(Refs[J].ThreadId))
+            .endObject();
+      }
+    }
+    I = End;
   }
   W.endArray();
   W.key("displayTimeUnit").value("ms");

@@ -53,6 +53,7 @@ struct TraceEvent {
   uint64_t StartTsc = 0; ///< Raw TSC at span entry (0 if unavailable).
   uint64_t DurTsc = 0;
   uint64_t Arg = 0;      ///< Free-form detail (width, divisor, round).
+  uint64_t Flow = 0;     ///< Request-flow id linking spans (0 = none).
   uint32_t ThreadId = 0; ///< Small dense id assigned at first record.
   uint32_t Depth = 0;    ///< Nesting depth at span entry (0 = top).
 };
@@ -71,6 +72,51 @@ void setEnabled(bool On);
 /// Raw timestamp counter (rdtsc / cntvct); 0 on targets without one.
 uint64_t readTsc();
 
+/// steady_clock ns since the trace epoch (the exported ts = 0 origin).
+/// Callers that record spans with explicit start times (the
+/// BatchService queue-wait span) must stamp with this clock so the
+/// synthetic span lands at the right ts in the exported trace.
+uint64_t nowNs();
+
+//===----------------------------------------------------------------------===//
+// Request-flow attribution
+//===----------------------------------------------------------------------===//
+//
+// A flow is a request identity that survives thread hops: the submitter
+// allocates an id, every span recorded while a FlowScope is open carries
+// it, and the Chrome export links same-flow spans with flow arrows
+// ("s"/"t"/"f" events), so submit -> queue-wait -> execute reads as one
+// request even though the three spans live on two threads.
+
+/// Allocates a fresh nonzero flow id (process-wide, wait-free).
+uint64_t nextFlowId();
+
+/// The calling thread's current flow id (0 outside any FlowScope).
+uint64_t currentFlow();
+
+/// RAII: spans recorded by this thread inside the scope carry \p Flow.
+/// Scopes nest; the previous flow is restored on exit. Passing 0 makes
+/// the scope inert (spans keep whatever flow was already current), so
+/// call sites can propagate "no flow" without branching.
+class FlowScope {
+public:
+  explicit FlowScope(uint64_t Flow);
+  ~FlowScope();
+  FlowScope(const FlowScope &) = delete;
+  FlowScope &operator=(const FlowScope &) = delete;
+
+private:
+  uint64_t Prev;
+  bool Active;
+};
+
+/// Records one already-completed span into the calling thread's ring:
+/// the cross-thread attribution primitive (a worker back-dating the
+/// queue-wait interval it just observed). \p StartNs is trace-epoch
+/// relative (see nowNs()). No-op while tracing is disabled.
+void recordSpan(const char *Category, const char *Name, uint64_t StartNs,
+                uint64_t DurNs, uint64_t Arg = 0, uint64_t Flow = 0);
+
 /// RAII span. Construction samples the clocks when tracing is enabled;
 /// destruction records one TraceEvent into the calling thread's ring.
 /// A span constructed while tracing is disabled stays inert even if
@@ -86,6 +132,7 @@ private:
   const char *Category;
   const char *Name;
   uint64_t Arg;
+  uint64_t Flow; ///< currentFlow() at construction.
   uint64_t StartNs;
   uint64_t StartTsc;
   bool Active;

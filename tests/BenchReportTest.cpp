@@ -186,6 +186,45 @@ TEST(BenchDiff, TextAndJsonOutputsAreWellFormed) {
   EXPECT_NE(Doc.find("\"regressions\":1"), std::string::npos);
 }
 
+TEST(BenchDiff, SameMachineComparesWithoutWarning) {
+  const BenchReport Report = makeReport({makeResult("BM_A", {10, 10, 10})});
+  const DiffReport Diff = compareReports(Report, Report);
+  EXPECT_FALSE(Diff.machineMismatch());
+  EXPECT_EQ(diffText(Diff).find("WARNING"), std::string::npos);
+  EXPECT_NE(diffJson(Diff).find("\"machine_mismatch\":false"),
+            std::string::npos);
+}
+
+TEST(BenchDiff, DifferentMachinesTriggerALoudWarning) {
+  const BenchReport Old = makeReport({makeResult("BM_A", {10, 10, 10})});
+  BenchReport New = makeReport({makeResult("BM_A", {10, 10, 10})});
+  New.Machine.CpuModel = "Other CPU";
+  New.Machine.Cpus = 128;
+  New.Machine.Governor = "powersave";
+  const DiffReport Diff = compareReports(Old, New);
+  EXPECT_TRUE(Diff.machineMismatch());
+  const std::string Text = diffText(Diff);
+  EXPECT_NE(Text.find("WARNING"), std::string::npos);
+  EXPECT_NE(Text.find("NOT comparable"), std::string::npos);
+  EXPECT_NE(Text.find("Other CPU"), std::string::npos);
+  const std::string Doc = diffJson(Diff);
+  EXPECT_TRUE(json::isValid(Doc)) << Doc;
+  EXPECT_NE(Doc.find("\"machine_mismatch\":true"), std::string::npos);
+  EXPECT_NE(Doc.find("\"machine_new\""), std::string::npos);
+}
+
+TEST(BenchDiff, UnrecordedMachineFieldsDoNotFalseAlarm) {
+  // A report whose probes failed ("unknown" / empty / 0) must not be
+  // flagged against a fully-populated one: absence of evidence.
+  const BenchReport Old = makeReport({makeResult("BM_A", {10, 10, 10})});
+  BenchReport New = makeReport({makeResult("BM_A", {10, 10, 10})});
+  New.Machine.CpuModel = "unknown";
+  New.Machine.Cpus = 0;
+  New.Machine.Governor = "";
+  const DiffReport Diff = compareReports(Old, New);
+  EXPECT_FALSE(Diff.machineMismatch());
+}
+
 TEST(BenchReportFile, WriteReadRoundTripAndMissingFile) {
   const BenchReport Report = makeReport({makeResult("BM_A", {5, 5, 5})});
   const std::string Path =

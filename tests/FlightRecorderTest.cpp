@@ -50,12 +50,13 @@ TEST(FlightRecorder, ReportIsParseableAndCarriesSpansAndMetrics) {
   json::Value Root;
   ASSERT_TRUE(json::parse(Doc, Root));
 
-  EXPECT_EQ(Root.numberOr("gmdiv_flight_record", 0), 1.0);
+  EXPECT_EQ(Root.numberOr("gmdiv_flight_record", 0), 2.0);
   EXPECT_EQ(Root.stringOr("reason", ""), "unit_test");
   EXPECT_GT(Root.numberOr("unix_ms", 0), 0.0);
   EXPECT_GE(Root.numberOr("spans_kept", 0), 1.0);
 
-  // At least one span, and our category is among them.
+  // At least one span, and our category is among them. Schema v2 spans
+  // carry a "flow" field (0 = not part of a request flow).
   const json::Value *Spans = Root.find("spans");
   ASSERT_NE(Spans, nullptr);
   ASSERT_GE(Spans->array().size(), 1u);
@@ -64,11 +65,16 @@ TEST(FlightRecorder, ReportIsParseableAndCarriesSpansAndMetrics) {
     EXPECT_NE(Span.find("thread"), nullptr);
     EXPECT_NE(Span.find("start_ns"), nullptr);
     EXPECT_NE(Span.find("dur_ns"), nullptr);
+    EXPECT_NE(Span.find("flow"), nullptr);
     if (Span.stringOr("cat", "") == "flight_test" &&
         Span.stringOr("name", "") == "unit_span")
       SawOurs = true;
   }
   EXPECT_TRUE(SawOurs) << Doc;
+
+  // Schema v2 always carries a "profile" key: null when no profiler
+  // has registered a provider, the profiler's JSON otherwise.
+  EXPECT_NE(Root.find("profile"), nullptr);
 
   // The embedded metrics snapshot is the full snapshotJson document.
   const json::Value *Metrics = Root.find("metrics");
@@ -79,6 +85,47 @@ TEST(FlightRecorder, ReportIsParseableAndCarriesSpansAndMetrics) {
     if (F.stringOr("name", "") == "gmdiv_test_flight_total")
       FoundCounter = true;
   EXPECT_TRUE(FoundCounter) << Doc;
+}
+
+namespace {
+std::string testProfileProvider() {
+  return "{\"gmdiv_profile\":1,\"rate_hz\":97,\"samples_recorded\":5}";
+}
+} // namespace
+
+// Satellite: the v1 -> v2 schema bump (profile section + per-span flow)
+// must round-trip through the project parser with and without a
+// profiler attached — a crash report with samples is still one valid
+// JSON document.
+TEST(FlightRecorder, ProfileSectionRoundTripsThroughParser) {
+  recordSomeSpans(1);
+
+  // Without a provider the key is present but null.
+  FlightRecorder::setProfileProvider(nullptr);
+  json::Value Root;
+  ASSERT_TRUE(json::parse(FlightRecorder::global().reportJson("no_prof"),
+                          Root));
+  EXPECT_EQ(Root.numberOr("gmdiv_flight_record", 0), 2.0);
+  const json::Value *Profile = Root.find("profile");
+  ASSERT_NE(Profile, nullptr);
+  EXPECT_TRUE(Profile->isNull());
+
+  // With a provider the profiler document is spliced in verbatim and
+  // the whole report still parses.
+  FlightRecorder::setProfileProvider(&testProfileProvider);
+  const std::string Doc =
+      FlightRecorder::global().reportJson("with_prof");
+  FlightRecorder::setProfileProvider(nullptr);
+  ASSERT_TRUE(json::isValid(Doc)) << Doc;
+  ASSERT_TRUE(json::parse(Doc, Root));
+  Profile = Root.find("profile");
+  ASSERT_NE(Profile, nullptr);
+  EXPECT_EQ(Profile->numberOr("gmdiv_profile", 0), 1.0);
+  EXPECT_EQ(Profile->numberOr("rate_hz", 0), 97.0);
+  EXPECT_EQ(Profile->numberOr("samples_recorded", 0), 5.0);
+  // The metrics section survives the splice.
+  ASSERT_NE(Root.find("metrics"), nullptr);
+  EXPECT_EQ(Root.find("metrics")->numberOr("gmdiv_metrics", 0), 1.0);
 }
 
 TEST(FlightRecorder, DumpWritesTheConfiguredFile) {

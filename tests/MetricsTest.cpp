@@ -30,6 +30,11 @@
 #include <thread>
 #include <vector>
 
+#ifdef __unix__
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 using namespace gmdiv;
 using namespace gmdiv::metrics;
 
@@ -282,6 +287,83 @@ TEST(MetricsExporter, WriteSnapshotFileEmitsBothFormats) {
 
   std::remove(PromPath.c_str());
   std::remove(JsonPath.c_str());
+}
+
+namespace {
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+} // namespace
+
+TEST(MetricsExporter, AtomicRenameReplacesAnExistingDestination) {
+  Registry::global().counter(uniqueName("replace_total")).inc();
+  const std::string Path =
+      testing::TempDir() + "gmdiv_metrics_replace.prom";
+  {
+    std::ofstream Out(Path);
+    Out << "STALE CONTENT A SCRAPER MUST NEVER SEE TORN\n";
+  }
+  std::string Error;
+  ASSERT_TRUE(Exporter::writeSnapshotFile(Path, &Error)) << Error;
+  // Fully replaced: the new content is a valid exposition with no trace
+  // of the old bytes, and the temp file did not linger.
+  const std::string Body = slurp(Path);
+  EXPECT_EQ(Body.find("STALE CONTENT"), std::string::npos);
+  std::vector<ParsedSample> Parsed;
+  EXPECT_TRUE(parsePrometheusText(Body, Parsed, &Error)) << Error;
+  EXPECT_FALSE(Parsed.empty());
+  std::ifstream Tmp(Path + ".tmp");
+  EXPECT_FALSE(Tmp.good()) << "temp file must not survive the rename";
+  std::remove(Path.c_str());
+}
+
+TEST(MetricsExporter, UnwritableParentFailsWithoutPartialSnapshot) {
+  // A regular file where the parent directory should be makes every
+  // temp-file open fail with ENOTDIR — an "unwritable parent" that
+  // works even when the suite runs as root (chmod is advisory then).
+  const std::string Parent =
+      testing::TempDir() + "gmdiv_metrics_notadir";
+  std::remove(Parent.c_str());
+  {
+    std::ofstream Out(Parent);
+    Out << "occupies the parent path\n";
+  }
+  const std::string Dest = Parent + "/metrics.prom";
+  std::string Error;
+  EXPECT_FALSE(Exporter::writeSnapshotFile(Dest, &Error));
+  EXPECT_FALSE(Error.empty());
+  // The placeholder parent is untouched and no partial output appeared.
+  EXPECT_EQ(slurp(Parent), "occupies the parent path\n");
+  std::remove(Parent.c_str());
+
+#ifdef __unix__
+  // The classic chmod-based variant only means anything unprivileged:
+  // root bypasses directory write bits entirely.
+  if (geteuid() != 0) {
+    const std::string Dir = testing::TempDir() + "gmdiv_metrics_rodir";
+    ASSERT_EQ(mkdir(Dir.c_str(), 0755), 0);
+    const std::string RoDest = Dir + "/metrics.prom";
+    {
+      std::ofstream Out(RoDest);
+      Out << "previous snapshot\n";
+    }
+    ASSERT_EQ(chmod(Dir.c_str(), 0555), 0);
+    Error.clear();
+    EXPECT_FALSE(Exporter::writeSnapshotFile(RoDest, &Error));
+    EXPECT_FALSE(Error.empty());
+    // Graceful failure: the existing snapshot survives intact and no
+    // .tmp litters the directory.
+    EXPECT_EQ(slurp(RoDest), "previous snapshot\n");
+    std::ifstream Tmp(RoDest + ".tmp");
+    EXPECT_FALSE(Tmp.good());
+    ASSERT_EQ(chmod(Dir.c_str(), 0755), 0);
+    std::remove(RoDest.c_str());
+    rmdir(Dir.c_str());
+  }
+#endif
 }
 
 TEST(MetricsExposition, ParserRejectsMalformedExpositions) {

@@ -1,0 +1,262 @@
+//===- tests/ProfTest.cpp - Sampling profiler + top-K sketch --------------===//
+//
+// Part of the gmdiv project, a reproduction of Granlund & Montgomery,
+// "Division by Invariant Integers using Multiplication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TopK sketch is checked against a counted std::map reference:
+/// exact when capacity covers the distinct keys, and on a skewed stream
+/// the identified heavy-hitter set must equal the true top-K with the
+/// space-saving bound Count - Error <= true <= Count holding for every
+/// slot. The profiler tests arm SIGPROF for real, burn CPU, and require
+/// non-empty collapsed stacks plus a valid embedded JSON profile.
+///
+//===----------------------------------------------------------------------===//
+
+#include "prof/Profiler.h"
+#include "prof/TopK.h"
+
+#include "telemetry/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gmdiv;
+using namespace gmdiv::prof;
+
+namespace json = gmdiv::telemetry::json;
+
+namespace {
+
+// A deterministic skewed stream: key k is emitted Reps[k] times, in
+// round-robin order so heavy keys are interleaved with light ones (the
+// adversarial order for a sketch, not a sorted run).
+std::vector<int> skewedStream(const std::vector<uint64_t> &Reps) {
+  std::vector<int> Stream;
+  bool Emitted = true;
+  for (uint64_t Round = 0; Emitted; ++Round) {
+    Emitted = false;
+    for (size_t K = 0; K < Reps.size(); ++K) {
+      if (Round < Reps[K]) {
+        Stream.push_back(static_cast<int>(K));
+        Emitted = true;
+      }
+    }
+  }
+  return Stream;
+}
+
+TEST(TopK, ExactWhenCapacityCoversDistinctKeys) {
+  TopK<int> Sketch(16);
+  std::map<int, uint64_t> Reference;
+  // 10 distinct keys < 16 slots: no evictions can happen.
+  const std::vector<uint64_t> Reps = {1, 3, 9, 2, 7, 50, 4, 6, 8, 5};
+  for (int Key : skewedStream(Reps)) {
+    Sketch.offer(Key);
+    ++Reference[Key];
+  }
+  EXPECT_EQ(Sketch.evictions(), 0u);
+
+  const auto Items = Sketch.items();
+  ASSERT_EQ(Items.size(), Reference.size());
+  uint64_t Total = 0;
+  for (const auto &Item : Items) {
+    EXPECT_EQ(Item.Count, Reference.at(Item.Key))
+        << "key " << Item.Key;
+    EXPECT_EQ(Item.Error, 0u);
+    Total += Item.Count;
+  }
+  EXPECT_EQ(Sketch.totalOffered(), Total);
+  // items() sorts by descending count; the heaviest key (5, 50 hits)
+  // leads.
+  EXPECT_EQ(Items.front().Key, 5);
+  EXPECT_EQ(Items.front().Count, 50u);
+}
+
+TEST(TopK, SkewedStreamIdentifiesTrueTopK) {
+  // 40 distinct keys into 8 slots. Keys 0-7 are heavy (400-1100 hits),
+  // the rest are light noise (1-8 hits) — skewed enough that the
+  // space-saving guarantee pins the exact top-8 set.
+  std::vector<uint64_t> Reps(40);
+  for (size_t K = 0; K < 8; ++K)
+    Reps[K] = 400 + 100 * K;
+  for (size_t K = 8; K < Reps.size(); ++K)
+    Reps[K] = 1 + (K % 8);
+
+  TopK<int> Sketch(8);
+  std::map<int, uint64_t> Reference;
+  for (int Key : skewedStream(Reps)) {
+    Sketch.offer(Key);
+    ++Reference[Key];
+  }
+  EXPECT_GT(Sketch.evictions(), 0u);
+
+  const auto Items = Sketch.items();
+  ASSERT_EQ(Items.size(), 8u);
+  std::set<int> Identified;
+  for (const auto &Item : Items) {
+    Identified.insert(Item.Key);
+    // The space-saving invariant, for every surviving slot.
+    const uint64_t True = Reference.at(Item.Key);
+    EXPECT_LE(True, Item.Count) << "key " << Item.Key;
+    EXPECT_GE(True, Item.Count - Item.Error) << "key " << Item.Key;
+  }
+  EXPECT_EQ(Identified, (std::set<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TopK, WeightedOffersScaleSampledStreams) {
+  // A caller sampling 1-in-64 offers weight 64 per observed hit; the
+  // estimate should read in unsampled units.
+  TopK<int> Sketch(4);
+  for (int I = 0; I < 10; ++I)
+    Sketch.offer(7, 64);
+  Sketch.offer(9, 64);
+  const auto Items = Sketch.items();
+  ASSERT_EQ(Items.size(), 2u);
+  EXPECT_EQ(Items[0].Key, 7);
+  EXPECT_EQ(Items[0].Count, 640u);
+  EXPECT_EQ(Sketch.totalOffered(), 704u);
+}
+
+TEST(TopK, CapacityFromEnvClampsToRange) {
+  unsetenv("GMDIV_TOPK");
+  EXPECT_EQ(topKCapacityFromEnv(32), 32u);
+  setenv("GMDIV_TOPK", "16", 1);
+  EXPECT_EQ(topKCapacityFromEnv(32), 16u);
+  setenv("GMDIV_TOPK", "0", 1);
+  EXPECT_EQ(topKCapacityFromEnv(32), 1u);
+  setenv("GMDIV_TOPK", "100000", 1);
+  EXPECT_EQ(topKCapacityFromEnv(32), 4096u);
+  unsetenv("GMDIV_TOPK");
+}
+
+// Burn process CPU until the profiler has banked at least \p Want
+// samples or \p DeadlineSec of wall time passes. ITIMER_PROF counts CPU
+// time, so a busy spin converges at the sampling rate.
+uint64_t burnUntilSamples(uint64_t Want, double DeadlineSec) {
+  const auto Start = std::chrono::steady_clock::now();
+  volatile uint64_t Sink = 0;
+  while (Profiler::global().sampleCount() < Want &&
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+                 .count() < DeadlineSec) {
+    for (int I = 0; I < 100000; ++I)
+      Sink = Sink * 2654435761u + static_cast<uint64_t>(I) / 7u;
+  }
+  return Profiler::global().sampleCount();
+}
+
+TEST(Profiler, CapturesStacksAndEmitsCollapsedAndJson) {
+  Profiler &P = Profiler::global();
+  P.reset();
+  if (!P.start(500))
+    GTEST_SKIP() << "SIGPROF profiling unavailable on this platform";
+  EXPECT_TRUE(P.running());
+  EXPECT_EQ(P.rateHz(), 500);
+
+  const uint64_t Samples = burnUntilSamples(10, 10.0);
+  P.stop();
+  EXPECT_FALSE(P.running());
+  ASSERT_GE(Samples, 10u) << "profiler banked too few samples";
+
+  // Collapsed form: "frame;frame count" lines, counts summing to the
+  // kept samples, no empty frames.
+  const std::string Folded = P.collapsed();
+  ASSERT_FALSE(Folded.empty());
+  std::istringstream Lines(Folded);
+  std::string Line;
+  uint64_t FoldedTotal = 0;
+  while (std::getline(Lines, Line)) {
+    const size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    ASSERT_GT(Space, 0u) << Line;
+    FoldedTotal += std::strtoull(Line.c_str() + Space + 1, nullptr, 10);
+  }
+  EXPECT_GT(FoldedTotal, 0u);
+  EXPECT_LE(FoldedTotal, P.sampleCount());
+
+  // The JSON form embeds into the flight recorder, so it must parse
+  // with the project parser and carry the counters.
+  const std::string Doc = P.profileJson();
+  ASSERT_TRUE(json::isValid(Doc)) << Doc;
+  json::Value Root;
+  ASSERT_TRUE(json::parse(Doc, Root));
+  EXPECT_EQ(Root.numberOr("gmdiv_profile", 0), 1.0);
+  EXPECT_EQ(Root.numberOr("rate_hz", 0), 500.0);
+  EXPECT_GE(Root.numberOr("samples_recorded", 0), 10.0);
+  ASSERT_NE(Root.find("stacks"), nullptr);
+  EXPECT_GE(Root.find("stacks")->array().size(), 1u);
+}
+
+TEST(Profiler, WriteCollapsedProducesTheFile) {
+  Profiler &P = Profiler::global();
+  P.reset();
+  if (!P.start(500))
+    GTEST_SKIP() << "SIGPROF profiling unavailable on this platform";
+  burnUntilSamples(5, 10.0);
+  P.stop();
+
+  const std::string Path = testing::TempDir() + "gmdiv_prof_test.folded";
+  std::string Error;
+  ASSERT_TRUE(P.writeCollapsed(Path, &Error)) << Error;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  char Buf[8] = {};
+  const size_t Got = std::fread(Buf, 1, sizeof(Buf), F);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_GT(Got, 0u);
+
+  // Unwritable destination reports an error instead of crashing.
+  EXPECT_FALSE(
+      P.writeCollapsed("/nonexistent-dir/prof.folded", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Profiler, StartFromEnvHonorsProfKnobs) {
+  Profiler &P = Profiler::global();
+  ASSERT_FALSE(P.running());
+
+  unsetenv("GMDIV_PROF");
+  EXPECT_FALSE(P.startFromEnv());
+  setenv("GMDIV_PROF", "0", 1);
+  EXPECT_FALSE(P.startFromEnv());
+
+  setenv("GMDIV_PROF", "251", 1);
+  if (!P.startFromEnv())
+    GTEST_SKIP() << "SIGPROF profiling unavailable on this platform";
+  EXPECT_TRUE(P.running());
+  EXPECT_EQ(P.rateHz(), 251);
+  // A second arm while running is a no-op that reports success.
+  EXPECT_TRUE(P.startFromEnv());
+  P.stop();
+
+  // GMDIV_PROF=1 means "on at the default"; GMDIV_PROF_HZ overrides it.
+  setenv("GMDIV_PROF", "1", 1);
+  setenv("GMDIV_PROF_HZ", "103", 1);
+  ASSERT_TRUE(P.startFromEnv());
+  EXPECT_EQ(P.rateHz(), 103);
+  P.stop();
+  unsetenv("GMDIV_PROF");
+  unsetenv("GMDIV_PROF_HZ");
+}
+
+TEST(Profiler, ResetClearsSamples) {
+  Profiler &P = Profiler::global();
+  P.reset();
+  EXPECT_EQ(P.sampleCount(), 0u);
+  EXPECT_EQ(P.droppedCount(), 0u);
+  EXPECT_TRUE(P.collapsed().empty());
+}
+
+} // namespace

@@ -13,7 +13,7 @@
 // comparison agreed; 1 means mismatches (the minimized repro strings
 // are in the summary and can be replayed here). Usage:
 //
-//   fuzz [--trace=FILE] [--metrics=FILE] [seconds] [seed]
+//   fuzz [--trace=FILE] [--metrics=FILE] [--profile=FILE] [seconds] [seed]
 //                                (defaults: 10 seconds, random seed)
 //   fuzz --replay <repro-string>
 //
@@ -23,12 +23,15 @@
 // file on exit. --metrics=FILE writes a metrics snapshot on exit
 // (.json = JSON document, anything else the Prometheus text format)
 // with the campaign's properties-checked / mismatch / round counters.
+// --profile=FILE arms the sampling profiler (GMDIV_PROF_HZ, default
+// 97 Hz) and writes collapsed stacks (flamegraph.pl format) on exit.
 //
 //===----------------------------------------------------------------------===//
 
 #include "verify/Fuzzer.h"
 
 #include "metrics/Exporter.h"
+#include "prof/Profiler.h"
 #include "telemetry/Remarks.h"
 #include "trace/Trace.h"
 
@@ -45,12 +48,15 @@ using namespace gmdiv::verify;
 int main(int ArgcIn, char **ArgvIn) {
   const char *TraceFile = nullptr;
   const char *MetricsFile = nullptr;
+  const char *ProfileFile = nullptr;
   std::vector<char *> Args;
   for (int I = 0; I < ArgcIn; ++I) {
     if (std::strncmp(ArgvIn[I], "--trace=", 8) == 0)
       TraceFile = ArgvIn[I] + 8;
     else if (std::strncmp(ArgvIn[I], "--metrics=", 10) == 0)
       MetricsFile = ArgvIn[I] + 10;
+    else if (std::strncmp(ArgvIn[I], "--profile=", 10) == 0)
+      ProfileFile = ArgvIn[I] + 10;
     else
       Args.push_back(ArgvIn[I]);
   }
@@ -58,6 +64,15 @@ int main(int ArgcIn, char **ArgvIn) {
   char **Argv = Args.data();
   if (TraceFile)
     trace::setEnabled(true);
+  if (ProfileFile) {
+    int Hz = prof::Profiler::DefaultHz;
+    if (const char *HzEnv = std::getenv("GMDIV_PROF_HZ"))
+      if (const long Value = std::strtol(HzEnv, nullptr, 10); Value > 0)
+        Hz = static_cast<int>(Value);
+    prof::Profiler::global().start(Hz);
+  } else {
+    prof::Profiler::global().startFromEnv();
+  }
 
   if (Argc >= 2 && std::strcmp(Argv[1], "--replay") == 0) {
     if (Argc < 3) {
@@ -115,6 +130,18 @@ int main(int ArgcIn, char **ArgvIn) {
       return Result ? Result : 1;
     }
     std::fprintf(stderr, "fuzz: metrics written to %s\n", MetricsFile);
+  }
+  if (ProfileFile) {
+    prof::Profiler::global().stop();
+    std::string Error;
+    if (!prof::Profiler::global().writeCollapsed(ProfileFile, &Error)) {
+      std::fprintf(stderr, "fuzz: --profile: %s\n", Error.c_str());
+      return Result ? Result : 1;
+    }
+    std::fprintf(stderr, "fuzz: %llu profile samples written to %s\n",
+                 static_cast<unsigned long long>(
+                     prof::Profiler::global().sampleCount()),
+                 ProfileFile);
   }
   return Result;
 }

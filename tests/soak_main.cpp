@@ -11,7 +11,7 @@
 // progress line per round. Any mismatch aborts with the reproducing
 // seed. Usage:
 //
-//   soak [--trace=FILE] [--metrics=FILE] [seconds] [seed]
+//   soak [--trace=FILE] [--metrics=FILE] [--profile=FILE] [seconds] [seed]
 //                               (defaults: 10 seconds, random seed)
 //
 // CTest runs a 2-second smoke; CI or a release manager can run hours.
@@ -20,6 +20,8 @@
 // histogram reported in the end-of-run summary. --metrics=FILE writes a
 // metrics snapshot on exit (.json = JSON document, anything else the
 // Prometheus text format) — CI's TSan leg scrapes it as an artifact.
+// --profile=FILE arms the sampling profiler (GMDIV_PROF_HZ, default
+// 97 Hz) and writes collapsed stacks (flamegraph.pl format) on exit.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +34,7 @@
 #include "ir/Interp.h"
 #include "metrics/Exporter.h"
 #include "metrics/FlightRecorder.h"
+#include "prof/Profiler.h"
 #include "telemetry/Histogram.h"
 #include "telemetry/Json.h"
 #include "telemetry/Stats.h"
@@ -226,12 +229,15 @@ template <typename SWord> void soakBatchSignedRound() {
 int main(int Argc, char **Argv) {
   const char *TraceFile = nullptr;
   const char *MetricsFile = nullptr;
+  const char *ProfileFile = nullptr;
   std::vector<char *> Args;
   for (int I = 0; I < Argc; ++I) {
     if (std::strncmp(Argv[I], "--trace=", 8) == 0)
       TraceFile = Argv[I] + 8;
     else if (std::strncmp(Argv[I], "--metrics=", 10) == 0)
       MetricsFile = Argv[I] + 10;
+    else if (std::strncmp(Argv[I], "--profile=", 10) == 0)
+      ProfileFile = Argv[I] + 10;
     else
       Args.push_back(Argv[I]);
   }
@@ -244,6 +250,17 @@ int main(int Argc, char **Argv) {
   // wiring (GMDIV_METRICS_OUT, GMDIV_FLIGHT_RECORDER) like the tool.
   metrics::Exporter::global().startFromEnv();
   metrics::FlightRecorder::global().configureFromEnv();
+  if (ProfileFile) {
+    // --profile forces the profiler on; GMDIV_PROF_HZ still picks the
+    // rate. Without the flag, GMDIV_PROF alone can arm it (no dump).
+    int Hz = prof::Profiler::DefaultHz;
+    if (const char *HzEnv = std::getenv("GMDIV_PROF_HZ"))
+      if (const long Value = std::strtol(HzEnv, nullptr, 10); Value > 0)
+        Hz = static_cast<int>(Value);
+    prof::Profiler::global().start(Hz);
+  } else {
+    prof::Profiler::global().startFromEnv();
+  }
   Rng.seed(Seed);
   std::printf("soak: %.1f seconds, seed %llu\n", Seconds,
               static_cast<unsigned long long>(Seed));
@@ -338,6 +355,18 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::fprintf(stderr, "soak: metrics written to %s\n", MetricsFile);
+  }
+  if (ProfileFile) {
+    prof::Profiler::global().stop();
+    std::string Error;
+    if (!prof::Profiler::global().writeCollapsed(ProfileFile, &Error)) {
+      std::fprintf(stderr, "soak: --profile: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "soak: %llu profile samples written to %s\n",
+                 static_cast<unsigned long long>(
+                     prof::Profiler::global().sampleCount()),
+                 ProfileFile);
   }
   metrics::Exporter::global().stop();
   return 0;
