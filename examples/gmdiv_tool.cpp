@@ -112,6 +112,7 @@
 #include "numtheory/ModArith.h"
 #include "ir/AsmPrinter.h"
 #include "ir/Parser.h"
+#include "jit/JitBatchDivider.h"
 #include "jit/JitDivider.h"
 #include "metrics/Exporter.h"
 #include "metrics/Exposition.h"
@@ -156,7 +157,7 @@ int usage(const char *Argv0) {
                "  %s magic <d> [8|16|32|64]\n"
                "  %s codegen <d> [8|16|32|64] [u|s|floor|exact|alverson]\n"
                "  %s asm <d> [32|64] [mips|sparc|alpha|power]\n"
-               "  %s jit <d> [8|16|32|64] [u|s|floor]\n"
+               "  %s jit <d> [8|16|32|64] [u|s|floor] [--batch <n>]\n"
                "  %s lower [width] [numargs]   (IR on stdin)\n"
                "  %s batch <d> [8|16|32|64] [u|s] [count]\n"
                "  %s family <divide|rem|divrem|divisible> <8|16|32|64> <d> "
@@ -311,6 +312,152 @@ template <typename T> int runBatch(T D, size_t Count) {
   return Mismatches ? 1 : 0;
 }
 
+/// Annotated hex listing, the `jit` command's format: each IR
+/// instruction (or a \p CtrlLabel marker for emitter-inserted lines) as
+/// a comment above the machine instructions emitted for it.
+void printAsmListing(const ir::Program &P, const std::vector<uint8_t> &Code,
+                     const std::vector<jit::AsmLine> &Lines,
+                     const char *CtrlLabel) {
+  int LastIr = -2;
+  bool SeenBody = false;
+  for (const jit::AsmLine &Line : Lines) {
+    if (Line.IrIndex != LastIr) {
+      if (Line.IrIndex < 0)
+        std::printf("; %s\n", SeenBody ? CtrlLabel : "prologue");
+      else
+        std::printf("; %s\n", ir::formatInstr(P, Line.IrIndex).c_str());
+      LastIr = Line.IrIndex;
+      SeenBody = SeenBody || Line.IrIndex >= 0;
+    }
+    std::string Bytes;
+    for (size_t I = 0; I < Line.NumBytes; ++I) {
+      char Hex[4];
+      std::snprintf(Hex, sizeof(Hex), "%02x ", Code[Line.Offset + I]);
+      Bytes += Hex;
+    }
+    std::printf("  %04zx: %-33s %s\n", Line.Offset, Bytes.c_str(),
+                Line.Text.c_str());
+  }
+}
+
+/// The `jit --batch <n>` mode body for one lane type: emit the
+/// divisor's vector loop and print its annotated listing, then
+/// cross-check the live JitBatchDivider (jitted loop + static tail)
+/// against the static batch kernels and ir::Interp over \p Count
+/// elements, and close with the divisor-specialized cost model.
+/// Returns nonzero on any mismatch.
+template <typename T> int runJitBatch(T D, size_t Count) {
+  constexpr int Bits = static_cast<int>(sizeof(T) * 8);
+  constexpr bool IsSigned = std::is_signed_v<T>;
+  using UWord = std::make_unsigned_t<T>;
+  const uint64_t Mask = Bits == 64 ? ~uint64_t{0} : (uint64_t{1} << Bits) - 1;
+  const uint64_t DBits = static_cast<uint64_t>(static_cast<UWord>(D));
+
+  const jit::SeqKind Seq =
+      IsSigned ? jit::SeqKind::SDivRem : jit::SeqKind::UDivRem;
+  const ir::Program Prepared =
+      jit::prepareForJit(jit::genSequence(Seq, Bits, DBits));
+
+  jit::VectorIsa Isa = jit::VectorIsa::Avx2;
+  if (!jit::vectorJitIsa(Isa)) {
+    std::printf("; vector jit unavailable (%s) — batch runs on the "
+                "static %s kernels\n",
+                !jit::hostSupported() ? "host is not x86-64"
+                : !jit::enabled()     ? "GMDIV_NO_JIT=1"
+                                      : "GMDIV_JIT_VECTOR=0 or no AVX2",
+                batch::backendName(batch::activeBackend()));
+  } else {
+    jit::VectorEmitOptions Opts;
+    Opts.Isa = Isa;
+    const jit::VectorEmitResult Emitted =
+        jit::emitX86VectorLoop(Prepared, Opts);
+    if (!Emitted.Ok) {
+      std::printf("; vector emitter bailed: %s — batch runs on the "
+                  "static kernels\n",
+                  Emitted.Error.c_str());
+    } else {
+      std::printf("; %s d=%lld N=%d — %s loop, %d x %d-bit lanes, "
+                  "unroll %d (%zu bytes):\n",
+                  jit::seqKindName(Seq), static_cast<long long>(D), Bits,
+                  jit::vectorIsaName(Emitted.Shape.Isa), Emitted.Shape.Lanes,
+                  Emitted.Shape.ContainerBits, Emitted.Shape.Unroll,
+                  Emitted.Code.size());
+      printAsmListing(Prepared, Emitted.Code, Emitted.Lines, "loop control");
+    }
+  }
+
+  // Live cross-check through the real front door.
+  const jit::JitBatchDivider<T> Jit(D);
+  std::printf("; %s\n", Jit.describe().c_str());
+
+  std::vector<T> In(Count);
+  uint64_t State = 0x9E3779B97F4A7C15ull;
+  for (T &Value : In) {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    Value = static_cast<T>(State);
+  }
+  // Pin the corners: all-ones, the signed extremes, one exact multiple.
+  if (Count > 0)
+    In[0] = static_cast<T>(Mask);
+  if (Count > 1)
+    In[1] = static_cast<T>(Mask >> 1);
+  if (Count > 2)
+    In[2] = static_cast<T>((Mask >> 1) + 1);
+  if (Count > 3)
+    In[3] = D;
+
+  std::vector<T> QJ(Count), RJ(Count), QS(Count), RS(Count);
+  Jit.divRem(In.data(), QJ.data(), RJ.data(), Count);
+  Jit.fallback().divRem(In.data(), QS.data(), RS.data(), Count);
+
+  size_t StaticMismatches = 0, InterpMismatches = 0;
+  std::vector<uint64_t> Args(1), Scratch, Want;
+  for (size_t I = 0; I < Count; ++I) {
+    if (QJ[I] != QS[I] || RJ[I] != RS[I])
+      ++StaticMismatches;
+    Args[0] = static_cast<uint64_t>(static_cast<UWord>(In[I]));
+    ir::runScratch(Prepared, Args, Scratch, Want);
+    if (static_cast<uint64_t>(static_cast<UWord>(QJ[I])) != Want[0] ||
+        static_cast<uint64_t>(static_cast<UWord>(RJ[I])) != Want[1])
+      ++InterpMismatches;
+  }
+  std::printf("; divRem over %zu elements: %s static %s kernels, "
+              "%s ir::Interp\n",
+              Count, StaticMismatches ? "MISMATCHES" : "matches",
+              batch::backendName(Jit.fallback().backend()),
+              InterpMismatches ? "MISMATCHES" : "matches");
+
+  size_t DivisMismatches = 0;
+  if constexpr (!IsSigned) {
+    std::vector<uint8_t> FJ(Count, 0xAA), FS(Count, 0x55);
+    Jit.divisible(In.data(), FJ.data(), Count);
+    Jit.fallback().divisible(In.data(), FS.data(), Count);
+    for (size_t I = 0; I < Count; ++I)
+      if (FJ[I] != FS[I])
+        ++DivisMismatches;
+    std::printf("; divisible over %zu elements: %s static kernels\n", Count,
+                DivisMismatches ? "MISMATCHES" : "matches");
+  }
+
+  // The divisor-specialized pricing next to the divisor-agnostic one:
+  // why the dispatch prefers the jitted loop for this d.
+  const uint64_t Magnitude =
+      IsSigned && D < 0 ? (~DBits + 1) & Mask : DBits;
+  std::printf("\ncost-model (%d-bit lanes, 256-bit vectors, |d|=%llu):\n",
+              Bits, static_cast<unsigned long long>(Magnitude));
+  for (const arch::ArchProfile &Profile : arch::table11Profiles()) {
+    const arch::BatchCost Static = arch::estimateBatchCost(Bits, Profile, 256);
+    const arch::BatchCost Jitted =
+        arch::estimateJitBatchCost(Bits, Profile, 256, Magnitude);
+    std::printf("  %-18s static %.2fx, jitted %.2fx, jit break-even %zu\n",
+                Profile.Name.c_str(), Static.speedup(), Jitted.speedup(),
+                Jitted.breakEvenBatch());
+  }
+  return StaticMismatches + InterpMismatches + DivisMismatches ? 1 : 0;
+}
+
 /// A tiny deterministic workload for `metrics --exercise`: a few batch
 /// kernel calls straddling the break-even hint plus repeated JIT cache
 /// lookups, so a fresh process produces a snapshot with live series.
@@ -344,6 +491,18 @@ void printJitCacheSummary() {
                static_cast<unsigned long long>(Total.Misses),
                static_cast<unsigned long long>(Total.Evictions),
                100.0 * Total.hitRatio());
+  const jit::CacheStats Vector = Cache.formStats(cache::KernelForm::Vector);
+  if (Vector.Hits + Vector.Misses) {
+    const jit::CacheStats Scalar = Cache.formStats(cache::KernelForm::Scalar);
+    std::fprintf(stderr,
+                 "  by form: scalar %llu hits / %llu misses, vector "
+                 "%llu hits / %llu misses (%llu vector inserts)\n",
+                 static_cast<unsigned long long>(Scalar.Hits),
+                 static_cast<unsigned long long>(Scalar.Misses),
+                 static_cast<unsigned long long>(Vector.Hits),
+                 static_cast<unsigned long long>(Vector.Misses),
+                 static_cast<unsigned long long>(Vector.Inserts));
+  }
   const std::vector<jit::CacheStats> Shards = Cache.shardStats();
   for (size_t I = 0; I < Shards.size(); ++I) {
     const jit::CacheStats &S = Shards[I];
@@ -935,8 +1094,26 @@ int runCommand(int Argc, char **Argv) {
     if (Argc < 3)
       return usage(Argv[0]);
     const int64_t D = std::strtoll(Argv[2], nullptr, 0);
-    const int Width = Argc > 3 ? std::atoi(Argv[3]) : 32;
-    const std::string Kind = Argc > 4 ? Argv[4] : "u";
+    int Width = 32;
+    std::string Kind = "u";
+    size_t BatchN = 0;
+    for (int I = 3, Positional = 0; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--batch") == 0) {
+        if (I + 1 >= Argc)
+          return usage(Argv[0]);
+        BatchN = std::strtoull(Argv[++I], nullptr, 0);
+        if (BatchN == 0)
+          return usage(Argv[0]);
+        continue;
+      }
+      if (Positional == 0)
+        Width = std::atoi(Argv[I]);
+      else if (Positional == 1)
+        Kind = Argv[I];
+      else
+        return usage(Argv[0]);
+      ++Positional;
+    }
     if (D == 0 ||
         (Width != 8 && Width != 16 && Width != 32 && Width != 64))
       return usage(Argv[0]);
@@ -949,6 +1126,25 @@ int runCommand(int Argc, char **Argv) {
       Seq = jit::SeqKind::FloorDivMod;
     else
       return usage(Argv[0]);
+
+    if (BatchN) {
+      if (Width != 32 && Width != 64) {
+        std::fprintf(stderr, "jit --batch: the vector emitter's lane "
+                             "containers are 32/64-bit\n");
+        return 1;
+      }
+      if (Seq == jit::SeqKind::FloorDivMod) {
+        std::fprintf(stderr, "jit --batch: floor stays on the static "
+                             "kernels; use u or s\n");
+        return 1;
+      }
+      if (Width == 32)
+        return Kind == "s" ? runJitBatch(static_cast<int32_t>(D), BatchN)
+                           : runJitBatch(static_cast<uint32_t>(D), BatchN);
+      return Kind == "s" ? runJitBatch(D, BatchN)
+                         : runJitBatch(static_cast<uint64_t>(D), BatchN);
+    }
+
     const uint64_t Mask =
         Width == 64 ? ~uint64_t{0} : (uint64_t{1} << Width) - 1;
     const uint64_t DBits = static_cast<uint64_t>(D) & Mask;
@@ -966,28 +1162,7 @@ int runCommand(int Argc, char **Argv) {
       return 0;
     }
     std::printf("; x86-64 (%zu bytes):\n", Emitted.Code.size());
-    int LastIr = -2;
-    bool SeenBody = false;
-    for (const jit::AsmLine &Line : Emitted.Lines) {
-      if (Line.IrIndex != LastIr) {
-        if (Line.IrIndex < 0)
-          std::printf("; %s\n", SeenBody ? "epilogue" : "prologue");
-        else
-          std::printf("; %s\n",
-                      ir::formatInstr(Prepared, Line.IrIndex).c_str());
-        LastIr = Line.IrIndex;
-        SeenBody = SeenBody || Line.IrIndex >= 0;
-      }
-      std::string Bytes;
-      for (size_t I = 0; I < Line.NumBytes; ++I) {
-        char Hex[4];
-        std::snprintf(Hex, sizeof(Hex), "%02x ",
-                      Emitted.Code[Line.Offset + I]);
-        Bytes += Hex;
-      }
-      std::printf("  %04zx: %-33s %s\n", Line.Offset, Bytes.c_str(),
-                  Line.Text.c_str());
-    }
+    printAsmListing(Prepared, Emitted.Code, Emitted.Lines, "epilogue");
 
     if (!jit::enabled()) {
       std::printf("; execution disabled (%s) — runs on ir::Interp\n",

@@ -238,8 +238,35 @@ template <typename UWord> WidthPlan planWidth(DivOp Op, uint64_t Divisor) {
 
 } // namespace
 
+namespace {
+
+/// Per-call surcharge for signed operands, in abstract ops. GM lowers
+/// signed division natively (Figure 5.2: MULSH, SRA, and the
+/// sign-of-n/sign-of-q fixups — about two extra simple ops over the
+/// unsigned form). The fastmod / roundup / narrow families divide
+/// magnitudes and restore the sign afterward (the
+/// *SignedDivider wrappers): abs(n) is a three-op mask chain and the
+/// sign restore two more, except divisibility, which needs no restore.
+/// The hardware divide instruction is signed natively.
+OpCost signedSurcharge(Family F, DivOp Op) {
+  switch (F) {
+  case Family::GM:
+    return {0, 2, 0};
+  case Family::FastMod:
+  case Family::RoundUp:
+  case Family::Narrow:
+    return Op == DivOp::Divisibility ? OpCost{0, 3, 0} : OpCost{0, 5, 0};
+  case Family::HardwareDiv:
+    return {0, 0, 0};
+  }
+  return {0, 0, 0};
+}
+
+} // namespace
+
 FamilyChoice selectFamily(DivOp Op, int WidthBits, uint64_t Divisor,
-                          const ArchProfile &Target, uint64_t BatchSize) {
+                          const ArchProfile &Target, uint64_t BatchSize,
+                          bool SignedOperands) {
   assert((WidthBits == 8 || WidthBits == 16 || WidthBits == 32 ||
           WidthBits == 64) &&
          "operand width must be 8/16/32/64");
@@ -247,6 +274,20 @@ FamilyChoice selectFamily(DivOp Op, int WidthBits, uint64_t Divisor,
   assert((WidthBits == 64 ||
           Divisor < (uint64_t{1} << WidthBits)) &&
          "divisor does not fit the operand width");
+
+  // With signed operands the plan is computed on |d| — that is the
+  // divisor the magnitude-based families actually precompute for, and
+  // GM's signed multiplier choice matches the unsigned one for |d|.
+  if (SignedOperands) {
+    const uint64_t SignBit = uint64_t{1} << (WidthBits - 1);
+    if (Divisor & SignBit) {
+      const uint64_t Mask =
+          WidthBits == 64 ? ~uint64_t{0} : (uint64_t{1} << WidthBits) - 1;
+      Divisor = (~Divisor + 1) & Mask;
+      if (Divisor == 0)
+        Divisor = SignBit; // INT_MIN: |d| wraps to itself
+    }
+  }
 
   WidthPlan Plan;
   switch (WidthBits) {
@@ -303,7 +344,10 @@ FamilyChoice selectFamily(DivOp Op, int WidthBits, uint64_t Divisor,
 
     if (!C.Eligible)
       continue;
-    C.CyclesPerOp = Plan.PerOp[I].on(Target);
+    OpCost PerOp = Plan.PerOp[I];
+    if (SignedOperands)
+      PerOp = PerOp + signedSurcharge(C.Fam, Op);
+    C.CyclesPerOp = PerOp.on(Target);
     C.SetupCycles = Plan.Setup[I].on(Target);
     C.EffectiveCycles = C.CyclesPerOp + C.SetupCycles / Batch;
   }

@@ -91,8 +91,18 @@ struct FamilyChoice {
 /// one. \p Divisor is the unsigned bit pattern (nonzero); \p WidthBits
 /// must be 8, 16, 32 or 64; \p BatchSize >= 1 amortizes precompute.
 /// Ties break toward the earlier family in the fixed order above.
+///
+/// \p SignedOperands prices the signed forms (|Divisor| is taken as
+/// the magnitude): GM runs its native Figure 5.2 sequence (MULSH plus
+/// the xsign fixups), while fastmod, roundup and narrow divide
+/// magnitudes and restore the sign branch-free — the
+/// FastModSignedDivider / RoundUpSignedDivider wrapper, two abs-style
+/// mask chains per call. Hardware divide is signed natively. The
+/// relative order can flip: the wrapper surcharge outweighs roundup's
+/// saved fixup ops on short sequences.
 FamilyChoice selectFamily(DivOp Op, int WidthBits, uint64_t Divisor,
-                          const ArchProfile &Target, uint64_t BatchSize = 1);
+                          const ArchProfile &Target, uint64_t BatchSize = 1,
+                          bool SignedOperands = false);
 
 } // namespace arch
 } // namespace gmdiv

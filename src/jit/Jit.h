@@ -32,6 +32,7 @@
 #include "ir/IR.h"
 #include "jit/ExecMemory.h"
 #include "jit/X86Emitter.h"
+#include "jit/X86VectorEmitter.h"
 
 #include <cstdint>
 #include <memory>
@@ -50,17 +51,42 @@ bool hostSupported();
 /// The environment is read once, on first call.
 bool enabled();
 
+/// True when vector loops emitted for \p Isa can run here: x86-64
+/// build, executable memory, and the CPUID feature bit (AVX2, or
+/// AVX-512 F/DQ/BW/VL for the 512-bit emitter).
+bool vectorHostSupported(VectorIsa Isa);
+
+/// Resolves the GMDIV_JIT_VECTOR policy against the host, once.
+/// Returns true and sets \p IsaOut when vector compilation should be
+/// attempted; false when vetoed (GMDIV_JIT_VECTOR=0, GMDIV_NO_JIT=1)
+/// or the host cannot run the result. Knob values: "0"/"off" disable,
+/// "avx512" pins the 512-bit emitter, "avx2" pins 256-bit; unset (or
+/// anything else) auto-selects AVX2 — 512-bit stays opt-in so shared
+/// hosts do not pay license-based frequency throttling unasked.
+bool vectorJitIsa(VectorIsa &IsaOut);
+
 /// One compiled, executable sequence. Immutable after construction;
 /// safe to call concurrently from any number of threads (the code is
 /// read-only and the ABI is pure).
 class CompiledSequence {
 public:
   using Fn = uint64_t (*)(uint64_t, uint64_t, uint64_t *);
+  /// Vector-loop ABI: fn(In, Out0, Out1, Count) -> elements processed
+  /// (a multiple of the lane count; the caller handles the tail).
+  using BatchFn = uint64_t (*)(const void *, void *, void *, uint64_t);
 
   CompiledSequence(ExecBuffer Buffer, int NumArgs, int NumResults,
                    std::vector<AsmLine> Lines)
       : Buffer(std::move(Buffer)), NumArgs(NumArgs), NumResults(NumResults),
         Lines(std::move(Lines)) {}
+
+  /// Vector-loop form (compileVectorLoop): same W^X buffer discipline,
+  /// different entry ABI. fn()/call() are invalid on these; use
+  /// batchFn().
+  CompiledSequence(ExecBuffer Buffer, int NumArgs, int NumResults,
+                   std::vector<AsmLine> Lines, VectorLoopShape Shape)
+      : Buffer(std::move(Buffer)), NumArgs(NumArgs), NumResults(NumResults),
+        Lines(std::move(Lines)), IsVector(true), Shape(Shape) {}
 
   Fn fn() const {
     return reinterpret_cast<Fn>(const_cast<void *>(Buffer.entry()));
@@ -69,6 +95,16 @@ public:
   int numResults() const { return NumResults; }
   size_t codeSize() const { return Buffer.codeSize(); }
   const std::vector<AsmLine> &lines() const { return Lines; }
+
+  /// True for sequences built by compileVectorLoop; their entry point
+  /// is batchFn(), not fn().
+  bool isVectorLoop() const { return IsVector; }
+  BatchFn batchFn() const {
+    return reinterpret_cast<BatchFn>(const_cast<void *>(Buffer.entry()));
+  }
+  /// Lane geometry of a vector loop (isa, container bits, lanes,
+  /// unroll). Meaningful only when isVectorLoop().
+  const VectorLoopShape &vectorShape() const { return Shape; }
 
   /// Single-result conveniences.
   uint64_t call(uint64_t A0) const { return fn()(A0, 0, nullptr); }
@@ -89,6 +125,8 @@ private:
   int NumArgs;
   int NumResults;
   std::vector<AsmLine> Lines;
+  bool IsVector = false;
+  VectorLoopShape Shape{};
 };
 
 /// Optional context for the "jit.compile" remark; all fields may be
@@ -107,6 +145,18 @@ struct CompileInfo {
 std::shared_ptr<const CompiledSequence>
 compile(const ir::Program &P, const CompileInfo &Info = CompileInfo(),
         std::string *Error = nullptr);
+
+/// Compiles \p P into a full array-division loop (X86VectorEmitter):
+/// divisor constants folded into the instruction stream, unrolled main
+/// loop, batchFn() entry. Null on bail — the emitter rejects the
+/// program shape, the host lacks the ISA, or the JIT is vetoed; callers
+/// fall back to the static src/batch kernels, never the interpreter
+/// (those kernels are the same speed class). Bails/compiles/bytes are
+/// exported as gmdiv_jit_vector_*_total.
+std::shared_ptr<const CompiledSequence>
+compileVectorLoop(const ir::Program &P, const VectorEmitOptions &Opts,
+                  const CompileInfo &Info = CompileInfo(),
+                  std::string *Error = nullptr);
 
 } // namespace jit
 } // namespace gmdiv

@@ -44,12 +44,17 @@ const char *gmdiv::jit::seqKindName(SeqKind Kind) {
     return "floormod";
   case SeqKind::FloorDivMod:
     return "floordivmod";
+  case SeqKind::UDivisible:
+    return "udivisible";
   }
   return "?";
 }
 
 std::string gmdiv::jit::describeCacheKey(const CacheKey &Key) {
-  std::string Out = seqKindName(Key.Kind);
+  std::string Out;
+  if (Key.Form == cache::KernelForm::Vector)
+    Out += "vec-";
+  Out += seqKindName(Key.Kind);
   const bool Signed = Key.Kind == SeqKind::SDiv || Key.Kind == SeqKind::SRem ||
                       Key.Kind == SeqKind::SDivRem ||
                       Key.Kind == SeqKind::FloorDiv ||
@@ -93,10 +98,12 @@ CodeCache::getOrCompile(const CacheKey &Key, const Compiler &Compile) {
   HotKeys.offer(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
 
+  const size_t Form = static_cast<size_t>(Key.Form);
   auto Found = S.Map.find(Key);
   if (Found != S.Map.end()) {
     S.Lru.splice(S.Lru.begin(), S.Lru, Found->second);
     ++S.Hits;
+    ++S.FormHits[Form];
     if (!Found->second->Seq)
       ++S.NegativeHits;
     GMDIV_STAT(jit, cache_hits);
@@ -107,6 +114,7 @@ CodeCache::getOrCompile(const CacheKey &Key, const Compiler &Compile) {
   // exactly once even when several threads race to it. Contending keys
   // on *other* shards proceed unblocked.
   ++S.Misses;
+  ++S.FormMisses[Form];
   GMDIV_STAT(jit, cache_misses);
   std::shared_ptr<const CompiledSequence> Seq;
   {
@@ -120,6 +128,7 @@ CodeCache::getOrCompile(const CacheKey &Key, const Compiler &Compile) {
   S.Lru.push_front(Entry{Key, Seq});
   S.Map[Key] = S.Lru.begin();
   ++S.Inserts;
+  ++S.FormInserts[Form];
   if (S.Lru.size() > ShardCapacity) {
     const Entry &Oldest = S.Lru.back();
     S.Map.erase(Oldest.Key);
@@ -144,6 +153,18 @@ std::vector<CacheStats> CodeCache::shardStats() const {
     Row.Entries = S.Lru.size();
     Row.Capacity = ShardCapacity;
     Out.push_back(Row);
+  }
+  return Out;
+}
+
+CacheStats CodeCache::formStats(cache::KernelForm Form) const {
+  const size_t F = static_cast<size_t>(Form);
+  CacheStats Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(const_cast<std::mutex &>(S.Mutex));
+    Out.Hits += S.FormHits[F];
+    Out.Misses += S.FormMisses[F];
+    Out.Inserts += S.FormInserts[F];
   }
   return Out;
 }
@@ -199,6 +220,22 @@ void CodeCache::collect(metrics::SnapshotBuilder &B) const {
     Total.Misses += Row.Misses;
     Total.Entries += Row.Entries;
     Total.Capacity += Row.Capacity;
+  }
+  // Scalar call-per-element kernels vs vector array loops, separable in
+  // Prometheus by the form label.
+  for (cache::KernelForm F :
+       {cache::KernelForm::Scalar, cache::KernelForm::Vector}) {
+    const CacheStats FS = formStats(F);
+    const metrics::LabelSet L = {{"form", cache::kernelFormName(F)}};
+    B.counter(P + "_form_hits_total",
+              "Cache hits split by kernel form (scalar vs vector)", L,
+              static_cast<double>(FS.Hits));
+    B.counter(P + "_form_misses_total",
+              "Cache misses split by kernel form (scalar vs vector)", L,
+              static_cast<double>(FS.Misses));
+    B.counter(P + "_form_inserts_total",
+              "Cache inserts split by kernel form (scalar vs vector)", L,
+              static_cast<double>(FS.Inserts));
   }
   B.gauge(P + "_entries", "Entries resident across all shards", {},
           static_cast<double>(Total.Entries));

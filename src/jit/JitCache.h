@@ -59,6 +59,9 @@ enum class SeqKind : uint8_t {
   FloorDiv,
   FloorMod,
   FloorDivMod,
+  /// §9 branch-free "d divides n" filter (unsigned); appended after the
+  /// original kinds so persisted describeCacheKey output stays stable.
+  UDivisible,
 };
 
 const char *seqKindName(SeqKind Kind);
@@ -67,15 +70,17 @@ const char *seqKindName(SeqKind Kind);
 /// `gmdiv_tool top`.
 std::string describeCacheKey(const struct CacheKey &Key);
 
-/// (op-kind, width, divisor bit pattern).
+/// (op-kind, width, divisor bit pattern, kernel form). Form defaults to
+/// Scalar so pre-vector call sites keep their aggregate-initializers.
 struct CacheKey {
   SeqKind Kind;
   uint8_t WordBits;
   uint64_t Divisor;
+  cache::KernelForm Form = cache::KernelForm::Scalar;
 
   bool operator==(const CacheKey &Other) const {
     return Kind == Other.Kind && WordBits == Other.WordBits &&
-           Divisor == Other.Divisor;
+           Divisor == Other.Divisor && Form == Other.Form;
   }
 };
 
@@ -84,6 +89,7 @@ struct CacheKeyHash {
     // splitmix64-style mix over the packed key (cache::mixBits).
     return static_cast<size_t>(cache::mixBits(
         Key.Divisor ^ (static_cast<uint64_t>(Key.WordBits) << 8) ^
+        (static_cast<uint64_t>(Key.Form) << 16) ^
         static_cast<uint64_t>(Key.Kind)));
   }
 };
@@ -111,6 +117,11 @@ public:
 
   /// Aggregate over every shard.
   CacheStats stats() const;
+  /// Hit/miss totals for one kernel form only (scalar vs vector keys),
+  /// summed over shards; the other CacheStats fields stay zero. This is
+  /// what lets tests assert "second vector construction = pure hits, no
+  /// new inserts".
+  CacheStats formStats(cache::KernelForm Form) const;
   /// Per-shard counters, index = shard number. The hit-rate telemetry
   /// the metrics plane exposes per shard comes from here.
   std::vector<CacheStats> shardStats() const;
@@ -159,6 +170,11 @@ private:
     uint64_t NegativeHits = 0;
     uint64_t Evictions = 0;
     uint64_t Inserts = 0;
+    // Per-kernel-form splits of Hits/Misses/Inserts, indexed by
+    // cache::KernelForm. Scalar + Vector == the totals above.
+    uint64_t FormHits[2] = {};
+    uint64_t FormMisses[2] = {};
+    uint64_t FormInserts[2] = {};
   };
 
   Shard &shardFor(const CacheKey &Key) {

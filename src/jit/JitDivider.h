@@ -109,6 +109,8 @@ inline ir::Program genSequence(SeqKind Kind, int WordBits,
     return selectResult(codegen::genFloorDivMod(WordBits, S), 1);
   case SeqKind::FloorDivMod:
     return codegen::genFloorDivMod(WordBits, S);
+  case SeqKind::UDivisible:
+    return codegen::genDivisibilityTestUnsigned(WordBits, U);
   }
   return ir::Program(WordBits, 1);
 }
@@ -138,6 +140,30 @@ compileCached(CodeCache &Cache, const CacheKey &Key,
   if (PreparedOut)
     *PreparedOut = std::move(Prepared);
   return Seq;
+}
+
+/// Vector-loop sibling of compileCached: \p Key must carry
+/// Form == KernelForm::Vector so the entry never collides with the
+/// scalar kernel for the same triple. The prepared program is the same
+/// scheduled sequence the scalar path runs — the vector emitter
+/// re-lowers it per lane.
+inline std::shared_ptr<const CompiledSequence>
+compileVectorCached(CodeCache &Cache, const CacheKey &Key,
+                    const VectorEmitOptions &Opts) {
+  return Cache.getOrCompile(Key, [&] {
+    CompileInfo Info;
+    Info.CaseName = std::string("vec-") + seqKindName(Key.Kind);
+    Info.DivisorBits = Key.Divisor;
+    Info.IsSigned = Key.Kind == SeqKind::SDiv || Key.Kind == SeqKind::SRem ||
+                    Key.Kind == SeqKind::SDivRem ||
+                    Key.Kind == SeqKind::FloorDiv ||
+                    Key.Kind == SeqKind::FloorMod ||
+                    Key.Kind == SeqKind::FloorDivMod;
+    Info.HasDivisor = true;
+    return compileVectorLoop(
+        prepareForJit(genSequence(Key.Kind, Key.WordBits, Key.Divisor)),
+        Opts, Info);
+  });
 }
 
 /// Division by a run-time invariant divisor through the generated-code

@@ -31,6 +31,7 @@
 #include "core/MultiPrecision.h"
 #include "core/RemModSemantics.h"
 #include "ir/Interp.h"
+#include "jit/JitBatchDivider.h"
 #include "jit/JitDivider.h"
 #include "metrics/Metrics.h"
 #include "ops/SmallWord.h"
@@ -113,6 +114,9 @@ enum Property : int {
   PJitFloor,
   PFastModS,
   PNarrowS,
+  PJitBatchU,
+  PJitBatchS,
+  PJitBatchDivis,
   PropertyEnd,
 };
 
@@ -159,6 +163,11 @@ constexpr PropertyInfo PropertyTable[PropertyEnd] = {
     {"jit-floor", true, false},
     {"fastmod-signed", true, false, "fastmod"},
     {"narrow32-signed", true, false, "narrow32"},
+    // Runtime-emitted vector batch loops (jit::JitBatchDivider's
+    // kernels), appended so existing repro strings keep their indices.
+    {"jit-batch-unsigned", false, false},
+    {"jit-batch-signed", true, false},
+    {"jit-batch-divisible", false, false},
 };
 
 int propertyIndex(const std::string &Name) {
@@ -876,6 +885,91 @@ public:
     }
   }
 
+  /// The runtime-emitted vector loops (the kernels behind
+  /// jit::JitBatchDivider) against the Oracle. Unlike checkBatch this
+  /// runs at *every* emittable width, not just native ones: any N in
+  /// [2, 32] maps onto 32-bit memory lanes, N = 64 onto 64-bit lanes —
+  /// so the exhaustive N = 4..12 sweeps drive the real AVX2/AVX-512
+  /// recipes over every (n, d) pair, and the fuzzer reuses the same
+  /// path at 16/32/64. Inputs are padded to a whole number of vectors
+  /// so the loop (not the fallback tail) covers every real element;
+  /// outputs are pre-poisoned so a short-running loop shows up as a
+  /// mismatch rather than silence. Zero checks when the host lacks the
+  /// ISA or GMDIV_JIT_VECTOR=0 — the same policy the divider obeys.
+  void checkJitBatch(const std::vector<uint64_t> &Ns) {
+    jit::VectorIsa Isa;
+    if (Ns.empty() || !jit::vectorJitIsa(Isa))
+      return;
+    if constexpr (W > 32 && W != 64)
+      return;
+    using Elem = std::conditional_t<W == 64, uint64_t, uint32_t>;
+
+    const auto CompileLoop = [&](jit::SeqKind Kind, bool ByteResult) {
+      jit::VectorEmitOptions Opts;
+      Opts.Isa = Isa;
+      Opts.ByteResult0 = ByteResult;
+      jit::CompileInfo Info;
+      Info.CaseName = std::string("verify-vec-") + jit::seqKindName(Kind);
+      Info.DivisorBits = DBits;
+      Info.HasDivisor = true;
+      Info.IsSigned = Kind == jit::SeqKind::SDivRem;
+      return jit::compileVectorLoop(
+          jit::prepareForJit(jit::genSequence(Kind, W, DBits)), Opts, Info);
+    };
+    const auto UBoth = CompileLoop(jit::SeqKind::UDivRem, false);
+    const auto SBoth = CompileLoop(jit::SeqKind::SDivRem, false);
+    const auto UDivis = CompileLoop(jit::SeqKind::UDivisible, true);
+    if (!UBoth && !SBoth && !UDivis)
+      return;
+
+    const size_t Count = Ns.size();
+    std::vector<Elem> In(Count);
+    for (size_t I = 0; I < Count; ++I)
+      In[I] = static_cast<Elem>(Ns[I] & Mask);
+    const auto PadTo = [&](size_t Lanes) {
+      std::vector<Elem> Out = In;
+      while (Out.size() % Lanes)
+        Out.push_back(0);
+      return Out;
+    };
+    constexpr Elem Poison = static_cast<Elem>(~Elem{0});
+
+    if (UBoth) {
+      std::vector<Elem> PIn = PadTo(UBoth->vectorShape().Lanes);
+      std::vector<Elem> Q(PIn.size(), Poison), Rm(PIn.size(), Poison);
+      UBoth->batchFn()(PIn.data(), Q.data(), Rm.data(), PIn.size());
+      for (size_t I = 0; I < Count; ++I) {
+        const DivRef Ref = OU.ref(Ns[I] & Mask);
+        R.check(PJitBatchU, Ref.TruncQ, static_cast<uint64_t>(Q[I]) & Mask,
+                DBits, Ns[I] & Mask);
+        R.check(PJitBatchU, Ref.TruncR, static_cast<uint64_t>(Rm[I]) & Mask,
+                DBits, Ns[I] & Mask);
+      }
+    }
+    if (SBoth) {
+      std::vector<Elem> PIn = PadTo(SBoth->vectorShape().Lanes);
+      std::vector<Elem> Q(PIn.size(), Poison), Rm(PIn.size(), Poison);
+      SBoth->batchFn()(PIn.data(), Q.data(), Rm.data(), PIn.size());
+      for (size_t I = 0; I < Count; ++I) {
+        const DivRef Ref = OS.ref(Ns[I] & Mask);
+        R.check(PJitBatchS, Ref.TruncQ, static_cast<uint64_t>(Q[I]) & Mask,
+                DBits, Ns[I] & Mask);
+        R.check(PJitBatchS, Ref.TruncR, static_cast<uint64_t>(Rm[I]) & Mask,
+                DBits, Ns[I] & Mask);
+      }
+    }
+    if (UDivis) {
+      std::vector<Elem> PIn = PadTo(UDivis->vectorShape().Lanes);
+      std::vector<uint8_t> Flags(PIn.size(), 0xAA);
+      UDivis->batchFn()(PIn.data(), Flags.data(), nullptr, PIn.size());
+      for (size_t I = 0; I < Count; ++I) {
+        const DivRef Ref = OU.ref(Ns[I] & Mask);
+        R.check(PJitBatchDivis, Ref.Divisible ? 1 : 0, Flags[I], DBits,
+                Ns[I] & Mask);
+      }
+    }
+  }
+
   uint64_t divisorBits() const { return DBits; }
 
 private:
@@ -1154,6 +1248,7 @@ VerifyReport verify::verifyWidth(int WordBits) {
       for (uint64_t N = 0; N <= Mask; ++N)
         Checker.checkN(N);
       Checker.checkBatch(AllN);
+      Checker.checkJitBatch(AllN);
     }
   });
   return R.take();
@@ -1175,6 +1270,7 @@ VerifyReport verify::checkDivisor(
       if ((High & Mask) < Checker.divisorBits())
         Checker.checkDwordPair(High & Mask, Low & Mask);
     Checker.checkBatch(Ns);
+    Checker.checkJitBatch(Ns);
   });
   return R.take();
 }
@@ -1211,6 +1307,8 @@ bool verify::checkOne(const Repro &R, std::string *DetailOut) {
       Checker.checkN(R.NBits & Mask);
       if (R.Property == "batch-unsigned" || R.Property == "batch-signed")
         Checker.checkBatch({R.NBits & Mask});
+      if (R.Property.compare(0, 10, "jit-batch-") == 0)
+        Checker.checkJitBatch({R.NBits & Mask});
     }
   });
   const VerifyReport Report = Rep.take();

@@ -228,6 +228,48 @@ TEST(RoundUpDivider, PredicateTruthTable) {
   EXPECT_NE(Top.mode(), Choice::Kind::Fixup);
 }
 
+TEST(RoundUpSignedDivider, SignCombinationsAndIntMin) {
+  for (int64_t DRaw : {int64_t{1}, int64_t{-1}, int64_t{3}, int64_t{-3},
+                       int64_t{7}, int64_t{-7}, int64_t{10}, int64_t{-10},
+                       int64_t{INT32_MAX}, -int64_t{INT32_MAX},
+                       int64_t{INT32_MIN}}) {
+    const int32_t D = static_cast<int32_t>(DRaw);
+    const RoundUpSignedDivider<int32_t> Div(D);
+    EXPECT_EQ(Div.divisor(), D);
+    for (int64_t NRaw :
+         {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{100}, int64_t{-100},
+          int64_t{INT32_MAX}, int64_t{INT32_MIN}, int64_t{INT32_MIN} + 1}) {
+      const int32_t N = static_cast<int32_t>(NRaw);
+      if (N == INT32_MIN && D == -1) {
+        // Defined to wrap, matching the Oracle's overflow policy.
+        EXPECT_EQ(Div.divide(N), INT32_MIN);
+        EXPECT_EQ(Div.remainder(N), 0);
+        continue;
+      }
+      ASSERT_EQ(Div.divide(N), N / D) << "d=" << D << " n=" << N;
+      ASSERT_EQ(Div.remainder(N), N % D) << "d=" << D << " n=" << N;
+      const auto Both = Div.divRem(N);
+      ASSERT_EQ(Both.Quotient, N / D) << "d=" << D << " n=" << N;
+      ASSERT_EQ(Both.Remainder, N % D) << "d=" << D << " n=" << N;
+    }
+  }
+}
+
+TEST(RoundUpSignedDivider, RandomAgainstHardware64) {
+  std::mt19937_64 Rng(0xda3e39cb94b95bdbull);
+  for (int64_t D : {int64_t{-3}, int64_t{-641}, int64_t{6700417},
+                    int64_t{INT64_MIN}, int64_t{INT64_MAX}}) {
+    const RoundUpSignedDivider<int64_t> Div(D);
+    for (int Round = 0; Round < 4000; ++Round) {
+      const int64_t N = static_cast<int64_t>(Rng());
+      if (N == INT64_MIN && D == -1)
+        continue;
+      ASSERT_EQ(Div.divide(N), N / D) << "d=" << D << " n=" << N;
+      ASSERT_EQ(Div.remainder(N), N % D) << "d=" << D << " n=" << N;
+    }
+  }
+}
+
 TEST(RoundUpDivider, ChosenShiftIsMinimal) {
   // Optimal Bounds: no k below the chosen one admits either variant.
   for (uint64_t DRaw : {uint64_t{3}, uint64_t{7}, uint64_t{10},
@@ -398,6 +440,49 @@ TEST(FamilySelect, NothingEligibleFallsBackToGM) {
   for (const arch::FamilyCandidate &Cand : C.Candidates)
     EXPECT_FALSE(Cand.Eligible) << arch::familyName(Cand.Fam);
   EXPECT_EQ(C.Chosen, arch::Family::GM);
+}
+
+TEST(FamilySelect, SignedSurchargeFlipsRoundUpToGM) {
+  // Signed pricing: GM runs its native Figure 5.2 sequence (+2 simple
+  // ops over unsigned), while roundup divides magnitudes behind the
+  // RoundUpSignedDivider wrapper (+5). At 64-bit d=7 the unsigned
+  // winner is roundup by a hair; the wrapper surcharge hands the
+  // signed call site back to GM.
+  const arch::ArchProfile &R4000 = arch::profileByName("MIPS R4000");
+  const arch::FamilyChoice U = arch::selectFamily(
+      arch::DivOp::Divide, 64, 7, R4000, /*BatchSize=*/1000);
+  EXPECT_EQ(U.Chosen, arch::Family::RoundUp);
+  const arch::FamilyChoice S =
+      arch::selectFamily(arch::DivOp::Divide, 64, 7, R4000,
+                         /*BatchSize=*/1000, /*SignedOperands=*/true);
+  EXPECT_EQ(S.Chosen, arch::Family::GM);
+  // The surcharge prices the wrapper, it does not disqualify it.
+  EXPECT_TRUE(S.candidate(arch::Family::RoundUp).Eligible);
+  EXPECT_LT(S.candidate(arch::Family::GM).EffectiveCycles,
+            S.candidate(arch::Family::RoundUp).EffectiveCycles);
+
+  // Not a blanket penalty: at 32-bit the narrow family's one-multiply
+  // quotient absorbs the wrapper cost and keeps the win.
+  const arch::FamilyChoice S32 =
+      arch::selectFamily(arch::DivOp::Divide, 32, 7, R4000,
+                         /*BatchSize=*/1000, /*SignedOperands=*/true);
+  EXPECT_EQ(S32.Chosen, arch::Family::Narrow);
+}
+
+TEST(FamilySelect, SignedDivisorBitPatternUsesMagnitude) {
+  // A negative divisor arrives as its N-bit two's-complement pattern;
+  // the selector must price |d|, not the giant unsigned value.
+  const arch::ArchProfile &R4000 = arch::profileByName("MIPS R4000");
+  const uint64_t Neg7 = static_cast<uint32_t>(-7);
+  const arch::FamilyChoice S =
+      arch::selectFamily(arch::DivOp::Divide, 32, Neg7, R4000,
+                         /*BatchSize=*/1000, /*SignedOperands=*/true);
+  EXPECT_TRUE(S.chosen().Eligible);
+  const arch::FamilyChoice Pos =
+      arch::selectFamily(arch::DivOp::Divide, 32, 7, R4000,
+                         /*BatchSize=*/1000, /*SignedOperands=*/true);
+  EXPECT_EQ(S.Chosen, Pos.Chosen);
+  EXPECT_DOUBLE_EQ(S.chosen().EffectiveCycles, Pos.chosen().EffectiveCycles);
 }
 
 TEST(FamilySelect, NamesAndParsing) {

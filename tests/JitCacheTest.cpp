@@ -58,6 +58,42 @@ TEST(JitCache, CompileOncePerKey) {
   EXPECT_EQ(Stats.Entries, 1u);
 }
 
+TEST(JitCache, ScalarAndVectorFormsAreDistinctKeys) {
+  // The vector JIT shares the cache with the scalar kernels; the Form
+  // field keeps a divisor's loop and its call-per-element sequence from
+  // shadowing each other.
+  CodeCache Cache(4, 8);
+  const CacheKey Scalar{SeqKind::UDivRem, 32, 7};
+  const CacheKey Vector{SeqKind::UDivRem, 32, 7, cache::KernelForm::Vector};
+  EXPECT_FALSE(Scalar == Vector);
+
+  std::atomic<int> Compiles{0};
+  const auto Compiler = [&] {
+    ++Compiles;
+    return makeDummy();
+  };
+  const auto A = Cache.getOrCompile(Scalar, Compiler);
+  const auto B = Cache.getOrCompile(Vector, Compiler);
+  EXPECT_EQ(Compiles.load(), 2);
+  EXPECT_NE(A.get(), B.get());
+
+  const CacheStats ScalarForm = Cache.formStats(cache::KernelForm::Scalar);
+  const CacheStats VectorForm = Cache.formStats(cache::KernelForm::Vector);
+  EXPECT_EQ(ScalarForm.Misses, 1u);
+  EXPECT_EQ(ScalarForm.Inserts, 1u);
+  EXPECT_EQ(VectorForm.Misses, 1u);
+  EXPECT_EQ(VectorForm.Inserts, 1u);
+
+  // Repeat lookups land on the right form's hit counter.
+  Cache.getOrCompile(Vector, Compiler);
+  EXPECT_EQ(Compiles.load(), 2);
+  EXPECT_EQ(Cache.formStats(cache::KernelForm::Vector).Hits, 1u);
+  EXPECT_EQ(Cache.formStats(cache::KernelForm::Scalar).Hits, 0u);
+
+  // Vector keys are marked in telemetry key descriptions.
+  EXPECT_EQ(describeCacheKey(Vector), "vec-" + describeCacheKey(Scalar));
+}
+
 TEST(JitCache, DistinctKeysCompileSeparately) {
   CodeCache Cache(4, 8);
   std::atomic<int> Compiles{0};
